@@ -1,0 +1,57 @@
+"""Appendix A: the theory experiments.
+
+* A.1 — sumDi/D/1 queueing: 50 paced sources at 95% load hold ~3 packets
+  on average and essentially never exceed 20.
+* A.2 — recursions (5)-(6): feasible after one step, monotone, Pareto.
+* A.4 — 64-to-1 line-rate incast: window limits drain the root queue and
+  leave senders at ~1/65 of Winit, with no PFC.
+"""
+
+from repro.experiments.appendix_a import run_a1, run_a2, run_a4
+
+from conftest import run_once
+
+
+def test_appendix_a1_queueing(benchmark):
+    result = run_once(benchmark, run_a1, n_sources=50, rho=0.95)
+
+    print()
+    print(f"A.1: sim mean {result.simulated_mean:.2f} pkts "
+          f"(analytic rho=1 bound {result.analytic_mean_full_load:.2f}); "
+          f"P(Q>20) sim {result.simulated_tail:.2e} "
+          f"analytic {result.analytic_tail:.2e}")
+
+    assert result.simulated_mean < result.analytic_mean_full_load + 1
+    assert result.simulated_tail < 1e-3
+    assert result.analytic_tail < 1e-7
+
+
+def test_appendix_a2_convergence(benchmark):
+    result = run_once(benchmark, run_a2, n_trials=50)
+
+    print()
+    print(f"A.2: feasible {result.feasible_after_one}/{result.n_trials}, "
+          f"monotone {result.monotone}/{result.n_trials}, Pareto within I "
+          f"(1% tol) {result.pareto_within_i}, by 5I {result.pareto_asymptotic}")
+
+    assert result.feasible_after_one == result.n_trials
+    assert result.monotone == result.n_trials
+    assert result.pareto_within_i >= 0.7 * result.n_trials
+    assert result.pareto_asymptotic >= 0.8 * result.n_trials
+
+
+def test_appendix_a4_window_limits(benchmark):
+    result = run_once(benchmark, run_a4)
+
+    print()
+    print(f"A.4: peak root queue {result.peak_queue / 1000:.0f}KB, drained "
+          f"in {result.drain_time_us:.0f}us, final window "
+          f"{result.final_window_fraction:.3f} x Winit "
+          f"(theory 1/65 = {1 / 65:.3f}), PFC pauses {result.pfc_pauses}")
+
+    # The initial burst queues ~63 x BDP, then drains without PFC.
+    assert result.peak_queue > 1_000_000
+    assert result.drain_time_us < 2_000
+    # Senders settle near the theoretical 1/65 of Winit.
+    assert result.final_window_fraction < 3.0 / 65
+    assert result.pfc_pauses == 0

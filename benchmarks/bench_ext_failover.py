@@ -1,0 +1,40 @@
+"""Extension: link failure and rerouting (Section 2.3's allusion).
+
+One of two parallel 50G trunks is cut mid-run.  Asserts that every
+scheme re-converges onto the surviving trunk, that HPCC recovers quickly
+(it resets per-hop INT state on a path change), and that the fabric does
+not melt down (bounded packet loss, no stuck flows).
+"""
+
+from repro.experiments.failover import run_failover
+from repro.metrics.reporter import format_table
+
+from conftest import run_once
+
+
+def test_failover_recovery(benchmark):
+    result = run_once(benchmark, run_failover)
+
+    print()
+    rows = [
+        (s, f"{result.goodput_before[s]:.1f}", f"{result.goodput_after[s]:.1f}",
+         f"{result.recovery_time_us[s]:.0f}us", result.lost_packets[s])
+        for s in result.goodput_before
+    ]
+    print(format_table(
+        ["scheme", "before (G)", "after (G)", "recovery", "lost pkts"],
+        rows, title="Failover: one of two 50G trunks cut",
+    ))
+
+    surviving_payload = 50 * (1000 / 1090)     # ~45.9G max after the cut
+    for scheme in ("HPCC", "DCQCN", "DCTCP"):
+        # Everyone must re-converge onto the surviving trunk.
+        assert result.goodput_after[scheme] > 0.7 * surviving_payload
+        assert result.drained[scheme]
+    # HPCC: fast recovery, minimal loss (the window caps the damage; at
+    # most ~1 BDP of packets can be in flight into the cut).
+    assert result.recovery_time_us["HPCC"] < 1_000
+    assert result.lost_packets["HPCC"] < 100
+    # Nobody keeps blasting into the cut indefinitely after reroute.
+    for scheme, lost in result.lost_packets.items():
+        assert lost < 5_000, scheme

@@ -1,0 +1,63 @@
+"""Figure 11: six CC schemes on the FatTree with FB_Hadoop traffic.
+
+Paper shapes asserted:
+* HPCC achieves the lowest p95 FCT slowdown for short flows (and the
+  lowest short-flow latency) in both traffic cases;
+* HPCC's long flows pay the eta+INT bandwidth tax (higher large-bucket
+  slowdown than the windowed baselines);
+* only the schemes without in-flight caps (DCQCN, TIMELY) trigger large
+  PFC pauses; +win variants and HPCC keep pauses near zero;
+* DCTCP beats DCQCN/TIMELY but HPCC at least halves DCTCP's latency.
+"""
+
+from repro.experiments.figure11 import run_figure11
+from repro.metrics.reporter import format_bucket_table
+
+from conftest import run_once
+
+CASE = "30%+incast"
+
+
+def test_fig11_six_schemes(benchmark):
+    result = run_once(
+        benchmark, run_figure11, scale="bench", cases=(CASE,),
+        overrides={"n_flows": 450},
+    )
+
+    print()
+    print(format_bucket_table(result.buckets[CASE], "p95",
+                              title=f"Fig 11 ({CASE}): p95 slowdown"))
+    for scheme in result.pause_fraction[CASE]:
+        print(f"  {scheme}: pauses {result.pause_fraction[CASE][scheme] * 100:.3f}%"
+              f"  short p95 {result.short_p95_us[CASE][scheme]:.1f}us")
+
+    buckets = result.buckets[CASE]
+    pauses = result.pause_fraction[CASE]
+    latency = result.short_p95_us[CASE]
+
+    def short_p95(scheme):
+        return max(s.p95 for s in buckets[scheme][:3])
+
+    def large_p95(scheme):
+        return buckets[scheme][-1].p95
+
+    # HPCC wins short flows against every baseline.
+    for scheme in ("DCQCN", "TIMELY", "DCQCN+win", "TIMELY+win", "DCTCP"):
+        assert short_p95("HPCC") < short_p95(scheme)
+        assert latency["HPCC"] <= latency[scheme]
+
+    # The bandwidth-headroom tax: HPCC's largest bucket is not the best.
+    assert large_p95("HPCC") > min(
+        large_p95(s) for s in ("DCQCN+win", "TIMELY+win", "DCTCP")
+    )
+
+    # PFC: uncapped schemes pause orders of magnitude more.
+    capped_worst = max(pauses["DCQCN+win"], pauses["TIMELY+win"],
+                       pauses["DCTCP"], pauses["HPCC"])
+    assert pauses["DCQCN"] > 5 * max(capped_worst, 1e-6)
+    assert pauses["TIMELY"] > 5 * max(capped_worst, 1e-6)
+
+    # DCTCP outperforms DCQCN/TIMELY; HPCC at least halves DCTCP latency.
+    assert latency["DCTCP"] < latency["DCQCN"]
+    assert latency["DCTCP"] < latency["TIMELY"]
+    assert latency["HPCC"] < 0.7 * latency["DCTCP"]

@@ -1,0 +1,32 @@
+"""Figure 13: fast reaction without overreaction (16-to-1 incast).
+
+Paper: per-ACK reaction collapses throughput to ~0 and oscillates;
+per-RTT reaction leaves the startup queue standing far longer; HPCC's
+reference-window design drains fast at high throughput.
+"""
+
+from repro.experiments.figure13 import run_figure13
+
+from conftest import run_once
+
+
+def test_fig13_reaction_strategies(benchmark):
+    result = run_once(benchmark, run_figure13, scale="bench")
+
+    print()
+    for label in ("per-ACK", "per-RTT", "HPCC"):
+        drain = result.drain_time[label]
+        drain_txt = f"{drain / 1000:.0f}us" if drain != float("inf") else "never"
+        print(f"{label}: min tput {result.min_throughput_after_start[label]:.1f}G,"
+              f" queue<50KB at {drain_txt}")
+
+    tput = result.min_throughput_after_start
+    drain = result.drain_time
+
+    # Overreaction: per-ACK's throughput floor collapses far below HPCC's.
+    assert tput["per-ACK"] < 0.5 * tput["HPCC"]
+    # Slow reaction: per-RTT holds the startup queue longest.
+    assert drain["per-RTT"] > drain["HPCC"]
+    assert drain["per-RTT"] > drain["per-ACK"]
+    # HPCC: no collapse and a fast drain.
+    assert tput["HPCC"] > 40

@@ -1,0 +1,17 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures at bench scale,
+prints the paper-style table, and asserts the figure's *shape* (who wins,
+roughly by how much, where crossovers fall).  Runs are full experiments,
+so every benchmark executes exactly once (pedantic, one round).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""A day in the datacenter: realistic load on a FatTree.
+
+Replays the WebSearch flow-size distribution (scaled 10x down for speed)
+at 30% average load on a scaled FatTree and prints the per-size-bucket FCT
+slowdown table for HPCC and DCQCN side by side — a miniature Figure 10.
+
+Run:  python examples/datacenter_load.py
+"""
+
+from repro import Network, NetworkConfig
+from repro.metrics import percentile, slowdown_by_bucket
+from repro.metrics.reporter import format_bucket_table, format_table
+from repro.sim.units import US
+from repro.topology import bench_fattree
+from repro.workloads import poisson_flows, websearch
+
+LOAD = 0.30
+N_FLOWS = 200
+SIZE_SCALE = 0.1
+
+
+def run(cc_name: str, cdf, seed: int = 42):
+    topology = bench_fattree()
+    net = Network(topology, NetworkConfig(cc_name=cc_name, base_rtt=13 * US))
+    rates = {h: topology.host_rate(h) for h in topology.hosts}
+    total_capacity = sum(rates.values())
+    wire = (net.config.mtu + net.header) / net.config.mtu
+    duration = N_FLOWS * cdf.mean() * wire / (LOAD * total_capacity)
+    specs = poisson_flows(
+        list(topology.hosts), rates, cdf, LOAD, duration,
+        seed=seed, wire_overhead=wire,
+    )
+    net.add_flows(specs)
+    net.run_until_done(deadline=3 * duration)
+    return net.metrics.fct_records
+
+
+def main() -> None:
+    cdf = websearch().scaled(SIZE_SCALE)
+    edges = [0] + [int(d) for d in cdf.deciles()]
+    tables = {}
+    summary_rows = []
+    for cc_name in ("hpcc", "dcqcn"):
+        records = run(cc_name, cdf)
+        tables[cc_name.upper()] = slowdown_by_bucket(records, edges)
+        slowdowns = [r.slowdown for r in records]
+        summary_rows.append((
+            cc_name.upper(), len(records),
+            f"{percentile(slowdowns, 50):.2f}",
+            f"{percentile(slowdowns, 95):.2f}",
+            f"{percentile(slowdowns, 99):.2f}",
+        ))
+    print(format_table(
+        ["scheme", "flows", "p50", "p95", "p99"],
+        summary_rows,
+        title=f"WebSearch (x{SIZE_SCALE:g}) at {LOAD:.0%} load on a scaled FatTree",
+    ))
+    print()
+    print(format_bucket_table(
+        tables, "p95", title="p95 FCT slowdown per flow-size bucket",
+    ))
+
+
+if __name__ == "__main__":
+    main()

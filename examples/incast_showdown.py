@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Incast showdown: HPCC versus DCQCN under a 16-to-1 burst.
+
+The scenario behind the paper's Case-1 war story: many senders burst at
+line rate into one receiver.  HPCC's inflight-byte cap stops the queue
+almost immediately; DCQCN (rate-only control) buffers megabytes and leans
+on PFC.
+
+Run:  python examples/incast_showdown.py
+"""
+
+from repro import Network, NetworkConfig
+from repro.metrics.reporter import ascii_series, format_table
+from repro.sim.units import MS, US
+from repro.topology import star
+
+FAN_IN = 16
+FLOW_SIZE = 1_000_000
+
+
+def run(cc_name: str):
+    topology = star(FAN_IN + 1, host_rate="100Gbps", link_delay="1us")
+    net = Network(topology, NetworkConfig(
+        cc_name=cc_name, base_rtt=9 * US, buffer_bytes=16_000_000,
+    ))
+    receiver = FAN_IN
+    switch = FAN_IN + 1
+    sampler = net.sample_queues(
+        interval=2 * US, labels={"bneck": net.port_between(switch, receiver)}
+    )
+    for sender in range(FAN_IN):
+        net.add_flow(net.make_flow(src=sender, dst=receiver, size=FLOW_SIZE))
+    net.run_until_done(deadline=10 * MS)
+    times, qlens = sampler.series("bneck")
+    fcts = sorted(r.fct / US for r in net.metrics.fct_records)
+    return {
+        "queue": (times, qlens),
+        "peak_kb": max(qlens) / 1000,
+        "finished": len(fcts),
+        "last_fct_us": fcts[-1] if fcts else float("nan"),
+        "pauses": net.metrics.pause_tracker.pause_count(),
+    }
+
+
+def main() -> None:
+    results = {name: run(name) for name in ("hpcc", "dcqcn")}
+    rows = [
+        (name, f"{r['peak_kb']:.0f}", f"{r['finished']}/{FAN_IN}",
+         f"{r['last_fct_us']:.0f}", r["pauses"])
+        for name, r in results.items()
+    ]
+    print(format_table(
+        ["scheme", "peak queue (KB)", "flows done", "last FCT (us)", "PFC pauses"],
+        rows, title=f"{FAN_IN}-to-1 incast, 1MB each, 100Gbps fabric",
+    ))
+    for name, r in results.items():
+        print()
+        t, q = r["queue"]
+        print(ascii_series(
+            t[:400], [v / 1000 for v in q[:400]],
+            label=f"{name} bottleneck queue (KB)", t_unit=US,
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for PEP 660
+editable installs; this shim lets the legacy path (``--no-use-pep517``)
+work offline.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

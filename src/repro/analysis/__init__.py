@@ -1,0 +1,34 @@
+"""Executable versions of the paper's Appendix A analysis."""
+
+from .convergence import RateNetwork, random_network
+from .fairness import (
+    alpha_fair_limits,
+    alpha_fair_rate,
+    equilibrium_rate,
+    equilibrium_utilization,
+    fairness_convergence_time,
+    iterate_single_resource,
+    max_stable_ai,
+    wai_rule_of_thumb,
+)
+from .queueing import (
+    PeriodicSourcesQueue,
+    mean_queue_full_load,
+    overflow_probability,
+)
+
+__all__ = [
+    "PeriodicSourcesQueue",
+    "RateNetwork",
+    "alpha_fair_limits",
+    "alpha_fair_rate",
+    "equilibrium_rate",
+    "equilibrium_utilization",
+    "fairness_convergence_time",
+    "iterate_single_resource",
+    "max_stable_ai",
+    "mean_queue_full_load",
+    "overflow_probability",
+    "random_network",
+    "wai_rule_of_thumb",
+]

@@ -1,0 +1,108 @@
+"""Appendix A.2: fast convergence of utilization.
+
+Implements the discrete-time model of recursions (5)-(6)::
+
+    Y(n)   = A R(n)
+    R_j(n+1) = R_j(n) / max_i { Y_i(n) A_ij / C_i }
+
+and checks the Lemma numerically:
+
+(i)   rates are feasible (Y <= C) after one step,
+(ii)  rates are non-decreasing after the first step,
+(iii) rates are constant and Pareto-optimal after at most I steps.
+
+The module is deliberately free of the packet simulator: it is the pure
+mathematical model the paper analyses, used by tests and the Appendix A.2
+benchmark to validate the control law that HPCC's MI term implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RateNetwork:
+    """A resources x paths incidence model (Appendix A.2 notation)."""
+
+    incidence: np.ndarray      # A: shape (I, J), 0/1
+    capacities: np.ndarray     # C: shape (I,), > 0
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.incidence)
+        c = np.asarray(self.capacities)
+        if a.ndim != 2:
+            raise ValueError("incidence must be a 2-D matrix")
+        if c.shape != (a.shape[0],):
+            raise ValueError("capacities must have one entry per resource")
+        if (c <= 0).any():
+            raise ValueError("capacities must be positive")
+        if ((a != 0) & (a != 1)).any():
+            raise ValueError("incidence entries must be 0 or 1")
+        if (a.sum(axis=0) == 0).any():
+            raise ValueError("every path must use at least one resource")
+
+    @property
+    def n_resources(self) -> int:
+        return self.incidence.shape[0]
+
+    @property
+    def n_paths(self) -> int:
+        return self.incidence.shape[1]
+
+    def loads(self, rates: np.ndarray) -> np.ndarray:
+        """Y = A R."""
+        return self.incidence @ rates
+
+    def is_feasible(self, rates: np.ndarray, tol: float = 1e-9) -> bool:
+        return bool((self.loads(rates) <= self.capacities * (1 + tol)).all())
+
+    def step(self, rates: np.ndarray) -> np.ndarray:
+        """One synchronous update of recursion (6)."""
+        rates = np.asarray(rates, dtype=float)
+        if (rates <= 0).any():
+            raise ValueError("rates must be positive")
+        y = self.loads(rates)
+        # k_j = max_i { Y_i A_ij / C_i } over the resources path j uses.
+        ratios = (y / self.capacities)[:, None] * self.incidence
+        k = ratios.max(axis=0)
+        return rates / k
+
+    def iterate(self, rates: np.ndarray, n_steps: int) -> list[np.ndarray]:
+        """The trajectory [R(0), R(1), ..., R(n_steps)]."""
+        out = [np.asarray(rates, dtype=float)]
+        for _ in range(n_steps):
+            out.append(self.step(out[-1]))
+        return out
+
+    def is_pareto_optimal(self, rates: np.ndarray, tol: float = 1e-6) -> bool:
+        """Every path crosses at least one saturated resource."""
+        y = self.loads(rates)
+        saturated = y >= self.capacities * (1 - tol)
+        for j in range(self.n_paths):
+            uses = self.incidence[:, j] > 0
+            if not saturated[uses].any():
+                return False
+        return True
+
+    def converged_rates(self, rates: np.ndarray) -> np.ndarray:
+        """Run the recursion for I steps (the Lemma's bound) and return R."""
+        trajectory = self.iterate(rates, self.n_resources)
+        return trajectory[-1]
+
+
+def random_network(
+    n_resources: int,
+    n_paths: int,
+    rng: np.random.Generator,
+    p_use: float = 0.4,
+) -> RateNetwork:
+    """A random instance for property tests (every path uses >= 1 resource)."""
+    a = (rng.random((n_resources, n_paths)) < p_use).astype(float)
+    for j in range(n_paths):
+        if a[:, j].sum() == 0:
+            a[rng.integers(n_resources), j] = 1.0
+    c = rng.uniform(0.5, 10.0, size=n_resources)
+    return RateNetwork(a, c)

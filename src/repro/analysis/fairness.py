@@ -1,0 +1,107 @@
+"""Appendix A.3: additive increase and fairness.
+
+At equilibrium of the per-source update
+
+    R(t + RTT) = R(t) * Utarget / U(t + RTT) + a
+
+the paper derives::
+
+    R    = a * (1 - Utarget / U)^(-1)
+    U(i) = Utarget * (1 - a / R(i))^(-1)
+
+and, with per-resource registers, the alpha-fair aggregation
+
+    R = ( sum_i R_i^(-alpha) )^(-1/alpha)
+
+whose limits are max-min fairness (alpha -> inf), proportional fairness
+(alpha = 1) and rate-sum maximization (alpha -> 0).  These closed forms
+are checked against fixed-point iteration in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def equilibrium_rate(a: float, u_target: float, u: float) -> float:
+    """R = a / (1 - Utarget / U); requires U > Utarget."""
+    if u <= u_target:
+        raise ValueError("equilibrium requires U > Utarget")
+    return a / (1.0 - u_target / u)
+
+
+def equilibrium_utilization(a: float, u_target: float, rate: float) -> float:
+    """U(i) = Utarget / (1 - a / R(i)); requires R > a."""
+    if rate <= a:
+        raise ValueError("equilibrium requires R > a")
+    return u_target / (1.0 - a / rate)
+
+
+def max_stable_ai(u_target: float, min_rate: float) -> float:
+    """Largest additive step keeping the most congested link under 100%.
+
+    Appendix A.3: U(1) < 1 iff a < R(1) x (1 - Utarget); e.g. with
+    Utarget = 95% the step must stay below 5% of the slowest flow's rate.
+    """
+    if not 0 < u_target < 1:
+        raise ValueError("u_target must be in (0, 1)")
+    return min_rate * (1.0 - u_target)
+
+
+def iterate_single_resource(
+    n_flows: int,
+    capacity: float,
+    a: float,
+    u_target: float,
+    n_steps: int = 2000,
+    r0: float | None = None,
+) -> tuple[float, float]:
+    """Fixed-point iteration of the A.3 update on one shared resource.
+
+    Returns (per-flow rate, utilization) after ``n_steps`` synchronous
+    rounds; tests compare this against the closed forms above.
+    """
+    r = r0 if r0 is not None else capacity / n_flows
+    for _ in range(n_steps):
+        u = n_flows * r / capacity
+        r = r * u_target / u + a
+    return r, n_flows * r / capacity
+
+
+def alpha_fair_rate(per_resource_rates: Sequence[float], alpha: float) -> float:
+    """Eqn (7): R = (sum R_i^-alpha)^(-1/alpha)."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if not per_resource_rates:
+        raise ValueError("need at least one resource rate")
+    if any(r <= 0 for r in per_resource_rates):
+        raise ValueError("rates must be positive")
+    total = sum(r ** (-alpha) for r in per_resource_rates)
+    return total ** (-1.0 / alpha)
+
+
+def alpha_fair_limits(per_resource_rates: Sequence[float]) -> dict[str, float]:
+    """The named limits of Eqn (7) for reference/tests."""
+    return {
+        "max_min (alpha->inf)": min(per_resource_rates),
+        "proportional (alpha=1)": alpha_fair_rate(per_resource_rates, 1.0),
+        "harmonic-ish (alpha=2)": alpha_fair_rate(per_resource_rates, 2.0),
+    }
+
+
+def wai_rule_of_thumb(winit: float, eta: float, n_flows: int) -> float:
+    """Section 3.3: WAI = Winit x (1 - eta) / N."""
+    if n_flows < 1:
+        raise ValueError("n_flows must be >= 1")
+    return winit * (1.0 - eta) / n_flows
+
+
+def fairness_convergence_time(
+    w_start: float, w_fair: float, wai: float, base_rtt: float
+) -> float:
+    """Rough rounds-to-fairness estimate: AI closes the gap by WAI per RTT."""
+    if wai <= 0:
+        raise ValueError("wai must be positive")
+    gap = abs(w_fair - w_start)
+    return math.ceil(gap / wai) * base_rtt

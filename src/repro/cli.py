@@ -1,0 +1,101 @@
+"""``hpcc-repro`` — run any of the paper's experiments from the shell.
+
+Examples::
+
+    hpcc-repro list
+    hpcc-repro run fig13
+    hpcc-repro run fig11 --scale full
+    hpcc-repro schemes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .core.registry import available_schemes
+from .experiments import (
+    appendix_a,
+    failover,
+    figure01,
+    figure02,
+    figure03,
+    figure06,
+    figure09,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+)
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[], None]]] = {
+    "fig1": ("PFC pause propagation and suppressed bandwidth", figure01.main),
+    "fig2": ("DCQCN timer trade-off (throughput vs stability)", figure02.main),
+    "fig3": ("DCQCN ECN-threshold trade-off (bandwidth vs latency)", figure03.main),
+    "fig6": ("txRate vs rxRate feedback", figure06.main),
+    "fig9": ("testbed micro-benchmarks: HPCC vs DCQCN", figure09.main),
+    "fig10": ("testbed WebSearch FCT + queue CDF", figure10.main),
+    "fig11": ("large-scale FatTree, six CC schemes", figure11.main),
+    "fig12": ("flow-control choices (PFC / GBN / IRN)", figure12.main),
+    "fig13": ("per-ACK vs per-RTT vs HPCC reaction", figure13.main),
+    "fig14": ("WAI tuning", figure14.main),
+    "appendix": ("Appendix A: A.1 queueing, A.2 lemma, A.4 window limits",
+                 appendix_a.main),
+    "failover": ("extension: CC behaviour across a link failure",
+                 failover.main),
+}
+
+_ALIASES = {
+    "figure1": "fig1", "fig01": "fig1", "figure01": "fig1",
+    "figure2": "fig2", "fig02": "fig2", "figure02": "fig2",
+    "figure3": "fig3", "fig03": "fig3", "figure03": "fig3",
+    "figure6": "fig6", "fig06": "fig6", "figure06": "fig6",
+    "figure9": "fig9", "fig09": "fig9", "figure09": "fig9",
+    "figure10": "fig10", "figure11": "fig11", "figure12": "fig12",
+    "figure13": "fig13", "figure14": "fig14",
+    "a": "appendix", "appendix_a": "appendix",
+}
+
+
+def _resolve(name: str) -> str:
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise SystemExit(f"unknown experiment {name!r}; known: {known}")
+    return key
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hpcc-repro",
+        description="Reproduce the experiments of 'HPCC: High Precision "
+                    "Congestion Control' (SIGCOMM 2019).",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("schemes", help="list registered CC schemes")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="e.g. fig13, fig11, appendix")
+    args = parser.parse_args(argv)
+
+    if args.command == "list" or args.command is None:
+        for name, (desc, _) in EXPERIMENTS.items():
+            print(f"{name:10s} {desc}")
+        return 0
+    if args.command == "schemes":
+        for scheme in available_schemes():
+            print(scheme)
+        return 0
+    if args.command == "run":
+        key = _resolve(args.experiment)
+        EXPERIMENTS[key][1]()
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Congestion-control algorithms: HPCC, its variants, and the baselines."""
+
+from .base import CcAlgorithm, CcEnv
+from .dcqcn import Dcqcn
+from .dctcp import Dctcp
+from .divtable import ReciprocalTable
+from .hpcc import Hpcc, default_wai
+from .hpcc_variants import HpccPerAck, HpccPerRtt, HpccRxRate
+from .registry import SchemeInfo, available_schemes, get_scheme, register
+from .timely import Timely
+from .windowed import WindowedCc
+
+__all__ = [
+    "CcAlgorithm",
+    "CcEnv",
+    "Dcqcn",
+    "Dctcp",
+    "Hpcc",
+    "HpccPerAck",
+    "HpccPerRtt",
+    "HpccRxRate",
+    "ReciprocalTable",
+    "SchemeInfo",
+    "Timely",
+    "WindowedCc",
+    "available_schemes",
+    "default_wai",
+    "get_scheme",
+    "register",
+]

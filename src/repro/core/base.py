@@ -1,0 +1,93 @@
+"""Congestion-control interface.
+
+Every scheme in the paper's evaluation (HPCC, DCQCN, TIMELY, DCTCP, the
++win variants) is a :class:`CcAlgorithm`.  One instance is created per flow
+by a factory; the NIC calls the event hooks, and the algorithm mutates the
+flow's ``window`` (bytes, ``None`` = unlimited) and ``rate`` (bytes/ns,
+used by the pacer).
+
+All schemes start at line rate (Section 2.2: "RDMA hosts ... start sending
+at line rate"), which is why DCTCP's slow start is removed for fairness
+(Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported only for annotations, to avoid import cycles
+    from ..sim.engine import Simulator
+    from ..sim.packet import Packet
+
+
+@dataclass(frozen=True)
+class CcEnv:
+    """Per-NIC environment handed to CC factories.
+
+    ``base_rtt`` is the network-wide ``T`` of the paper — slightly above the
+    maximum base RTT (9us testbed / 13us simulation in Section 5.1).
+    """
+
+    sim: "Simulator"
+    line_rate: float       # host NIC rate, bytes/ns
+    base_rtt: float        # T, ns
+    mtu: int               # payload bytes per packet
+    header: int            # wire header bytes per data packet
+
+    @property
+    def bdp(self) -> float:
+        """Winit = B_nic x T (Section 3.2), bytes."""
+        return self.line_rate * self.base_rtt
+
+    @property
+    def packet_wire_size(self) -> int:
+        return self.mtu + self.header
+
+
+class CcAlgorithm:
+    """Base class; the default hooks do nothing."""
+
+    #: Whether this scheme needs INT telemetry on data packets and ACKs.
+    needs_int: bool = False
+    #: Receiver-side minimum CNP spacing (ns); None disables CNP generation.
+    cnp_interval: float | None = None
+
+    def __init__(self, env: CcEnv) -> None:
+        self.env = env
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def install(self, flow) -> None:
+        """Set the flow's initial window and rate (line-rate start)."""
+        flow.rate = self.env.line_rate
+        flow.window = None
+
+    def on_flow_done(self, flow, now: float) -> None:
+        """Cancel timers etc. when the flow completes."""
+
+    # -- event hooks ------------------------------------------------------------
+
+    def on_ack(self, flow, ack: Packet, now: float) -> None:
+        """An ACK (possibly with INT and/or ECN echo) arrived."""
+
+    def on_nack(self, flow, nack: Packet, now: float) -> None:
+        """An out-of-sequence report arrived."""
+
+    def on_cnp(self, flow, now: float) -> None:
+        """A DCQCN congestion-notification packet arrived."""
+
+    def on_timeout(self, flow, now: float) -> None:
+        """The flow's retransmission timer fired."""
+
+    def on_packet_sent(self, flow, pkt: Packet, now: float) -> None:
+        """A data packet was handed to the port (byte counters etc.)."""
+
+    # -- helpers ----------------------------------------------------------------
+
+    def clamp_rate(self, rate: float, floor: float | None = None) -> float:
+        lo = floor if floor is not None else self.env.line_rate * 1e-4
+        return max(lo, min(self.env.line_rate, rate))
+
+    def clamp_window(self, window: float) -> float:
+        return max(float(self.env.mtu), min(self.env.bdp, window))

@@ -1,0 +1,132 @@
+"""DCQCN (Zhu et al., SIGCOMM 2015) — the paper's primary baseline.
+
+The three roles:
+
+* **CP (switch)** marks ECN with WRED thresholds Kmin/Kmax/Pmax — provided
+  by ``repro.sim.ecn`` via this scheme's :meth:`default_ecn_policy`;
+* **NP (receiver)** sends at most one CNP every ``Td`` when marked packets
+  arrive — implemented in ``repro.sim.nic`` and configured through
+  :attr:`cnp_interval`;
+* **RP (sender)** — this class: multiplicative decrease on CNP with the
+  EWMA factor ``alpha``, and the staged increase (fast recovery /
+  additive / hyper) driven by a timer (period ``Ti``) and a byte counter.
+
+``Ti`` and ``Td`` are exactly the knobs Figure 2 sweeps: smaller ``Ti``
+and larger ``Td`` make senders more aggressive (better FCT, more PFC).
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import PeriodicTask
+from ..sim.packet import Packet
+from ..sim.units import US, gbps
+from .base import CcAlgorithm, CcEnv
+
+
+class Dcqcn(CcAlgorithm):
+    """The RP (reaction point) state machine, one instance per flow."""
+
+    needs_int = False
+
+    def __init__(
+        self,
+        env: CcEnv,
+        ti: float = 300 * US,          # rate-increase timer (vendor default)
+        td: float = 4 * US,            # NP CNP interval (vendor default)
+        g: float = 1.0 / 256.0,
+        fast_recovery_stages: int = 5,
+        rai: float | None = None,      # additive increase, bytes/ns
+        rhai: float | None = None,     # hyper increase, bytes/ns
+        byte_counter: int = 10_000_000,
+        alpha_timer: float = 55 * US,
+        min_rate: float | None = None,
+    ) -> None:
+        super().__init__(env)
+        if ti <= 0 or td <= 0:
+            raise ValueError("timers must be positive")
+        self.ti = ti
+        self.td = td
+        self.g = g
+        self.stages = fast_recovery_stages
+        # The DCQCN paper uses RAI = 40Mbps on 40G links; scale with line rate.
+        self.rai = rai if rai is not None else gbps(0.04) * (env.line_rate / gbps(40))
+        self.rhai = rhai if rhai is not None else 10 * self.rai
+        self.byte_counter = byte_counter
+        self.alpha_timer = alpha_timer
+        self.min_rate = min_rate if min_rate is not None else gbps(0.1)
+        # Per-flow state.
+        self.rc = env.line_rate        # current rate
+        self.rt = env.line_rate        # target rate
+        self.alpha = 1.0
+        self.t_stage = 0
+        self.b_stage = 0
+        self.bytes_since = 0
+        self.last_cnp = -float("inf")
+        self._inc_task: PeriodicTask | None = None
+        self._alpha_task: PeriodicTask | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def cnp_interval(self) -> float:  # type: ignore[override]
+        return self.td
+
+    def install(self, flow) -> None:
+        flow.rate = self.rc
+        flow.window = None
+        sim = self.env.sim
+        self._inc_task = PeriodicTask(sim, self.ti, self._on_increase_timer, flow)
+        self._alpha_task = PeriodicTask(sim, self.alpha_timer, self._on_alpha_timer)
+
+    def on_flow_done(self, flow, now: float) -> None:
+        if self._inc_task is not None:
+            self._inc_task.cancel()
+        if self._alpha_task is not None:
+            self._alpha_task.cancel()
+
+    # -- rate decrease -------------------------------------------------------------
+
+    def on_cnp(self, flow, now: float) -> None:
+        self.rt = self.rc
+        self.rc = self.clamp_rate(self.rc * (1.0 - self.alpha / 2.0), self.min_rate)
+        self.alpha = (1.0 - self.g) * self.alpha + self.g
+        self.t_stage = 0
+        self.b_stage = 0
+        self.bytes_since = 0
+        self.last_cnp = now
+        if self._inc_task is not None:
+            self._inc_task.reset()
+        flow.rate = self.rc
+
+    # -- rate increase ---------------------------------------------------------------
+
+    def _on_increase_timer(self, flow) -> None:
+        if flow.done:
+            return
+        self.t_stage += 1
+        self._increase(flow)
+
+    def on_packet_sent(self, flow, pkt: Packet, now: float) -> None:
+        self.bytes_since += pkt.wire_size
+        while self.bytes_since >= self.byte_counter:
+            self.bytes_since -= self.byte_counter
+            self.b_stage += 1
+            self._increase(flow)
+
+    def _increase(self, flow) -> None:
+        """One stage of DCQCN's increase ladder."""
+        if self.t_stage < self.stages and self.b_stage < self.stages:
+            pass                                # fast recovery: approach Rt
+        elif self.t_stage >= self.stages and self.b_stage >= self.stages:
+            self.rt += self.rhai                # hyper increase
+        else:
+            self.rt += self.rai                 # additive increase
+        self.rt = min(self.rt, self.env.line_rate)
+        self.rc = self.clamp_rate((self.rt + self.rc) / 2.0, self.min_rate)
+        flow.rate = self.rc
+
+    # -- alpha decay -----------------------------------------------------------------
+
+    def _on_alpha_timer(self) -> None:
+        if self.env.sim.now - self.last_cnp >= self.alpha_timer:
+            self.alpha = (1.0 - self.g) * self.alpha

@@ -1,0 +1,66 @@
+"""DCTCP (Alizadeh et al., SIGCOMM 2010), slow start removed.
+
+A window-based scheme: the receiver echoes ECN marks per packet; once per
+window of data the sender updates the EWMA of the marked fraction
+(``alpha``) and, if the window saw any marks, multiplies the congestion
+window by ``1 - alpha/2``; otherwise it grows additively by one MSS.
+
+Per Section 5.1 of the HPCC paper, slow start is removed for fair
+comparison: flows start at line rate with a full BDP window.  The paper
+simulates only the CC effect (not kernel costs), which is what this model
+does — the window is paced at ``W / T`` like the other schemes.
+"""
+
+from __future__ import annotations
+
+from ..sim.packet import Packet
+from .base import CcAlgorithm, CcEnv
+
+
+class Dctcp(CcAlgorithm):
+
+    needs_int = False
+
+    def __init__(
+        self,
+        env: CcEnv,
+        g: float = 1.0 / 16.0,
+        initial_alpha: float = 1.0,
+    ) -> None:
+        super().__init__(env)
+        if not 0 < g <= 1:
+            raise ValueError(f"g must be in (0, 1], got {g}")
+        self.g = g
+        # Per-flow state.
+        self.alpha = initial_alpha
+        self.acked_bytes = 0
+        self.marked_bytes = 0
+        self.window_end = 0          # seq that closes the current observation window
+        self.last_ack_seq = 0
+
+    def install(self, flow) -> None:
+        flow.window = self.env.bdp
+        flow.rate = self.env.line_rate
+
+    def on_ack(self, flow, ack: Packet, now: float) -> None:
+        newly = max(0, ack.ack_seq - self.last_ack_seq)
+        self.last_ack_seq = max(self.last_ack_seq, ack.ack_seq)
+        self.acked_bytes += newly
+        if ack.ecn:
+            self.marked_bytes += newly
+        if ack.ack_seq < self.window_end:
+            return
+        # One window of data acknowledged: update alpha, adjust cwnd.
+        if self.acked_bytes > 0:
+            fraction = self.marked_bytes / self.acked_bytes
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * fraction
+            if self.marked_bytes > 0:
+                flow.window = self.clamp_window(
+                    flow.window * (1.0 - self.alpha / 2.0)
+                )
+            else:
+                flow.window = self.clamp_window(flow.window + self.env.mtu)
+        self.acked_bytes = 0
+        self.marked_bytes = 0
+        self.window_end = flow.snd_nxt
+        flow.rate = self.clamp_rate(flow.window / self.env.base_rtt)

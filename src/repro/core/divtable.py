@@ -1,0 +1,75 @@
+"""The reciprocal lookup table of Section 4.3.
+
+The FPGA implementation replaces the division in Eqn (4) with a
+multiplication by a table entry approximating ``1/n``.  To bound the table
+size while bounding relative error, the stored values are geometrically
+spaced: a new entry is stored only when it differs from the previous one
+by at least a factor ``1 + epsilon``.  The paper reports ~10KB of table
+for ``n`` up to 2^22.
+
+This module reproduces that table so its size/accuracy trade-off can be
+checked (tests assert the relative error bound and the ~10KB footprint).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+class ReciprocalTable:
+    """Geometric lookup table for 1/n, n in [1, n_max]."""
+
+    def __init__(self, n_max: int = 1 << 22, epsilon: float = 0.01) -> None:
+        if n_max < 1:
+            raise ValueError("n_max must be >= 1")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.n_max = n_max
+        self.epsilon = epsilon
+        # Store the n whose reciprocals we keep: n_{k+1} is the smallest n
+        # with 1/n_k - 1/n >= epsilon / n_k ... i.e. n >= n_k * (1+eps).
+        keys: list[int] = []
+        n = 1
+        while n <= n_max:
+            keys.append(n)
+            n = max(n + 1, int(n * (1.0 + epsilon)) + 1)
+        self._keys = keys
+        self._values = [1.0 / k for k in keys]
+
+    @property
+    def entries(self) -> int:
+        return len(self._keys)
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate hardware footprint (4-byte fixed-point entries)."""
+        return 4 * self.entries
+
+    def reciprocal(self, n: float) -> float:
+        """Approximate 1/n via the stored entry for the largest key <= n.
+
+        ``n`` is quantized to an integer first — the hardware operates on
+        fixed-point integers, and the geometric error bound only holds on
+        the integer domain (consecutive integers below 1/epsilon are all
+        stored).
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        n = min(int(round(n)), self.n_max)
+        idx = bisect.bisect_right(self._keys, n) - 1
+        return self._values[idx]
+
+    def divide(self, numerator: float, denominator: float) -> float:
+        """``numerator / denominator`` via table lookup (Eqn 4 style)."""
+        return numerator * self.reciprocal(denominator)
+
+    def max_relative_error(self, sample_stride: int = 997) -> float:
+        """Empirical worst relative error over a sample of the domain."""
+        worst = 0.0
+        n = 1
+        while n <= self.n_max:
+            exact = 1.0 / n
+            approx = self.reciprocal(n)
+            worst = max(worst, abs(approx - exact) / exact)
+            n += sample_stride
+        return worst

@@ -1,0 +1,121 @@
+"""HPCC: the sender algorithm (Algorithm 1 of the paper).
+
+The sender keeps, per flow:
+
+* ``W``  — the sending window (``flow.window``), paced at ``R = W / T``;
+* ``Wc`` — the *reference* window, synchronized to ``W`` once per RTT
+  (when the ACK of the first packet sent under the current ``Wc``
+  arrives), which is what lets HPCC react to every ACK without
+  compounding reactions to the same queue (Section 3.2, Figure 5);
+* ``U``  — an EWMA of the normalized in-flight bytes of the most loaded
+  link on the path, measured from INT (Eqn 2);
+* ``incStage`` — how many consecutive additive-increase steps have been
+  taken; after ``maxStage`` of them the sender switches to a
+  multiplicative step to reclaim bandwidth quickly (Section 3.2).
+
+``MeasureInflight`` (Eqn 2 + EWMA) and ``ComputeWind`` (Eqn 4 + AI/MI
+staging) are written to match Algorithm 1 line by line.
+"""
+
+from __future__ import annotations
+
+from ..sim.packet import IntHop, Packet
+from .base import CcAlgorithm, CcEnv
+
+
+def default_wai(env: CcEnv, eta: float, n_flows: int) -> float:
+    """The paper's rule of thumb: WAI = Winit x (1 - eta) / N (Section 3.3)."""
+    return env.bdp * (1.0 - eta) / n_flows
+
+
+class Hpcc(CcAlgorithm):
+    """High Precision Congestion Control (Algorithm 1)."""
+
+    needs_int = True
+
+    def __init__(
+        self,
+        env: CcEnv,
+        eta: float = 0.95,
+        max_stage: int = 5,
+        wai: float | None = None,
+        n_flows_for_wai: int = 100,
+    ) -> None:
+        super().__init__(env)
+        if not 0.0 < eta <= 1.0:
+            raise ValueError(f"eta must be in (0, 1], got {eta}")
+        if max_stage < 0:
+            raise ValueError(f"max_stage must be >= 0, got {max_stage}")
+        self.eta = eta
+        self.max_stage = max_stage
+        self.wai = wai if wai is not None else default_wai(env, eta, n_flows_for_wai)
+        # Per-flow state (one algorithm instance per flow).
+        self.wc = env.bdp                 # reference window W^c
+        self.u = 1.0                      # EWMA of normalized inflight bytes
+        self.inc_stage = 0
+        self.last_update_seq = 0
+        self.last_hops: list[IntHop] | None = None   # L in Algorithm 1
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def install(self, flow) -> None:
+        flow.window = self.env.bdp        # Winit = B_nic x T: line-rate start
+        flow.rate = self.env.line_rate
+
+    # -- Algorithm 1 --------------------------------------------------------------
+
+    def measure_inflight(self, ack: Packet) -> float | None:
+        """Lines 1-10: update and return U, or None without a valid sample."""
+        hops = ack.int_hops
+        last = self.last_hops
+        if last is None or len(last) != len(hops):
+            return None
+        T = self.env.base_rtt
+        u_max = -1.0
+        tau = T
+        for hop, prev in zip(hops, last):
+            dt = hop.ts - prev.ts
+            if dt <= 0:
+                continue
+            tx_rate = (hop.tx_bytes - prev.tx_bytes) / dt
+            capacity = hop.bandwidth
+            u_prime = (
+                min(hop.qlen, prev.qlen) / (capacity * T) + tx_rate / capacity
+            )
+            if u_prime > u_max:
+                u_max = u_prime
+                tau = dt
+        if u_max < 0:
+            return None
+        tau = min(tau, T)
+        weight = tau / T
+        self.u = (1.0 - weight) * self.u + weight * u_max
+        return self.u
+
+    def compute_wind(self, u: float, update_wc: bool) -> float:
+        """Lines 11-20: the MI/MD + AI control law on the reference window."""
+        if u >= self.eta or self.inc_stage >= self.max_stage:
+            w = self.wc / (u / self.eta) + self.wai
+            if update_wc:
+                self.inc_stage = 0
+                self.wc = self.clamp_window(w)
+        else:
+            w = self.wc + self.wai
+            if update_wc:
+                self.inc_stage += 1
+                self.wc = self.clamp_window(w)
+        return w
+
+    def on_ack(self, flow, ack: Packet, now: float) -> None:
+        """Lines 21-27 (procedure NewAck)."""
+        if ack.int_hops is None:
+            return
+        update_wc = ack.seq > self.last_update_seq
+        u = self.measure_inflight(ack)
+        if u is not None:
+            w = self.compute_wind(u, update_wc)
+            flow.window = self.clamp_window(w)
+            flow.rate = self.clamp_rate(flow.window / self.env.base_rtt)
+        if update_wc:
+            self.last_update_seq = flow.snd_nxt
+        self.last_hops = [h.copy() for h in ack.int_hops]

@@ -1,0 +1,140 @@
+"""Name -> congestion-control scheme registry.
+
+Every scheme the paper evaluates is registered here with the side
+information the network builder needs: whether INT must be enabled on the
+fabric, the ECN marking policy switches should run (DCQCN and DCTCP need
+it; HPCC and TIMELY do not), and the receiver's CNP pacing interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..sim.ecn import EcnPolicy
+from ..sim.units import KB, US, gbps
+from .base import CcAlgorithm, CcEnv
+from .dcqcn import Dcqcn
+from .dctcp import Dctcp
+from .hpcc import Hpcc
+from .hpcc_variants import HpccPerAck, HpccPerRtt, HpccRxRate
+from .timely import Timely
+from .windowed import WindowedCc
+
+
+@dataclass(frozen=True)
+class SchemeInfo:
+    """Everything the network builder needs to deploy a CC scheme."""
+
+    name: str
+    needs_int: bool
+    make: Callable[[CcEnv, dict], CcAlgorithm]
+    default_ecn: Callable[[dict], EcnPolicy | None] = lambda params: None
+    cnp_interval: Callable[[dict], float | None] = lambda params: None
+
+
+def _dcqcn_ecn(params: dict) -> EcnPolicy:
+    """Kmin=100KB, Kmax=400KB at 25Gbps, scaled per port (Section 5.1)."""
+    return EcnPolicy(
+        kmin=params.get("kmin", 100 * KB),
+        kmax=params.get("kmax", 400 * KB),
+        pmax=params.get("pmax", 0.2),
+        ref_rate=params.get("ecn_ref_rate", gbps(25)),
+    )
+
+
+def _dctcp_ecn(params: dict) -> EcnPolicy:
+    """Kmin=Kmax=30KB at 10Gbps (Section 5.1, following the DCTCP paper)."""
+    threshold = params.get("k", 30 * KB)
+    return EcnPolicy(
+        kmin=threshold, kmax=threshold, pmax=1.0,
+        ref_rate=params.get("ecn_ref_rate", gbps(10)),
+    )
+
+
+def _cc_kwargs(params: dict, exclude: tuple[str, ...]) -> dict:
+    return {k: v for k, v in params.items() if k not in exclude}
+
+
+_ECN_KEYS = ("kmin", "kmax", "pmax", "k", "ecn_ref_rate")
+
+
+def _make_dcqcn(env: CcEnv, params: dict) -> Dcqcn:
+    return Dcqcn(env, **_cc_kwargs(params, _ECN_KEYS))
+
+
+def _make_dctcp(env: CcEnv, params: dict) -> Dctcp:
+    return Dctcp(env, **_cc_kwargs(params, _ECN_KEYS))
+
+
+_REGISTRY: dict[str, SchemeInfo] = {}
+
+
+def register(info: SchemeInfo) -> None:
+    if info.name in _REGISTRY:
+        raise ValueError(f"scheme {info.name!r} already registered")
+    _REGISTRY[info.name] = info
+
+
+def get_scheme(name: str) -> SchemeInfo:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown CC scheme {name!r}; known: {known}") from None
+
+
+def available_schemes() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+register(SchemeInfo(
+    name="hpcc",
+    needs_int=True,
+    make=lambda env, params: Hpcc(env, **params),
+))
+register(SchemeInfo(
+    name="hpcc-rxrate",
+    needs_int=True,
+    make=lambda env, params: HpccRxRate(env, **params),
+))
+register(SchemeInfo(
+    name="hpcc-perack",
+    needs_int=True,
+    make=lambda env, params: HpccPerAck(env, **params),
+))
+register(SchemeInfo(
+    name="hpcc-perrtt",
+    needs_int=True,
+    make=lambda env, params: HpccPerRtt(env, **params),
+))
+register(SchemeInfo(
+    name="dcqcn",
+    needs_int=False,
+    make=_make_dcqcn,
+    default_ecn=_dcqcn_ecn,
+    cnp_interval=lambda params: params.get("td", 4 * US),
+))
+register(SchemeInfo(
+    name="dcqcn+win",
+    needs_int=False,
+    make=lambda env, params: WindowedCc(env, _make_dcqcn(env, params)),
+    default_ecn=_dcqcn_ecn,
+    cnp_interval=lambda params: params.get("td", 4 * US),
+))
+register(SchemeInfo(
+    name="timely",
+    needs_int=False,
+    make=lambda env, params: Timely(env, **params),
+))
+register(SchemeInfo(
+    name="timely+win",
+    needs_int=False,
+    make=lambda env, params: WindowedCc(env, Timely(env, **params)),
+))
+register(SchemeInfo(
+    name="dctcp",
+    needs_int=False,
+    make=_make_dctcp,
+    default_ecn=_dctcp_ecn,
+))

@@ -1,0 +1,83 @@
+"""TIMELY (Mittal et al., SIGCOMM 2015) — RTT-gradient congestion control.
+
+Senders timestamp packets; ACKs echo the timestamp, and the sender reacts
+to the *gradient* of the smoothed RTT:
+
+* RTT below ``t_low``  -> additive increase (no congestion),
+* RTT above ``t_high`` -> multiplicative decrease proportional to how far
+  past ``t_high`` the RTT is,
+* otherwise: negative gradient -> additive increase (hyper-active increase
+  after 5 consecutive negatives), positive gradient -> multiplicative
+  decrease scaled by the normalized gradient.
+
+Defaults follow the TIMELY paper's proportions, expressed relative to the
+fabric's base RTT ``T`` so scaled-down topologies keep the same dynamics
+(50us/500us against the paper's ~13us base RTT gives ~3.8T / ~38T).
+"""
+
+from __future__ import annotations
+
+from ..sim.packet import Packet
+from .base import CcAlgorithm, CcEnv
+
+
+class Timely(CcAlgorithm):
+
+    needs_int = False
+
+    def __init__(
+        self,
+        env: CcEnv,
+        ewma_alpha: float = 0.875,
+        beta: float = 0.8,
+        t_low: float | None = None,
+        t_high: float | None = None,
+        delta: float | None = None,      # additive step, bytes/ns
+        hai_threshold: int = 5,
+        min_rate: float | None = None,
+    ) -> None:
+        super().__init__(env)
+        self.ewma_alpha = ewma_alpha
+        self.beta = beta
+        self.t_low = t_low if t_low is not None else 3.8 * env.base_rtt
+        self.t_high = t_high if t_high is not None else 38.0 * env.base_rtt
+        self.delta = delta if delta is not None else env.line_rate / 500.0
+        self.hai_threshold = hai_threshold
+        self.min_rate = min_rate if min_rate is not None else env.line_rate * 1e-3
+        # Per-flow state.
+        self.prev_rtt: float | None = None
+        self.rtt_diff = 0.0
+        self.neg_gradient_count = 0
+
+    def install(self, flow) -> None:
+        flow.rate = self.env.line_rate
+        flow.window = None
+
+    def on_ack(self, flow, ack: Packet, now: float) -> None:
+        rtt = now - ack.ts_tx
+        if rtt <= 0:
+            return
+        if self.prev_rtt is None:
+            self.prev_rtt = rtt
+            return
+        new_diff = rtt - self.prev_rtt
+        self.prev_rtt = rtt
+        self.rtt_diff = (
+            (1.0 - self.ewma_alpha) * self.rtt_diff + self.ewma_alpha * new_diff
+        )
+        gradient = self.rtt_diff / self.env.base_rtt
+        rate = flow.rate
+        if rtt < self.t_low:
+            rate += self.delta
+            self.neg_gradient_count = 0
+        elif rtt > self.t_high:
+            rate *= 1.0 - self.beta * (1.0 - self.t_high / rtt)
+            self.neg_gradient_count = 0
+        elif gradient <= 0:
+            self.neg_gradient_count += 1
+            steps = 5 if self.neg_gradient_count >= self.hai_threshold else 1
+            rate += steps * self.delta
+        else:
+            rate *= max(0.5, 1.0 - self.beta * min(gradient, 1.0))
+            self.neg_gradient_count = 0
+        flow.rate = self.clamp_rate(rate, self.min_rate)

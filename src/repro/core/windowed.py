@@ -1,0 +1,55 @@
+"""+win variants: DCQCN+win and TIMELY+win (Section 5.1).
+
+The paper improves the rate-based baselines by "adding a sending window
+(same as we use for HPCC)", i.e. a fixed ``Winit = B_nic x T`` cap on
+in-flight bytes, while the wrapped algorithm keeps driving the pacing
+rate.  Figure 11b's key observation — just adding the window reduces PFC
+pauses to almost zero — falls out of this cap.
+"""
+
+from __future__ import annotations
+
+from ..sim.packet import Packet
+from .base import CcAlgorithm, CcEnv
+
+
+class WindowedCc(CcAlgorithm):
+    """Wrap a rate-based CC with a fixed BDP sending window."""
+
+    def __init__(self, env: CcEnv, inner: CcAlgorithm) -> None:
+        super().__init__(env)
+        self.inner = inner
+        self.needs_int = inner.needs_int
+
+    @property
+    def cnp_interval(self) -> float | None:  # type: ignore[override]
+        return self.inner.cnp_interval
+
+    def _enforce(self, flow) -> None:
+        flow.window = self.env.bdp
+
+    def install(self, flow) -> None:
+        self.inner.install(flow)
+        self._enforce(flow)
+
+    def on_flow_done(self, flow, now: float) -> None:
+        self.inner.on_flow_done(flow, now)
+
+    def on_ack(self, flow, ack: Packet, now: float) -> None:
+        self.inner.on_ack(flow, ack, now)
+        self._enforce(flow)
+
+    def on_nack(self, flow, nack: Packet, now: float) -> None:
+        self.inner.on_nack(flow, nack, now)
+        self._enforce(flow)
+
+    def on_cnp(self, flow, now: float) -> None:
+        self.inner.on_cnp(flow, now)
+        self._enforce(flow)
+
+    def on_timeout(self, flow, now: float) -> None:
+        self.inner.on_timeout(flow, now)
+        self._enforce(flow)
+
+    def on_packet_sent(self, flow, pkt: Packet, now: float) -> None:
+        self.inner.on_packet_sent(flow, pkt, now)

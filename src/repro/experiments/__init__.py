@@ -1,0 +1,45 @@
+"""One driver per paper figure plus the Appendix A experiments.
+
+Each module exposes ``run_figureNN(scale=...)`` returning a result
+dataclass and a ``main()`` that prints the paper-style table.  Run any of
+them as ``python -m repro.experiments.figureNN`` or via the ``hpcc-repro``
+CLI.
+"""
+
+from . import (
+    appendix_a,
+    common,
+    failover,
+    figure01,
+    figure02,
+    figure03,
+    figure06,
+    figure09,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+)
+from .common import CcChoice, RunResult, load_experiment, run_workload, setup_network
+
+__all__ = [
+    "CcChoice",
+    "RunResult",
+    "appendix_a",
+    "common",
+    "failover",
+    "figure01",
+    "figure02",
+    "figure03",
+    "figure06",
+    "figure09",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "load_experiment",
+    "run_workload",
+    "setup_network",
+]

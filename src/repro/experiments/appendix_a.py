@@ -1,0 +1,173 @@
+"""Appendix A experiments: the theory, executed.
+
+* A.1 — queueing at sub-100% utilization: the sumDi/D/1 approximations
+  against a direct simulation of periodic sources.
+* A.2 — the Pareto-convergence Lemma of recursions (5)-(6) on random
+  topologies: feasible after one step, monotone after that, fixed and
+  Pareto-optimal within I steps.
+* A.4 — window limits under a 64-to-1 line-rate incast in-tree: the root
+  queue drains as fast as possible and senders end up at ~1/65 of the
+  initial window, without PFC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.convergence import RateNetwork, random_network
+from ..analysis.queueing import (
+    PeriodicSourcesQueue,
+    mean_queue_full_load,
+    overflow_probability,
+)
+from ..sim.units import MS, US
+from ..topology.simple import intree, star
+from .common import CcChoice, run_workload, setup_network
+
+
+@dataclass
+class A1Result:
+    n_sources: int
+    rho: float
+    analytic_mean_full_load: float
+    simulated_mean: float
+    analytic_tail: float
+    simulated_tail: float
+
+
+def run_a1(n_sources: int = 50, rho: float = 0.95, threshold: int = 20,
+           seed: int = 5) -> A1Result:
+    sim = PeriodicSourcesQueue(n_sources, rho, seed=seed)
+    return A1Result(
+        n_sources=n_sources,
+        rho=rho,
+        analytic_mean_full_load=mean_queue_full_load(n_sources),
+        simulated_mean=sim.mean_queue(n_periods=200),
+        analytic_tail=overflow_probability(n_sources, rho, threshold),
+        simulated_tail=sim.tail_probability(threshold, n_periods=200),
+    )
+
+
+@dataclass
+class A2Result:
+    n_trials: int
+    feasible_after_one: int
+    monotone: int
+    pareto_within_i: int          # within I steps at 1% saturation tolerance
+    pareto_asymptotic: int        # within 5I steps at 1e-6 tolerance
+
+
+def run_a2(n_trials: int = 50, seed: int = 11) -> A2Result:
+    """Check the Lemma numerically.
+
+    Reproduction note: the appendix proof saturates one resource per step
+    *exactly* only when no path through the new bottleneck is already
+    clamped by an earlier one; otherwise saturation is geometric (fast but
+    asymptotic).  We therefore check Pareto optimality within I steps at a
+    1% saturation tolerance and within 5I steps at 1e-6 (EXPERIMENTS.md).
+    """
+    rng = np.random.default_rng(seed)
+    feasible = monotone = pareto_i = pareto_inf = 0
+    for _ in range(n_trials):
+        net = random_network(
+            n_resources=int(rng.integers(2, 8)),
+            n_paths=int(rng.integers(2, 10)),
+            rng=rng,
+        )
+        r0 = rng.uniform(0.1, 5.0, size=net.n_paths)
+        trajectory = net.iterate(r0, 5 * net.n_resources)
+        if net.is_feasible(trajectory[1]):
+            feasible += 1
+        if all(
+            (trajectory[k + 1] >= trajectory[k] - 1e-9).all()
+            for k in range(1, len(trajectory) - 1)
+        ):
+            monotone += 1
+        if net.is_pareto_optimal(trajectory[net.n_resources], tol=0.01):
+            pareto_i += 1
+        if net.is_pareto_optimal(trajectory[-1]):
+            pareto_inf += 1
+    return A2Result(n_trials, feasible, monotone, pareto_i, pareto_inf)
+
+
+@dataclass
+class A4Result:
+    fan_in: int
+    peak_queue: int
+    drain_time_us: float                 # time from incast start to <1% peak
+    final_window_fraction: float         # mean sender window / Winit
+    pfc_pauses: int
+
+
+def run_a4(fan_in: int = 64, seed: int = 1) -> A4Result:
+    """64 senders at line rate into one receiver through an in-tree."""
+    topo = intree(fan_in=8, depth=2, host_rate="100Gbps", delay="1us")
+    base_rtt = 9 * US
+    net = setup_network(
+        topo, CcChoice("hpcc"), base_rtt=base_rtt,
+        pfc_enabled=True, buffer_bytes=64_000_000,
+    )
+    receiver = 64
+    root_switch = 65
+    bottleneck = {"root": net.port_between(root_switch, receiver)}
+    specs = [
+        net.make_flow(src=s, dst=receiver, size=2_000_000)
+        for s in range(64)
+    ]
+    result = run_workload(
+        net, specs, deadline=3 * MS,
+        sample_interval=1 * US, sample_ports=bottleneck,
+    )
+    t, q = result.sampler.series("root")
+    peak = max(q)
+    drain_time = next(
+        (tt for tt, v in zip(t, q) if v > 0.5 * peak), 0.0
+    )
+    drained_at = next(
+        (tt for tt, v in zip(t, q) if tt > drain_time and v < 0.01 * peak),
+        float("inf"),
+    )
+    windows = [
+        f.window for f in (net.nics[s].flows.get(spec.flow_id)
+                           for s, spec in zip(range(64), specs))
+        if f is not None and f.window is not None
+    ]
+    winit = net.nics[0].port.rate * base_rtt
+    mean_window = sum(windows) / len(windows) if windows else winit
+    return A4Result(
+        fan_in=64,
+        peak_queue=peak,
+        drain_time_us=(drained_at - drain_time) / US,
+        final_window_fraction=mean_window / winit,
+        pfc_pauses=result.metrics.pause_tracker.pause_count(),
+    )
+
+
+def main() -> None:
+    a1 = run_a1()
+    print(
+        f"A.1  N={a1.n_sources} rho={a1.rho}: simulated mean queue "
+        f"{a1.simulated_mean:.2f} pkts (analytic bound at rho=1: "
+        f"{a1.analytic_mean_full_load:.2f}); P(Q>20) sim {a1.simulated_tail:.2e} "
+        f"analytic {a1.analytic_tail:.2e}"
+    )
+    a2 = run_a2()
+    print(
+        f"A.2  {a2.n_trials} random networks: feasible after 1 step "
+        f"{a2.feasible_after_one}, monotone {a2.monotone}, Pareto within I "
+        f"steps (1% tol) {a2.pareto_within_i}, Pareto by 5I steps "
+        f"{a2.pareto_asymptotic}"
+    )
+    a4 = run_a4()
+    print(
+        f"A.4  64-to-1 incast: peak root queue {a4.peak_queue / 1000:.0f}KB, "
+        f"drained in {a4.drain_time_us:.0f}us, mean window at end "
+        f"{a4.final_window_fraction:.3f} x Winit (1/65 = {1 / 65:.3f}), "
+        f"PFC pauses: {a4.pfc_pauses}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Extension experiment: CC behaviour across a link failure.
+
+Section 2.3 notes that DCQCN's "timer-based scheduling can also trigger
+traffic oscillations during link failures" (details omitted in the paper
+for space).  This extension exercises the scenario the paper alludes to:
+
+Two racks joined by two parallel trunks; flows ECMP-split across them.
+One trunk is cut mid-run — capacity halves, the surviving trunk
+congests, and rerouted flows lose their in-flight packets.  A good CC
+should re-converge quickly to the new fair rates; HPCC additionally
+resets its per-hop INT state when the path (hop count) changes.
+
+Reported per scheme: goodput before / during / after recovery, packets
+lost to the cut, time to regain 80% of the surviving capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.units import MS, US, parse_bandwidth
+from ..topology.base import LinkSpec, Topology
+from .common import CcChoice, run_workload, setup_network
+
+
+def dual_trunk(
+    n_pairs: int = 4,
+    host_rate: str = "25Gbps",
+    trunk_rate: str = "50Gbps",
+    delay: str = "1us",
+) -> Topology:
+    """n senders rack A -> n receivers rack B over two parallel trunks."""
+    hrate = parse_bandwidth(host_rate)
+    trate = parse_bandwidth(trunk_rate)
+    from ..sim.units import parse_time
+    d = parse_time(delay)
+    n_hosts = 2 * n_pairs
+    sw_a, sw_b = n_hosts, n_hosts + 1
+    links = [LinkSpec(h, sw_a, hrate, d) for h in range(n_pairs)]
+    links += [LinkSpec(h, sw_b, hrate, d) for h in range(n_pairs, n_hosts)]
+    links.append(LinkSpec(sw_a, sw_b, trate, d))
+    links.append(LinkSpec(sw_a, sw_b, trate, d))
+    return Topology(
+        name=f"dualtrunk{n_pairs}", n_hosts=n_hosts, n_switches=2,
+        links=links, switch_tiers={"tor": [sw_a, sw_b]},
+    )
+
+
+@dataclass
+class FailoverResult:
+    goodput_before: dict[str, float]       # Gbps, aggregate
+    goodput_after: dict[str, float]        # Gbps, after recovery window
+    recovery_time_us: dict[str, float]     # to 80% of surviving capacity
+    lost_packets: dict[str, int]
+    drained: dict[str, bool]
+
+
+BENCH = {
+    "n_pairs": 4,
+    "fail_at": 2 * MS,
+    "duration": 12 * MS,
+    "goodput_bin": 100 * US,
+    "flow_size": 40_000_000,
+}
+
+SCHEMES = (
+    CcChoice("hpcc", label="HPCC"),
+    CcChoice("dcqcn", label="DCQCN"),
+    CcChoice("dctcp", label="DCTCP"),
+)
+
+
+def run_failover(
+    schemes: tuple[CcChoice, ...] = SCHEMES,
+    params: dict | None = None,
+) -> FailoverResult:
+    p = dict(BENCH)
+    if params:
+        p.update(params)
+    n = p["n_pairs"]
+    before: dict[str, float] = {}
+    after: dict[str, float] = {}
+    recovery: dict[str, float] = {}
+    lost: dict[str, int] = {}
+    drained: dict[str, bool] = {}
+    for cc in schemes:
+        topo = dual_trunk(n)
+        net = setup_network(
+            topo, cc, base_rtt=9 * US, goodput_bin=p["goodput_bin"],
+            rto=500 * US,
+        )
+        sw_a, sw_b = topo.switch_tiers["tor"]
+        specs = [
+            net.make_flow(src=i, dst=n + i, size=p["flow_size"])
+            for i in range(n)
+        ]
+        failed = {}
+
+        def cut():
+            failed["link"] = net.fail_link(sw_a, sw_b)
+
+        net.sim.at(p["fail_at"], cut)
+        run_workload(net, specs, deadline=p["duration"])
+        ids = [s.flow_id for s in specs]
+        goodput = net.metrics.goodput
+
+        def total_in(t0, t1):
+            return sum(goodput.mean_gbps(fid, t0, t1) for fid in ids)
+
+        before[cc.display] = total_in(1 * MS, p["fail_at"])
+        after[cc.display] = total_in(p["duration"] - 3 * MS,
+                                     p["duration"] - 1 * MS)
+        lost[cc.display] = failed["link"].packets_lost_down
+        # Recovery: first bin after the cut where aggregate goodput
+        # reaches 80% of the surviving trunk's payload capacity.
+        surviving_payload = 50 * (1000 / (1000 + net.header))   # Gbps
+        target = 0.8 * surviving_payload
+        times, series = goodput.total_series(ids)
+        rec = next(
+            (t for t, g in zip(times, series)
+             if t > p["fail_at"] + p["goodput_bin"] and g >= target),
+            float("inf"),
+        )
+        recovery[cc.display] = (rec - p["fail_at"]) / US
+        drained[cc.display] = net.switches[sw_a].total_queued_bytes() < 10_000_000
+    return FailoverResult(before, after, recovery, lost, drained)
+
+
+def main() -> None:
+    from ..metrics.reporter import format_table
+
+    result = run_failover()
+    rows = [
+        (scheme,
+         f"{result.goodput_before[scheme]:.1f}",
+         f"{result.goodput_after[scheme]:.1f}",
+         ("%.0fus" % result.recovery_time_us[scheme])
+         if result.recovery_time_us[scheme] != float("inf") else "never",
+         result.lost_packets[scheme])
+        for scheme in result.goodput_before
+    ]
+    print(format_table(
+        ["scheme", "goodput before (G)", "after (G)", "recovery to 80%",
+         "pkts lost to cut"],
+        rows,
+        title="Failover: one of two 50G trunks cut at 2ms (4x25G senders)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Figure 1: the impact of PFC pauses (Section 2.1).
+
+The paper's Figure 1 is *production telemetry*: (a) how many hops PFC
+pause trees propagate, (b) how much host bandwidth they suppress.  Our
+substitution (DESIGN.md): drive a PoD with DCQCN under repeated large
+incasts — the regime the paper identifies as the pause trigger — trace
+every pause interval, chain overlapping intervals into cause-effect trees
+(``repro.metrics.pfcstats``), and report the same two distributions.
+
+Expected shape: most events stay at depth 1 (host links paused by a ToR),
+a tail reaches depth 3 (ToR -> Agg -> ToR -> hosts, i.e. the whole PoD),
+and the worst events suppress a double-digit percentage of host capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.pfcstats import PauseTreeStats, analyze_pause_trees, depth_ccdf
+from ..sim.units import US
+from ..topology.testbed import testbed
+from ..workloads.fbhadoop import fbhadoop
+from .common import CcChoice, load_experiment, require_scale
+
+SCALES = {
+    "bench": {
+        "topology": dict(servers_per_tor=4, n_tors=4,
+                         host_rate="10Gbps", uplink_rate="40Gbps"),
+        "size_scale": 0.1,
+        "n_flows": 500,
+        "base_rtt": 9 * US,
+        "incast_fan_in": 12,
+        "incast_size": 300_000,
+        "buffer_bytes": 800_000,
+        "load": 0.30,
+    },
+    "full": {
+        "topology": dict(),
+        "size_scale": 1.0,
+        "n_flows": 10000,
+        "base_rtt": 9 * US,
+        "incast_fan_in": 20,
+        "incast_size": 500_000,
+        "buffer_bytes": 16_000_000,
+        "load": 0.30,
+    },
+}
+
+
+@dataclass
+class Figure1Result:
+    trees: list[PauseTreeStats]
+    depth_ccdf: dict[int, float]                  # P(depth >= d)
+    suppressed: list[float]                       # per-tree capacity fraction
+    pause_events: int
+
+
+def run_figure01(scale: str = "bench", seed: int = 3,
+                 overrides: dict | None = None) -> Figure1Result:
+    p = dict(SCALES[require_scale(scale)])
+    if overrides:
+        p.update(overrides)
+    topo = testbed(**p["topology"])
+    result = load_experiment(
+        topo, CcChoice("dcqcn", label="DCQCN"),
+        fbhadoop().scaled(p["size_scale"]),
+        load=p["load"], n_flows=p["n_flows"], base_rtt=p["base_rtt"],
+        seed=seed,
+        incast={
+            "fan_in": p["incast_fan_in"],
+            "flow_size": p["incast_size"],
+            "load": 0.04,
+        },
+        buffer_bytes=p["buffer_bytes"],
+    )
+    net = result.net
+    tracker = result.metrics.pause_tracker
+    trees = analyze_pause_trees(
+        tracker,
+        origin_of=net.origin_of,
+        host_ids=set(topo.hosts),
+        host_rate=topo.min_host_rate(),
+    )
+    suppressed = sorted((t.suppressed_fraction for t in trees), reverse=True)
+    return Figure1Result(
+        trees=trees,
+        depth_ccdf=depth_ccdf(trees),
+        suppressed=suppressed,
+        pause_events=tracker.pause_count(),
+    )
+
+
+def main() -> None:
+    from ..metrics.reporter import format_table
+
+    result = run_figure01()
+    print(f"pause intervals recorded: {result.pause_events}; "
+          f"pause trees: {len(result.trees)}")
+    rows = [
+        (d, f"{frac * 100:.1f}%") for d, frac in sorted(result.depth_ccdf.items())
+    ]
+    print(format_table(
+        ["depth >=", "fraction of events"],
+        rows, title="Figure 1a: pause propagation depth CCDF",
+    ))
+    if result.suppressed:
+        top = result.suppressed[: min(5, len(result.suppressed))]
+        print(
+            "Figure 1b: worst suppressed host capacity per event: "
+            + ", ".join(f"{s * 100:.1f}%" for s in top)
+        )
+
+
+if __name__ == "__main__":
+    main()

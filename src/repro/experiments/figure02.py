@@ -1,0 +1,133 @@
+"""Figure 2: DCQCN's throughput-versus-stability trade-off (Section 2.3).
+
+Sweep the DCQCN timers on the testbed PoD with WebSearch traffic:
+
+* ``(Ti=55us,  Td=50us)`` — the DCQCN paper's original setting (aggressive
+  rate increase, infrequent decrease): best FCT, most PFC pauses;
+* ``(Ti=300us, Td=4us)``  — a NIC vendor's default;
+* ``(Ti=900us, Td=4us)``  — the operators' conservative tuning: fewest
+  pauses, worst FCT.
+
+2a: 95th-percentile FCT slowdown per flow-size bucket at 30% load.
+2b: PFC pause time and short-flow tail latency with incast added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.fct import BucketStats, percentile, slowdown_by_bucket
+from ..metrics.pfcstats import pause_durations
+from ..sim.units import US
+from ..topology.testbed import testbed
+from ..workloads.websearch import websearch
+from .common import CcChoice, load_experiment, require_scale
+
+TIMER_SETTINGS = (
+    ("Ti=55,Td=50", {"ti": 55 * US, "td": 50 * US}),
+    ("Ti=300,Td=4", {"ti": 300 * US, "td": 4 * US}),
+    ("Ti=900,Td=4", {"ti": 900 * US, "td": 4 * US}),
+)
+
+SCALES = {
+    "bench": {
+        "topology": dict(servers_per_tor=4, n_tors=2,
+                         host_rate="10Gbps", uplink_rate="40Gbps"),
+        "size_scale": 0.1,
+        "n_flows": 250,
+        "base_rtt": 9 * US,
+        "incast_fan_in": 6,
+        "incast_size": 150_000,
+        "buffer_bytes": 1_000_000,
+    },
+    "full": {
+        "topology": dict(),                       # the paper's 32-server PoD
+        "size_scale": 1.0,
+        "n_flows": 5000,
+        "base_rtt": 9 * US,
+        "incast_fan_in": 8,
+        "incast_size": 500_000,
+        "buffer_bytes": 32_000_000,
+    },
+}
+
+
+@dataclass
+class Figure2Result:
+    buckets: dict[str, list[BucketStats]]          # 2a: per timer setting
+    pause_time_fraction: dict[str, float]          # 2b
+    short_flow_p95_us: dict[str, float]            # 2b
+    pause_events: dict[str, int]
+    bucket_edges: list[int]
+
+
+def run_figure02(
+    scale: str = "bench",
+    load: float = 0.30,
+    with_incast: bool = True,
+    seed: int = 1,
+    overrides: dict | None = None,
+) -> Figure2Result:
+    p = dict(SCALES[require_scale(scale)])
+    if overrides:
+        p.update(overrides)
+    cdf = websearch().scaled(p["size_scale"])
+    edges = [0] + [int(d) for d in cdf.deciles()]
+    buckets: dict[str, list[BucketStats]] = {}
+    pause_frac: dict[str, float] = {}
+    short_p95: dict[str, float] = {}
+    pause_events: dict[str, int] = {}
+    for label, timers in TIMER_SETTINGS:
+        topo = testbed(**p["topology"])
+        incast = None
+        if with_incast:
+            incast = {
+                "fan_in": p["incast_fan_in"],
+                "flow_size": p["incast_size"],
+                "load": 0.02,
+            }
+        result = load_experiment(
+            topo, CcChoice("dcqcn", label=label, params=dict(timers)),
+            cdf, load=load, n_flows=p["n_flows"], base_rtt=p["base_rtt"],
+            seed=seed, incast=incast, buffer_bytes=p["buffer_bytes"],
+        )
+        buckets[label] = slowdown_by_bucket(result.records, edges, tag="bg")
+        short_cut = max(3000 * p["size_scale"], 2 * 1000)
+        short = [
+            r.fct / US for r in result.records
+            if r.spec.size <= short_cut and r.spec.tag == "bg"
+        ]
+        short_p95[label] = percentile(short, 95) if short else float("nan")
+        tracker = result.metrics.pause_tracker
+        host_ids = set(topo.hosts)
+        pause_frac[label] = (
+            tracker.total_pause_time(None) / (result.duration * topo.n_hosts)
+        )
+        pause_events[label] = len(pause_durations(tracker))
+    return Figure2Result(buckets, pause_frac, short_p95, pause_events, edges)
+
+
+def main() -> None:
+    from ..metrics.reporter import format_bucket_table, format_table
+
+    result = run_figure02()
+    print(format_bucket_table(
+        result.buckets, "p95",
+        title="Figure 2a: p95 FCT slowdown, DCQCN timer settings (WebSearch 30%)",
+    ))
+    print()
+    rows = [
+        (label,
+         f"{result.pause_time_fraction[label] * 100:.3f}%",
+         result.pause_events[label],
+         f"{result.short_flow_p95_us[label]:.1f}")
+        for label, _ in TIMER_SETTINGS
+    ]
+    print(format_table(
+        ["timers", "pause time", "pause events", "short-flow p95 (us)"],
+        rows, title="Figure 2b: PFC pauses and tail latency (with incast)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Figure 3: DCQCN's bandwidth-versus-latency trade-off (Section 2.3).
+
+Sweep the ECN marking thresholds on the testbed with WebSearch traffic at
+30% and 50% load.  Low thresholds (Kmin=12KB, Kmax=50KB at 25G) keep
+queues — and hence short-flow FCT — small but throttle large flows; high
+thresholds (400KB/1600KB) do the opposite.  No single setting wins both,
+which is the paper's motivation for queue-free feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.fct import BucketStats, slowdown_by_bucket
+from ..sim.units import KB, US
+from ..topology.testbed import testbed
+from ..workloads.websearch import websearch
+from .common import CcChoice, load_experiment, require_scale
+
+# (label, Kmin, Kmax) at the 25Gbps reference rate (Figure 3's legend).
+ECN_SETTINGS = (
+    ("Kmin=400K,Kmax=1600K", 400 * KB, 1600 * KB),
+    ("Kmin=100K,Kmax=400K", 100 * KB, 400 * KB),
+    ("Kmin=12K,Kmax=50K", 12 * KB, 50 * KB),
+)
+
+SCALES = {
+    "bench": {
+        "topology": dict(servers_per_tor=4, n_tors=2,
+                         host_rate="10Gbps", uplink_rate="40Gbps"),
+        "size_scale": 0.1,
+        "n_flows": 250,
+        "base_rtt": 9 * US,
+        "buffer_bytes": 4_000_000,
+    },
+    "full": {
+        "topology": dict(),
+        "size_scale": 1.0,
+        "n_flows": 5000,
+        "base_rtt": 9 * US,
+        "buffer_bytes": 32_000_000,
+    },
+}
+
+
+@dataclass
+class Figure3Result:
+    buckets: dict[float, dict[str, list[BucketStats]]]   # load -> setting -> stats
+    bucket_edges: list[int]
+
+
+def run_figure03(
+    scale: str = "bench",
+    loads: tuple[float, ...] = (0.30, 0.50),
+    seed: int = 1,
+    overrides: dict | None = None,
+) -> Figure3Result:
+    p = dict(SCALES[require_scale(scale)])
+    if overrides:
+        p.update(overrides)
+    cdf = websearch().scaled(p["size_scale"])
+    edges = [0] + [int(d) for d in cdf.deciles()]
+    by_load: dict[float, dict[str, list[BucketStats]]] = {}
+    for load in loads:
+        by_load[load] = {}
+        for label, kmin, kmax in ECN_SETTINGS:
+            topo = testbed(**p["topology"])
+            cc = CcChoice(
+                "dcqcn", label=label,
+                params={"kmin": kmin, "kmax": kmax},
+            )
+            result = load_experiment(
+                topo, cc, cdf, load=load, n_flows=p["n_flows"],
+                base_rtt=p["base_rtt"], seed=seed,
+                buffer_bytes=p["buffer_bytes"],
+            )
+            by_load[load][label] = slowdown_by_bucket(result.records, edges)
+    return Figure3Result(by_load, edges)
+
+
+def short_vs_long_p95(stats: list[BucketStats]) -> tuple[float, float]:
+    """(short-flow, long-flow) p95 summary used by the benchmark asserts."""
+    if not stats:
+        return float("nan"), float("nan")
+    n_short = max(1, len(stats) // 3)
+    short = max(s.p95 for s in stats[:n_short])
+    long_ = max(s.p95 for s in stats[-2:])
+    return short, long_
+
+
+def main() -> None:
+    from ..metrics.reporter import format_bucket_table
+
+    result = run_figure03()
+    for load, by_setting in result.buckets.items():
+        print(format_bucket_table(
+            by_setting, "p95",
+            title=f"Figure 3 ({load:.0%} load): p95 FCT slowdown, ECN thresholds",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,299 @@
+"""Figure 9: testbed micro-benchmarks, HPCC versus DCQCN (Section 5.2).
+
+Four scenarios on the 32-server testbed PoD (25Gbps hosts):
+
+* 9a/9b  long-short   — a line-rate long flow; a 1MB short flow joins and
+  leaves.  HPCC recovers the long flow's rate immediately; DCQCN does not
+  recover within the window (>350 RTTs).
+* 9c/9d  incast       — 7 synchronized senders join a long flow's
+  receiver.  HPCC drains the queue in about one RTT; DCQCN builds
+  hundreds of KB.
+* 9e/9f  elephant-mice — mice (1KB) flows cross a link saturated by two
+  elephants.  HPCC keeps near-zero queues so mice see ~base-RTT latency;
+  DCQCN holds a standing queue near the ECN threshold.
+* 9g/9h  fairness     — four flows join the same bottleneck one by one.
+
+DCQCN's additive increase is glacial by design (the paper's own Figure 9b
+shows no recovery within 2ms); the elephant-mice scenario therefore uses a
+raised ``rai`` so DCQCN reaches its ECN-threshold equilibrium within the
+scaled warm-up — the accelerant changes time-to-equilibrium, not the
+equilibrium queue itself (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..metrics.fct import percentile
+from ..metrics.timeseries import jain_fairness
+from ..sim.units import MS, US, gbps
+from ..topology.testbed import testbed
+from .common import CcChoice, run_workload, setup_network
+
+T_TESTBED = 9 * US          # the paper's testbed T
+
+CCS = (
+    CcChoice("hpcc", label="HPCC"),
+    CcChoice("dcqcn", label="DCQCN"),
+)
+
+
+def _receiver_port(net, receiver: int):
+    tor = next(
+        peer for (node, peer) in net.port_map if node == receiver
+    )
+    return {"bneck": net.port_between(tor, receiver)}
+
+
+@dataclass
+class LongShortResult:
+    goodput: dict[str, dict[str, tuple[list[float], list[float]]]]
+    queue: dict[str, tuple[list[float], list[int]]]
+    recovery_gbps: dict[str, float]      # long-flow goodput after short left
+    line_gbps: float = 25.0
+
+
+def run_long_short(params: dict | None = None) -> LongShortResult:
+    p = {
+        "duration": 3 * MS, "short_join": 1 * MS, "short_size": 1_000_000,
+        "long_size": 12_000_000, "goodput_bin": 50 * US, "sample_interval": 5 * US,
+    }
+    if params:
+        p.update(params)
+    goodput: dict[str, dict[str, tuple]] = {}
+    queue: dict[str, tuple] = {}
+    recovery: dict[str, float] = {}
+    for cc in CCS:
+        net = setup_network(
+            testbed(), cc, base_rtt=T_TESTBED, goodput_bin=p["goodput_bin"]
+        )
+        receiver = 8                      # first host of the second rack
+        long_spec = net.make_flow(src=0, dst=receiver, size=p["long_size"], tag="long")
+        short_spec = net.make_flow(
+            src=1, dst=receiver, size=p["short_size"],
+            start_time=p["short_join"], tag="short",
+        )
+        result = run_workload(
+            net, [long_spec, short_spec], deadline=p["duration"],
+            sample_interval=p["sample_interval"],
+            sample_ports=_receiver_port(net, receiver),
+        )
+        goodput[cc.display] = {
+            "long": net.metrics.goodput.series(long_spec.flow_id),
+            "short": net.metrics.goodput.series(short_spec.flow_id),
+        }
+        queue[cc.display] = result.sampler.series("bneck")
+        short_rec = net.metrics.flows.finished.get(short_spec.flow_id)
+        short_end = short_rec.finish if short_rec else p["duration"]
+        window_from = min(short_end + 200 * US, p["duration"] - 500 * US)
+        recovery[cc.display] = net.metrics.goodput.mean_gbps(
+            long_spec.flow_id, window_from, p["duration"]
+        )
+    return LongShortResult(goodput, queue, recovery)
+
+
+@dataclass
+class IncastResult:
+    queue_peak: dict[str, int]
+    queue_after_2rtt: dict[str, int]     # queue once reactions took hold
+    queue: dict[str, tuple[list[float], list[int]]]
+    total_goodput: dict[str, tuple[list[float], list[float]]]
+
+
+def run_incast(params: dict | None = None) -> IncastResult:
+    p = {
+        "duration": 5 * MS, "incast_at": 1 * MS, "fan_in": 7,
+        "incast_size": 500_000, "long_size": 16_000_000,
+        "goodput_bin": 50 * US, "sample_interval": 2 * US,
+    }
+    if params:
+        p.update(params)
+    peak: dict[str, int] = {}
+    settled: dict[str, int] = {}
+    queue: dict[str, tuple] = {}
+    tput: dict[str, tuple] = {}
+    for cc in CCS:
+        net = setup_network(
+            testbed(), cc, base_rtt=T_TESTBED, goodput_bin=p["goodput_bin"]
+        )
+        receiver = 8
+        specs = [net.make_flow(src=0, dst=receiver, size=p["long_size"], tag="long")]
+        specs += [
+            net.make_flow(
+                src=1 + i, dst=receiver, size=p["incast_size"],
+                start_time=p["incast_at"], tag="incast",
+            )
+            for i in range(p["fan_in"])
+        ]
+        result = run_workload(
+            net, specs, deadline=p["duration"],
+            sample_interval=p["sample_interval"],
+            sample_ports=_receiver_port(net, receiver),
+        )
+        t, q = result.sampler.series("bneck")
+        queue[cc.display] = (t, q)
+        tput[cc.display] = net.metrics.goodput.total_series()
+        in_event = [
+            (tt, v) for tt, v in zip(t, q) if tt >= p["incast_at"]
+        ]
+        peak[cc.display] = max(v for _, v in in_event)
+        probe = p["incast_at"] + 10 * T_TESTBED
+        settled[cc.display] = next(
+            (v for tt, v in in_event if tt >= probe), 0
+        )
+    return IncastResult(peak, settled, queue, tput)
+
+
+@dataclass
+class ElephantMiceResult:
+    mice_fct_us: dict[str, list[float]]
+    mice_p50_us: dict[str, float]
+    mice_p95_us: dict[str, float]
+    queue_p50: dict[str, float]
+    queue_p95: dict[str, float]
+
+
+def run_elephant_mice(params: dict | None = None) -> ElephantMiceResult:
+    p = {
+        "warmup": 10 * MS, "measure": 4 * MS, "mice_gap": 100 * US,
+        "mice_size": 1_000, "sample_interval": 10 * US,
+        "dcqcn_rai": gbps(0.5),
+    }
+    if params:
+        p.update(params)
+    fcts: dict[str, list[float]] = {}
+    q50: dict[str, float] = {}
+    q95: dict[str, float] = {}
+    p50: dict[str, float] = {}
+    p95: dict[str, float] = {}
+    duration = p["warmup"] + p["measure"]
+    for cc in CCS:
+        cc_run = cc
+        if cc.name == "dcqcn":
+            cc_run = CcChoice("dcqcn", label=cc.label, params={"rai": p["dcqcn_rai"]})
+        net = setup_network(testbed(), cc_run, base_rtt=T_TESTBED)
+        receiver = 8
+        elephant_size = int(3.125 * duration)  # 25Gbps worth of bytes: never ends
+        specs = [
+            net.make_flow(src=0, dst=receiver, size=elephant_size, tag="elephant"),
+            net.make_flow(src=1, dst=receiver, size=elephant_size, tag="elephant"),
+        ]
+        t = p["warmup"]
+        while t < duration:
+            specs.append(
+                net.make_flow(src=2, dst=receiver, size=p["mice_size"],
+                              start_time=t, tag="mice")
+            )
+            t += p["mice_gap"]
+        result = run_workload(
+            net, specs, deadline=duration,
+            sample_interval=p["sample_interval"],
+            sample_ports=_receiver_port(net, receiver),
+        )
+        mice = [
+            r.fct / US for r in result.records if r.spec.tag == "mice"
+        ]
+        fcts[cc.display] = mice
+        p50[cc.display] = percentile(mice, 50)
+        p95[cc.display] = percentile(mice, 95)
+        t_q, q = result.sampler.series("bneck")
+        steady = [v for tt, v in zip(t_q, q) if tt >= p["warmup"]]
+        q50[cc.display] = percentile(steady, 50)
+        q95[cc.display] = percentile(steady, 95)
+    return ElephantMiceResult(fcts, p50, p95, q50, q95)
+
+
+@dataclass
+class FairnessResult:
+    goodput: dict[str, dict[int, tuple[list[float], list[float]]]]
+    jain_all_active: dict[str, float]
+    rates_all_active: dict[str, list[float]] = field(default_factory=dict)
+
+
+def run_fairness(params: dict | None = None) -> FairnessResult:
+    p = {
+        "join_gap": 2 * MS, "flow_size": 25_000_000, "duration": 30 * MS,
+        "goodput_bin": 200 * US,
+    }
+    if params:
+        p.update(params)
+    goodput: dict[str, dict[int, tuple]] = {}
+    jain: dict[str, float] = {}
+    rates_out: dict[str, list[float]] = {}
+    for cc in CCS:
+        cc_run = cc
+        if cc.name == "hpcc":
+            # WAI sized for the actual concurrency (footnote 4 sizes WAI by
+            # expected flow count) so fairness converges within the window.
+            cc_run = CcChoice(cc.name, label=cc.label,
+                              params={"n_flows_for_wai": 16})
+        net = setup_network(
+            testbed(), cc_run, base_rtt=T_TESTBED, goodput_bin=p["goodput_bin"]
+        )
+        receiver = 8
+        specs = [
+            net.make_flow(src=i, dst=receiver, size=p["flow_size"],
+                          start_time=i * p["join_gap"], tag=f"flow{i}")
+            for i in range(4)
+        ]
+        run_workload(net, specs, deadline=p["duration"])
+        goodput[cc.display] = {
+            s.flow_id: net.metrics.goodput.series(s.flow_id) for s in specs
+        }
+        # All four flows are active from the last join until the first finish.
+        window_from = 3 * p["join_gap"] + 1 * MS
+        finishes = [
+            net.metrics.flows.finished[s.flow_id].finish
+            for s in specs if s.flow_id in net.metrics.flows.finished
+        ]
+        window_to = min(finishes) if finishes else p["duration"]
+        window_to = min(window_to - 100 * US, p["duration"])
+        window_to = max(window_to, window_from + 500 * US)
+        rates = [
+            net.metrics.goodput.mean_gbps(s.flow_id, window_from, window_to)
+            for s in specs
+        ]
+        rates_out[cc.display] = rates
+        jain[cc.display] = jain_fairness(rates)
+    return FairnessResult(goodput, jain, rates_out)
+
+
+def main() -> None:
+    from ..metrics.reporter import format_table
+
+    ls = run_long_short()
+    print(format_table(
+        ["scheme", "long-flow goodput after short leaves (Gbps)"],
+        [(k, f"{v:.1f}") for k, v in ls.recovery_gbps.items()],
+        title="Figure 9a/9b: long-short rate recovery (line rate 25G)",
+    ))
+    print()
+    inc = run_incast()
+    print(format_table(
+        ["scheme", "incast queue peak (KB)", "queue 10 RTTs later (KB)"],
+        [(k, f"{inc.queue_peak[k] / 1000:.0f}", f"{inc.queue_after_2rtt[k] / 1000:.0f}")
+         for k in inc.queue_peak],
+        title="Figure 9c/9d: 7-to-1 incast on a busy receiver",
+    ))
+    print()
+    em = run_elephant_mice()
+    print(format_table(
+        ["scheme", "mice p50 (us)", "mice p95 (us)", "queue p50 (KB)", "queue p95 (KB)"],
+        [(k, f"{em.mice_p50_us[k]:.1f}", f"{em.mice_p95_us[k]:.1f}",
+          f"{em.queue_p50[k] / 1000:.1f}", f"{em.queue_p95[k] / 1000:.1f}")
+         for k in em.mice_p50_us],
+        title="Figure 9e/9f: elephant-mice latency and queue",
+    ))
+    print()
+    fair = run_fairness()
+    print(format_table(
+        ["scheme", "Jain index (4 active)", "rates (Gbps)"],
+        [(k, f"{fair.jain_all_active[k]:.3f}",
+          " ".join(f"{r:.1f}" for r in fair.rates_all_active[k]))
+         for k in fair.jain_all_active],
+        title="Figure 9g/9h: fairness as flows join",
+    ))
+
+
+if __name__ == "__main__":
+    main()

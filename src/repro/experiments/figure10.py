@@ -1,0 +1,126 @@
+"""Figure 10: end-to-end testbed comparison, HPCC versus DCQCN (Section 5.2).
+
+WebSearch at 30% and 50% average load on the testbed PoD.
+
+* 10a/10c — FCT slowdown per flow-size bucket at the median, 95th and
+  99th percentile.  The paper's headline: at 50% load HPCC cuts the
+  99th-percentile slowdown of <3KB flows from 53.9 to 2.70 (a 95%
+  reduction) without sacrificing median performance.
+* 10b/10d — the CDF of switch queue lengths: HPCC's median is zero and
+  its tail stays tens-of-KB while DCQCN holds MB-level queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.fct import BucketStats, percentile, slowdown_by_bucket
+from ..sim.units import US
+from ..topology.testbed import testbed
+from ..workloads.websearch import websearch
+from .common import CcChoice, load_experiment, require_scale
+
+CCS = (CcChoice("hpcc", label="HPCC"), CcChoice("dcqcn", label="DCQCN"))
+
+SCALES = {
+    "bench": {
+        "topology": dict(servers_per_tor=4, n_tors=2,
+                         host_rate="10Gbps", uplink_rate="40Gbps"),
+        "size_scale": 0.1,
+        "n_flows": 300,
+        "base_rtt": 9 * US,
+        "buffer_bytes": 4_000_000,
+        "sample_interval": 10 * US,
+    },
+    "full": {
+        "topology": dict(),
+        "size_scale": 1.0,
+        "n_flows": 5000,
+        "base_rtt": 9 * US,
+        "buffer_bytes": 32_000_000,
+        "sample_interval": 10 * US,
+    },
+}
+
+
+@dataclass
+class Figure10Result:
+    buckets: dict[float, dict[str, list[BucketStats]]]
+    queue_p50: dict[float, dict[str, float]]
+    queue_p95: dict[float, dict[str, float]]
+    queue_p99: dict[float, dict[str, float]]
+    short_p99: dict[float, dict[str, float]]       # <3KB-equivalent flows
+    bucket_edges: list[int]
+
+
+def run_figure10(
+    scale: str = "bench",
+    loads: tuple[float, ...] = (0.30, 0.50),
+    seed: int = 1,
+    overrides: dict | None = None,
+) -> Figure10Result:
+    p = dict(SCALES[require_scale(scale)])
+    if overrides:
+        p.update(overrides)
+    cdf = websearch().scaled(p["size_scale"])
+    edges = [0] + [int(d) for d in cdf.deciles()]
+    short_cut = 3000 * p["size_scale"]
+    buckets: dict[float, dict[str, list[BucketStats]]] = {}
+    q50: dict[float, dict[str, float]] = {}
+    q95: dict[float, dict[str, float]] = {}
+    q99: dict[float, dict[str, float]] = {}
+    s99: dict[float, dict[str, float]] = {}
+    for load in loads:
+        buckets[load] = {}
+        q50[load] = {}
+        q95[load] = {}
+        q99[load] = {}
+        s99[load] = {}
+        for cc in CCS:
+            topo = testbed(**p["topology"])
+            result = load_experiment(
+                topo, cc, cdf, load=load, n_flows=p["n_flows"],
+                base_rtt=p["base_rtt"], seed=seed,
+                buffer_bytes=p["buffer_bytes"],
+                sample_interval=p["sample_interval"],
+            )
+            buckets[load][cc.display] = slowdown_by_bucket(result.records, edges)
+            samples = result.sampler.all_samples()
+            q50[load][cc.display] = percentile(samples, 50)
+            q95[load][cc.display] = percentile(samples, 95)
+            q99[load][cc.display] = percentile(samples, 99)
+            shorts = [
+                r.slowdown for r in result.records
+                if r.spec.size <= short_cut
+            ]
+            s99[load][cc.display] = percentile(shorts, 99) if shorts else float("nan")
+    return Figure10Result(buckets, q50, q95, q99, s99, edges)
+
+
+def main() -> None:
+    from ..metrics.reporter import format_bucket_table, format_table
+
+    result = run_figure10()
+    for load in result.buckets:
+        print(format_bucket_table(
+            result.buckets[load], "p99",
+            title=f"Figure 10 ({load:.0%} load): p99 FCT slowdown per size bucket",
+        ))
+        rows = [
+            (cc,
+             f"{result.queue_p50[load][cc] / 1000:.1f}",
+             f"{result.queue_p95[load][cc] / 1000:.1f}",
+             f"{result.queue_p99[load][cc] / 1000:.1f}",
+             f"{result.short_p99[load][cc]:.2f}")
+            for cc in result.queue_p50[load]
+        ]
+        print(format_table(
+            ["scheme", "queue p50 (KB)", "queue p95 (KB)", "queue p99 (KB)",
+             "short-flow p99 slowdown"],
+            rows, title=f"Figure 10 ({load:.0%} load): queue CDF summary",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,144 @@
+"""Figure 11: large-scale FatTree comparison of six CC schemes (Section 5.3).
+
+FB_Hadoop traffic on the three-tier FatTree, either 30% load plus
+synchronized incast (2% of capacity) or 50% load, comparing DCQCN, TIMELY,
+DCQCN+win, TIMELY+win, DCTCP and HPCC.
+
+* 11a/11c — 95th-percentile FCT slowdown per size bucket: HPCC wins for
+  the ~90% of flows under 120KB; long flows pay the eta=95% +
+  INT-overhead bandwidth tax (Section 5.3 quantifies ~1.24x at 50%).
+* 11b/11d — PFC pause-time fraction and 95th-percentile short-flow
+  latency: only the schemes without in-flight caps (DCQCN, TIMELY)
+  trigger pauses; adding a window nearly eliminates them, and HPCC keeps
+  latency lowest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.fct import BucketStats, percentile, slowdown_by_bucket
+from ..sim.units import US
+from ..topology.fattree import FatTreeSpec, fattree
+from ..workloads.fbhadoop import fbhadoop
+from .common import CcChoice, load_experiment, require_scale
+
+SCHEMES = (
+    CcChoice("dcqcn", label="DCQCN"),
+    CcChoice("timely", label="TIMELY"),
+    CcChoice("dcqcn+win", label="DCQCN+win"),
+    CcChoice("timely+win", label="TIMELY+win"),
+    CcChoice("dctcp", label="DCTCP"),
+    CcChoice("hpcc", label="HPCC"),
+)
+
+SCALES = {
+    "bench": {
+        "fattree": FatTreeSpec(
+            n_pods=2, tors_per_pod=2, aggs_per_pod=2, n_core=2,
+            hosts_per_tor=4, host_rate="10Gbps", fabric_rate="40Gbps",
+        ),
+        "size_scale": 0.1,
+        "n_flows": 600,
+        "base_rtt": 13 * US,
+        "incast_fan_in": 12,
+        "incast_size": 150_000,
+        "buffer_bytes": 1_000_000,
+    },
+    "full": {
+        "fattree": FatTreeSpec(),
+        "size_scale": 1.0,
+        "n_flows": 20000,
+        "base_rtt": 13 * US,
+        "incast_fan_in": 60,
+        "incast_size": 500_000,
+        "buffer_bytes": 32_000_000,
+    },
+}
+
+
+@dataclass
+class Figure11Result:
+    buckets: dict[str, dict[str, list[BucketStats]]]     # case -> scheme -> stats
+    pause_fraction: dict[str, dict[str, float]]
+    short_p95_us: dict[str, dict[str, float]]
+    bucket_edges: list[int]
+
+
+def run_figure11(
+    scale: str = "bench",
+    cases: tuple[str, ...] = ("30%+incast", "50%"),
+    schemes: tuple[CcChoice, ...] = SCHEMES,
+    seed: int = 1,
+    overrides: dict | None = None,
+) -> Figure11Result:
+    p = dict(SCALES[require_scale(scale)])
+    if overrides:
+        p.update(overrides)
+    cdf = fbhadoop().scaled(p["size_scale"])
+    edges = [0] + [int(d) for d in cdf.deciles()]
+    short_cut = 1000 * p["size_scale"]
+    buckets: dict[str, dict[str, list[BucketStats]]] = {}
+    pauses: dict[str, dict[str, float]] = {}
+    lat: dict[str, dict[str, float]] = {}
+    for case in cases:
+        load = 0.30 if case.startswith("30") else 0.50
+        incast = None
+        if "incast" in case:
+            incast = {
+                "fan_in": p["incast_fan_in"],
+                "flow_size": p["incast_size"],
+                "load": 0.02,
+            }
+        buckets[case] = {}
+        pauses[case] = {}
+        lat[case] = {}
+        for cc in schemes:
+            topo = fattree(p["fattree"])
+            result = load_experiment(
+                topo, cc, cdf, load=load, n_flows=p["n_flows"],
+                base_rtt=p["base_rtt"], seed=seed, incast=incast,
+                buffer_bytes=p["buffer_bytes"],
+            )
+            buckets[case][cc.display] = slowdown_by_bucket(
+                result.records, edges, tag="bg"
+            )
+            tracker = result.metrics.pause_tracker
+            pauses[case][cc.display] = (
+                tracker.total_pause_time(None)
+                / (result.duration * topo.n_hosts)
+            )
+            shorts = [
+                r.fct / US for r in result.records
+                if r.spec.size <= short_cut and r.spec.tag == "bg"
+            ]
+            lat[case][cc.display] = (
+                percentile(shorts, 95) if shorts else float("nan")
+            )
+    return Figure11Result(buckets, pauses, lat, edges)
+
+
+def main() -> None:
+    from ..metrics.reporter import format_bucket_table, format_table
+
+    result = run_figure11()
+    for case in result.buckets:
+        print(format_bucket_table(
+            result.buckets[case], "p95",
+            title=f"Figure 11 ({case}): p95 FCT slowdown per size bucket",
+        ))
+        rows = [
+            (scheme,
+             f"{result.pause_fraction[case][scheme] * 100:.3f}%",
+             f"{result.short_p95_us[case][scheme]:.1f}")
+            for scheme in result.pause_fraction[case]
+        ]
+        print(format_table(
+            ["scheme", "pause-time fraction", "short-flow p95 latency (us)"],
+            rows, title=f"Figure 11 ({case}): PFC pauses and tail latency",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

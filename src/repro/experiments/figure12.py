@@ -1,0 +1,98 @@
+"""Figure 12: a good CC lessens the importance of flow control (Section 5.3).
+
+The same FatTree + FB_Hadoop setup as Figure 11, but sweeping the loss
+recovery / flow-control mechanism:
+
+* PFC — lossless fabric, go-back-N never really fires;
+* GBN — no PFC, drops recovered by go-back-N retransmission;
+* IRN — no PFC, selective retransmission with a BDP-bounded window
+  (footnote 6: lossy modes use dynamic egress thresholds with alpha=1).
+
+With HPCC the three perform nearly identically (queues stay near zero, so
+losses barely happen); DCQCN's performance depends visibly on the choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.fct import BucketStats, percentile, slowdown_by_bucket
+from ..sim.units import US
+from ..workloads.fbhadoop import fbhadoop
+from ..topology.fattree import fattree
+from .common import CcChoice, load_experiment, require_scale
+from .figure11 import SCALES
+
+FLOW_CONTROLS = (
+    ("PFC", {"transport": "gbn", "pfc_enabled": True}),
+    ("GBN", {"transport": "gbn", "pfc_enabled": False}),
+    ("IRN", {"transport": "irn", "pfc_enabled": False}),
+)
+
+CCS = (CcChoice("hpcc", label="HPCC"), CcChoice("dcqcn", label="DCQCN"))
+
+
+@dataclass
+class Figure12Result:
+    buckets: dict[str, list[BucketStats]]      # "HPCC-PFC" etc.
+    overall_p95: dict[str, float]
+    drops: dict[str, int]
+    bucket_edges: list[int]
+
+
+def run_figure12(
+    scale: str = "bench",
+    load: float = 0.30,
+    with_incast: bool = True,
+    seed: int = 1,
+    overrides: dict | None = None,
+) -> Figure12Result:
+    p = dict(SCALES[require_scale(scale)])
+    if overrides:
+        p.update(overrides)
+    cdf = fbhadoop().scaled(p["size_scale"])
+    edges = [0] + [int(d) for d in cdf.deciles()]
+    incast = None
+    if with_incast:
+        incast = {
+            "fan_in": p["incast_fan_in"],
+            "flow_size": p["incast_size"],
+            "load": 0.02,
+        }
+    buckets: dict[str, list[BucketStats]] = {}
+    overall: dict[str, float] = {}
+    drops: dict[str, int] = {}
+    for cc in CCS:
+        for fc_label, fc_cfg in FLOW_CONTROLS:
+            label = f"{cc.display}-{fc_label}"
+            topo = fattree(p["fattree"])
+            result = load_experiment(
+                topo, cc, cdf, load=load, n_flows=p["n_flows"],
+                base_rtt=p["base_rtt"], seed=seed, incast=incast,
+                buffer_bytes=p["buffer_bytes"], **fc_cfg,
+            )
+            buckets[label] = slowdown_by_bucket(result.records, edges, tag="bg")
+            slowdowns = [
+                r.slowdown for r in result.records if r.spec.tag == "bg"
+            ]
+            overall[label] = percentile(slowdowns, 95) if slowdowns else float("nan")
+            drops[label] = result.metrics.drop_count
+    return Figure12Result(buckets, overall, drops, edges)
+
+
+def main() -> None:
+    from ..metrics.reporter import format_table
+
+    result = run_figure12()
+    rows = [
+        (label, f"{result.overall_p95[label]:.2f}", result.drops[label])
+        for label in result.overall_p95
+    ]
+    print(format_table(
+        ["scheme-flowcontrol", "overall p95 slowdown", "drops"],
+        rows, title="Figure 12: CC x flow-control choices (30% + incast)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

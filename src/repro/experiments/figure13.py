@@ -1,0 +1,121 @@
+"""Figure 13: fast reaction without overreaction (Section 5.4).
+
+A 16-to-1 incast through one switch with 100Gbps links and 1us propagation
+delay.  Three reaction strategies:
+
+* per-ACK  — overreacts: aggregate throughput collapses, then oscillates;
+* per-RTT  — reacts slowly: the startup queue persists for a long time;
+* HPCC     — reference-window design: drains fast with no collapse.
+
+Reported: total-goodput and queue time series per strategy, plus the
+summary numbers the benchmark asserts on (minimum post-start throughput,
+time for the queue to drain below a threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.units import US
+from ..topology.simple import star
+from .common import CcChoice, run_workload, setup_network
+
+BENCH = {
+    "fan_in": 16,
+    "host_rate": "100Gbps",
+    "link_delay": "1us",
+    "base_rtt": 9 * US,
+    "flow_size": 2_000_000,
+    "duration": 600 * US,
+    "sample_interval": 1 * US,
+    "goodput_bin": 10 * US,
+}
+
+STRATEGIES = (
+    ("per-ACK", "hpcc-perack"),
+    ("per-RTT", "hpcc-perrtt"),
+    ("HPCC", "hpcc"),
+)
+
+
+@dataclass
+class Figure13Result:
+    throughput: dict[str, tuple[list[float], list[float]]]  # (t, Gbps)
+    queue: dict[str, tuple[list[float], list[int]]]
+    min_throughput_after_start: dict[str, float]             # Gbps
+    drain_time: dict[str, float]                             # ns (inf if never)
+
+
+def run_figure13(scale: str = "bench", params: dict | None = None) -> Figure13Result:
+    p = dict(BENCH)
+    if params:
+        p.update(params)
+    fan_in = p["fan_in"]
+    throughput: dict[str, tuple[list[float], list[float]]] = {}
+    queue: dict[str, tuple[list[float], list[int]]] = {}
+    min_tput: dict[str, float] = {}
+    drain: dict[str, float] = {}
+    for label, cc_name in STRATEGIES:
+        topo = star(fan_in + 1, host_rate=p["host_rate"], link_delay=p["link_delay"])
+        net = setup_network(
+            topo, CcChoice(cc_name, label=label),
+            base_rtt=p["base_rtt"], goodput_bin=p["goodput_bin"],
+        )
+        receiver = fan_in
+        bottleneck = {"bneck": net.port_between(fan_in + 1, receiver)}
+        specs = [
+            net.make_flow(src=s, dst=receiver, size=p["flow_size"], tag="incast")
+            for s in range(fan_in)
+        ]
+        result = run_workload(
+            net, specs, deadline=p["duration"],
+            sample_interval=p["sample_interval"], sample_ports=bottleneck,
+        )
+        t_q, q = result.sampler.series("bneck")
+        queue[label] = (t_q, q)
+        t_g, gbps = net.metrics.goodput.total_series()
+        throughput[label] = (t_g, gbps)
+        # Collapse check: minimum aggregate goodput in the window after the
+        # first reaction (skip the first 3 base RTTs) while flows remain.
+        start = 3 * p["base_rtt"]
+        end = p["duration"] * 0.5
+        window = [g for t, g in zip(t_g, gbps) if start <= t <= end]
+        min_tput[label] = min(window) if window else 0.0
+        # Drain time: first time the startup queue falls below 50KB.
+        threshold = 50_000
+        peaked = False
+        drain[label] = float("inf")
+        for t, v in zip(t_q, q):
+            if v > threshold:
+                peaked = True
+            elif peaked and v <= threshold:
+                drain[label] = t
+                break
+        if not peaked:
+            drain[label] = 0.0
+    return Figure13Result(throughput, queue, min_tput, drain)
+
+
+def main() -> None:
+    from ..metrics.reporter import ascii_series, format_table
+
+    result = run_figure13()
+    rows = [
+        (label,
+         f"{result.min_throughput_after_start[label]:.1f}",
+         f"{result.drain_time[label] / US:.0f}us"
+         if result.drain_time[label] != float("inf") else "never")
+        for label, _ in STRATEGIES
+    ]
+    print(format_table(
+        ["strategy", "min tput after start (Gbps)", "queue drained below 50KB at"],
+        rows, title="Figure 13: 16-to-1 incast reaction strategies",
+    ))
+    for label, _ in STRATEGIES:
+        t, g = result.throughput[label]
+        print()
+        print(ascii_series(t, g, label=f"{label} total goodput (Gbps)", t_unit=US))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Figure 14: tuning WAI (Section 5.4).
+
+16 long flows share a 100Gbps link.  The rule of thumb caps the total
+additive increase per round at the bandwidth headroom:
+``WAI <= Winit x (1 - eta) / N`` (~150B for 16 flows at 100Gbps with
+T=4us).  Within the cap, larger WAI converges to fairness faster; beyond
+it (300B), queues form — though only ~13KB at the 95th percentile, i.e.
+graceful degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.fct import percentile
+from ..metrics.timeseries import jain_fairness
+from ..sim.units import MS, US
+from ..topology.simple import star
+from .common import CcChoice, run_workload, setup_network
+
+BENCH = {
+    "fan_in": 16,
+    "host_rate": "100Gbps",
+    "link_delay": "1us",
+    "base_rtt": 4 * US,
+    "flow_size": 40_000_000,
+    "duration": 10 * MS,
+    "sample_interval": 1 * US,
+    "goodput_bin": 100 * US,
+    "wai_values": (25.0, 75.0, 150.0, 300.0),
+}
+
+
+@dataclass
+class Figure14Result:
+    queue_p95: dict[float, float]        # WAI -> bytes
+    queue_p99: dict[float, float]
+    fairness: dict[float, float]         # WAI -> Jain index (steady window)
+    throughput: dict[float, dict[int, tuple[list[float], list[float]]]]
+
+
+def run_figure14(scale: str = "bench", params: dict | None = None) -> Figure14Result:
+    p = dict(BENCH)
+    if params:
+        p.update(params)
+    fan_in = p["fan_in"]
+    queue_p95: dict[float, float] = {}
+    queue_p99: dict[float, float] = {}
+    fairness: dict[float, float] = {}
+    tput: dict[float, dict[int, tuple[list[float], list[float]]]] = {}
+    for wai in p["wai_values"]:
+        topo = star(fan_in + 1, host_rate=p["host_rate"], link_delay=p["link_delay"])
+        net = setup_network(
+            topo, CcChoice("hpcc", params={"wai": wai}),
+            base_rtt=p["base_rtt"], goodput_bin=p["goodput_bin"],
+        )
+        receiver = fan_in
+        bottleneck = {"bneck": net.port_between(fan_in + 1, receiver)}
+        specs = [
+            net.make_flow(src=s, dst=receiver, size=p["flow_size"])
+            for s in range(fan_in)
+        ]
+        result = run_workload(
+            net, specs, deadline=p["duration"],
+            sample_interval=p["sample_interval"], sample_ports=bottleneck,
+        )
+        # Skip the startup transient (first 10%) when reading the queue.
+        t_q, q = result.sampler.series("bneck")
+        steady = [v for t, v in zip(t_q, q) if t >= p["duration"] * 0.1]
+        queue_p95[wai] = percentile(steady, 95) if steady else 0.0
+        queue_p99[wai] = percentile(steady, 99) if steady else 0.0
+        # Fairness over the second half of the run.
+        half = p["duration"] / 2
+        rates = [
+            net.metrics.goodput.mean_gbps(spec.flow_id, half, p["duration"])
+            for spec in specs
+        ]
+        fairness[wai] = jain_fairness(rates)
+        tput[wai] = {
+            spec.flow_id: net.metrics.goodput.series(spec.flow_id)
+            for spec in specs[:4]
+        }
+    return Figure14Result(queue_p95, queue_p99, fairness, tput)
+
+
+def main() -> None:
+    from ..metrics.reporter import format_table
+
+    result = run_figure14()
+    rows = [
+        (f"{wai:.0f}B",
+         f"{result.queue_p95[wai] / 1000:.1f}",
+         f"{result.queue_p99[wai] / 1000:.1f}",
+         f"{result.fairness[wai]:.3f}")
+        for wai in sorted(result.queue_p95)
+    ]
+    print(format_table(
+        ["WAI", "queue p95 (KB)", "queue p99 (KB)", "Jain fairness"],
+        rows, title="Figure 14: WAI tuning, 16 flows on 100Gbps",
+    ))
+
+
+if __name__ == "__main__":
+    main()

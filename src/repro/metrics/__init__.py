@@ -1,0 +1,40 @@
+"""Measurement and reporting: FCT slowdowns, queues, PFC, time series."""
+
+from .fct import (
+    FBHADOOP_BUCKETS,
+    WEBSEARCH_BUCKETS,
+    BucketStats,
+    percentile,
+    short_flow_slowdown,
+    slowdown_by_bucket,
+    slowdowns,
+)
+from .hub import Metrics
+from .pfcstats import (
+    PauseTreeStats,
+    analyze_pause_trees,
+    depth_ccdf,
+    pause_durations,
+    pause_fraction,
+)
+from .queuestats import QueueSampler
+from .timeseries import GoodputTracker, jain_fairness
+
+__all__ = [
+    "FBHADOOP_BUCKETS",
+    "WEBSEARCH_BUCKETS",
+    "BucketStats",
+    "GoodputTracker",
+    "Metrics",
+    "PauseTreeStats",
+    "QueueSampler",
+    "analyze_pause_trees",
+    "depth_ccdf",
+    "jain_fairness",
+    "pause_durations",
+    "pause_fraction",
+    "percentile",
+    "short_flow_slowdown",
+    "slowdown_by_bucket",
+    "slowdowns",
+]

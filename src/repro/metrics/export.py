@@ -1,0 +1,102 @@
+"""Result export: CSV and JSON writers for downstream analysis.
+
+Experiments print paper-style tables, but anyone replotting the figures
+(or diffing runs) wants machine-readable output.  These writers cover the
+three result kinds every figure is built from: FCT records, queue-length
+samples, and PFC pause intervals.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..sim.flow import FctRecord
+from ..sim.pfc import PauseTracker
+from .queuestats import QueueSampler
+
+
+def write_fct_csv(records: Iterable[FctRecord], path: str | Path) -> int:
+    """One row per finished flow; returns the row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "flow_id", "src", "dst", "size_bytes", "tag",
+            "start_ns", "finish_ns", "fct_ns", "ideal_ns", "slowdown",
+        ])
+        for r in records:
+            writer.writerow([
+                r.spec.flow_id, r.spec.src, r.spec.dst, r.spec.size,
+                r.spec.tag, f"{r.start:.1f}", f"{r.finish:.1f}",
+                f"{r.fct:.1f}", f"{r.ideal:.1f}", f"{r.slowdown:.4f}",
+            ])
+            count += 1
+    return count
+
+
+def write_queue_csv(sampler: QueueSampler, path: str | Path) -> int:
+    """Long format: (time_ns, port_label, qlen_bytes) per sample."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_ns", "port", "qlen_bytes"])
+        for label, values in sampler.samples.items():
+            for t, q in zip(sampler.times, values):
+                writer.writerow([f"{t:.1f}", label, q])
+                count += 1
+    return count
+
+
+def write_pauses_csv(tracker: PauseTracker, path: str | Path) -> int:
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["device", "port", "start_ns", "end_ns", "duration_ns"])
+        for iv in tracker.intervals:
+            writer.writerow([
+                iv.device, iv.port,
+                f"{iv.start:.1f}", f"{iv.end:.1f}", f"{iv.duration:.1f}",
+            ])
+            count += 1
+    return count
+
+
+def run_summary(
+    records: Iterable[FctRecord],
+    duration_ns: float,
+    tracker: PauseTracker | None = None,
+    drops: int = 0,
+    extra: dict | None = None,
+) -> dict:
+    """A JSON-serializable summary of one run."""
+    from .fct import percentile
+
+    slowdowns = [r.slowdown for r in records]
+    summary = {
+        "flows_finished": len(slowdowns),
+        "duration_ns": duration_ns,
+        "drops": drops,
+        "slowdown": {
+            "p50": percentile(slowdowns, 50) if slowdowns else None,
+            "p95": percentile(slowdowns, 95) if slowdowns else None,
+            "p99": percentile(slowdowns, 99) if slowdowns else None,
+        },
+    }
+    if tracker is not None:
+        summary["pfc"] = {
+            "pause_events": tracker.pause_count(),
+            "total_pause_ns": tracker.total_pause_time(),
+        }
+    if extra:
+        summary.update(extra)
+    return summary
+
+
+def write_summary_json(summary: dict, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(summary, indent=2, sort_keys=True))

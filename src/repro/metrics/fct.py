@@ -1,0 +1,118 @@
+"""Flow-completion-time statistics.
+
+The paper's headline metric is *FCT slowdown*: a flow's FCT normalized by
+the FCT it would get alone on an idle fabric (footnote 1).  Figures 2, 3,
+10, 11 and 12 plot slowdown percentiles per flow-size bucket; the bucket
+edges are the deciles of the WebSearch / FB_Hadoop size distributions,
+which is exactly what the figures use as x-axis labels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..sim.flow import FctRecord
+
+# The x-axis labels of Figures 2a/3/10 (WebSearch deciles, bytes).
+WEBSEARCH_BUCKETS: tuple[int, ...] = (
+    0, 6_700, 20_000, 30_000, 50_000, 73_000, 200_000,
+    1_000_000, 2_000_000, 5_000_000, 30_000_000,
+)
+
+# The x-axis labels of Figure 11 (FB_Hadoop deciles, bytes).
+FBHADOOP_BUCKETS: tuple[int, ...] = (
+    0, 324, 400, 500, 600, 700, 1_000, 7_000, 46_000, 120_000, 10_000_000,
+)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an unsorted sequence."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if pct == 0:
+        return ordered[0]
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+@dataclass
+class BucketStats:
+    """Slowdown statistics for one flow-size bucket."""
+
+    lo: int
+    hi: int
+    count: int
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+
+    @property
+    def label(self) -> str:
+        return _fmt_size(self.hi)
+
+
+def _fmt_size(n: int) -> str:
+    if n >= 1_000_000:
+        return f"{n / 1_000_000:g}M"
+    if n >= 1_000:
+        return f"{n / 1_000:g}K"
+    return str(n)
+
+
+def slowdowns(records: Iterable[FctRecord], tag: str | None = None) -> list[float]:
+    """All slowdowns, optionally restricted to one workload tag."""
+    return [
+        r.slowdown for r in records if tag is None or r.spec.tag == tag
+    ]
+
+
+def slowdown_by_bucket(
+    records: Iterable[FctRecord],
+    boundaries: Sequence[int] = WEBSEARCH_BUCKETS,
+    tag: str | None = None,
+) -> list[BucketStats]:
+    """Group flows into (lo, hi] size buckets and compute slowdown stats."""
+    buckets: list[list[float]] = [[] for _ in range(len(boundaries) - 1)]
+    for record in records:
+        if tag is not None and record.spec.tag != tag:
+            continue
+        size = record.spec.size
+        for i in range(len(boundaries) - 1):
+            if boundaries[i] < size <= boundaries[i + 1]:
+                buckets[i].append(record.slowdown)
+                break
+        else:
+            if size > boundaries[-1]:
+                buckets[-1].append(record.slowdown)
+    stats = []
+    for i, values in enumerate(buckets):
+        if not values:
+            continue
+        stats.append(
+            BucketStats(
+                lo=boundaries[i],
+                hi=boundaries[i + 1],
+                count=len(values),
+                p50=percentile(values, 50),
+                p95=percentile(values, 95),
+                p99=percentile(values, 99),
+                mean=sum(values) / len(values),
+            )
+        )
+    return stats
+
+
+def short_flow_slowdown(
+    records: Iterable[FctRecord],
+    max_size: int,
+    pct: float = 99.0,
+) -> float:
+    """Tail slowdown for flows no larger than ``max_size`` (e.g. <3KB)."""
+    values = [r.slowdown for r in records if r.spec.size <= max_size]
+    return percentile(values, pct)

@@ -1,0 +1,69 @@
+"""The metrics hub a running network reports into.
+
+One :class:`Metrics` instance is shared by all NICs and switches of a
+:class:`repro.sim.network.Network`.  Collection that costs memory (goodput
+time series) is opt-in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sim.engine import Simulator
+from ..sim.flow import FctRecord, FlowSpec, FlowTable
+from ..sim.packet import Packet
+from ..sim.pfc import PauseTracker
+from .timeseries import GoodputTracker
+
+
+class Metrics:
+    """Shared collection point for one simulation run."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ideal_fct: Callable[[FlowSpec], float] | None = None,
+        goodput_bin: float | None = None,
+    ) -> None:
+        self.sim = sim
+        self.flows = FlowTable()
+        self.pause_tracker = PauseTracker()
+        self.ideal_fct = ideal_fct
+        self.drop_count = 0
+        self.drops_by_device: dict[int, int] = {}
+        self.goodput = GoodputTracker(goodput_bin) if goodput_bin else None
+        self.data_bytes_delivered = 0
+
+    # -- flows -----------------------------------------------------------------
+
+    def register_flow(self, spec: FlowSpec) -> None:
+        self.flows.add(spec)
+
+    def record_fct(self, spec: FlowSpec, start: float, finish: float) -> FctRecord:
+        ideal = self.ideal_fct(spec) if self.ideal_fct else 1.0
+        record = FctRecord(spec=spec, start=start, finish=finish, ideal=ideal)
+        self.flows.complete(record)
+        return record
+
+    @property
+    def fct_records(self) -> list[FctRecord]:
+        return list(self.flows.finished.values())
+
+    # -- data path events --------------------------------------------------------
+
+    def record_drop(self, pkt: Packet, device_id: int) -> None:
+        self.drop_count += 1
+        self.drops_by_device[device_id] = self.drops_by_device.get(device_id, 0) + 1
+
+    def record_ack_bytes(self, flow_id: int, now: float, nbytes: int) -> None:
+        if self.goodput is not None:
+            self.goodput.record(flow_id, now, nbytes)
+
+    def record_delivered(self, nbytes: int) -> None:
+        self.data_bytes_delivered += nbytes
+
+    # -- run lifecycle -------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Close open pause intervals at the end of the run."""
+        self.pause_tracker.finalize(self.sim.now)

@@ -1,0 +1,142 @@
+"""PFC pause analysis: durations, pause-time fractions, propagation trees.
+
+Reproduces the quantities behind Figure 1 (production pause telemetry) and
+the pause-time bars of Figures 2b and 11b/11d:
+
+* **pause fraction** — share of time host-facing links spent paused;
+* **propagation depth** — how many hops upstream a pause tree reached.  A
+  pause interval recorded at device ``U`` (its egress toward ``O`` paused)
+  was *originated* by ``O``; if ``O`` itself had a paused egress overlapping
+  in time, the congestion propagated one hop further.  Chaining these
+  cause-effect edges recovers the pause tree rooted at the congestion point;
+* **suppressed bandwidth** — host capacity silenced by each pause tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.pfc import PauseInterval, PauseTracker
+
+
+@dataclass
+class PauseTreeStats:
+    """One congestion event: the pause tree rooted at one origin device."""
+
+    root_device: int
+    depth: int
+    start: float
+    end: float
+    suppressed_fraction: float   # of total host capacity, time-averaged
+
+
+def pause_fraction(
+    tracker: PauseTracker,
+    duration: float,
+    devices: set[int] | None = None,
+    n_ports: int | None = None,
+) -> float:
+    """Fraction of (port x time) spent paused, as the paper's Fig 11b."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    total = tracker.total_pause_time(devices)
+    ports = n_ports if n_ports is not None else max(
+        1, len({(iv.device, iv.port) for iv in tracker.intervals})
+    )
+    return total / (duration * ports)
+
+
+def pause_durations(tracker: PauseTracker, devices: set[int] | None = None) -> list[float]:
+    return [
+        iv.duration
+        for iv in tracker.intervals
+        if devices is None or iv.device in devices
+    ]
+
+
+def _overlaps(a: PauseInterval, b: PauseInterval) -> bool:
+    return a.start < b.end and b.start < a.end
+
+
+def analyze_pause_trees(
+    tracker: PauseTracker,
+    origin_of: dict[tuple[int, int], int],
+    host_ids: set[int],
+    host_rate: float,
+) -> list[PauseTreeStats]:
+    """Recover pause trees from the recorded intervals.
+
+    ``origin_of[(device, port)]`` maps a paused egress to the peer device
+    that sent the pause frames.  Returns one record per tree root.
+    """
+    intervals = tracker.intervals
+    if not intervals:
+        return []
+    origins = [origin_of[(iv.device, iv.port)] for iv in intervals]
+    by_device: dict[int, list[int]] = {}
+    for idx, iv in enumerate(intervals):
+        by_device.setdefault(iv.device, []).append(idx)
+
+    # children[i]: intervals caused by interval i propagating one hop up.
+    # Interval j is a child of i when j's originator is i's (paused) device
+    # and the two overlap in time.
+    children: dict[int, list[int]] = {i: [] for i in range(len(intervals))}
+    has_parent = [False] * len(intervals)
+    for j, iv_j in enumerate(intervals):
+        origin = origins[j]
+        for i in by_device.get(origin, []):
+            if i != j and _overlaps(intervals[i], iv_j):
+                children[i].append(j)
+                has_parent[j] = True
+                break
+
+    def depth_of(i: int, seen: frozenset[int]) -> int:
+        best = 1
+        for child in children[i]:
+            if child not in seen:
+                best = max(best, 1 + depth_of(child, seen | {child}))
+        return best
+
+    def collect(i: int, seen: set[int]) -> None:
+        seen.add(i)
+        for child in children[i]:
+            if child not in seen:
+                collect(child, seen)
+
+    total_host_capacity = max(1, len(host_ids)) * host_rate
+    trees: list[PauseTreeStats] = []
+    for i, iv in enumerate(intervals):
+        if has_parent[i]:
+            continue
+        members: set[int] = set()
+        collect(i, members)
+        start = min(intervals[m].start for m in members)
+        end = max(intervals[m].end for m in members)
+        window = max(end - start, 1e-9)
+        suppressed = sum(
+            intervals[m].duration * host_rate
+            for m in members
+            if intervals[m].device in host_ids
+        ) / (total_host_capacity * window)
+        trees.append(
+            PauseTreeStats(
+                root_device=origins[i],
+                depth=depth_of(i, frozenset({i})),
+                start=start,
+                end=end,
+                suppressed_fraction=suppressed,
+            )
+        )
+    return trees
+
+
+def depth_ccdf(trees: list[PauseTreeStats]) -> dict[int, float]:
+    """P(depth >= d) for d = 1, 2, 3, ... — the shape of Figure 1a."""
+    if not trees:
+        return {}
+    max_depth = max(t.depth for t in trees)
+    n = len(trees)
+    return {
+        d: sum(1 for t in trees if t.depth >= d) / n
+        for d in range(1, max_depth + 1)
+    }

@@ -1,0 +1,68 @@
+"""Queue-length sampling.
+
+The paper reports switch queue lengths as CDFs (Figures 9f, 10b, 10d, 14b)
+and as time series (Figures 6, 9a-9d, 13b).  The sampler polls selected
+egress ports on a fixed period — the same approach as the testbed's buffer
+watermark polling.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import PeriodicTask, Simulator
+from ..sim.queues import EgressPort
+from .fct import percentile
+
+
+class QueueSampler:
+    """Periodically samples the queue length of a set of egress ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ports: dict[str, EgressPort],
+        interval: float,
+        start_delay: float | None = None,
+    ) -> None:
+        if not ports:
+            raise ValueError("no ports to sample")
+        self.sim = sim
+        self.ports = ports
+        self.interval = interval
+        self.times: list[float] = []
+        self.samples: dict[str, list[int]] = {label: [] for label in ports}
+        self._task = PeriodicTask(sim, interval, self._sample, start_delay=start_delay)
+
+    def _sample(self) -> None:
+        self.times.append(self.sim.now)
+        for label, port in self.ports.items():
+            self.samples[label].append(port.qlen_bytes)
+
+    def stop(self) -> None:
+        self._task.cancel()
+
+    # -- statistics -----------------------------------------------------------
+
+    def all_samples(self, labels: list[str] | None = None) -> list[int]:
+        chosen = self.samples if labels is None else {
+            k: self.samples[k] for k in labels
+        }
+        merged: list[int] = []
+        for values in chosen.values():
+            merged.extend(values)
+        return merged
+
+    def pct(self, p: float, labels: list[str] | None = None) -> float:
+        return percentile(self.all_samples(labels), p)
+
+    def max(self, labels: list[str] | None = None) -> int:
+        values = self.all_samples(labels)
+        return max(values) if values else 0
+
+    def series(self, label: str) -> tuple[list[float], list[int]]:
+        return self.times, self.samples[label]
+
+    def cdf(self, labels: list[str] | None = None) -> tuple[list[int], list[float]]:
+        """(sorted queue lengths, cumulative fraction)."""
+        values = sorted(self.all_samples(labels))
+        n = len(values)
+        return values, [(i + 1) / n for i in range(n)]

@@ -1,0 +1,42 @@
+"""The packet-level discrete-event simulator substrate (the ns-3 stand-in)."""
+
+from .buffer import BufferConfig, SharedBuffer
+from .ecn import EcnConfig, EcnMarker, EcnPolicy
+from .engine import Event, PeriodicTask, SimulationError, Simulator
+from .flow import FctRecord, FlowSpec, FlowTable
+from .link import Link
+from .nic import HostNic, NicConfig
+from .packet import IntHop, Packet, PacketType
+from .pfc import PauseInterval, PauseTracker, PfcConfig, PfcController
+from .queues import EgressPort
+from .switch import Switch
+from .trace import PacketTracer, TraceEvent
+
+__all__ = [
+    "BufferConfig",
+    "EcnConfig",
+    "EcnMarker",
+    "EcnPolicy",
+    "EgressPort",
+    "Event",
+    "FctRecord",
+    "FlowSpec",
+    "FlowTable",
+    "HostNic",
+    "IntHop",
+    "Link",
+    "NicConfig",
+    "Packet",
+    "PacketTracer",
+    "PacketType",
+    "TraceEvent",
+    "PauseInterval",
+    "PauseTracker",
+    "PeriodicTask",
+    "PfcConfig",
+    "PfcController",
+    "SharedBuffer",
+    "SimulationError",
+    "Simulator",
+    "Switch",
+]

@@ -1,0 +1,75 @@
+"""RED/WRED-style ECN marking.
+
+DCQCN and DCTCP rely on switches marking packets when the egress queue
+exceeds configured thresholds (the ``Kmin``/``Kmax`` knobs swept in
+Figure 3).  Marking uses the instantaneous queue length: below ``kmin``
+nothing is marked, above ``kmax`` everything is marked, and in between the
+marking probability ramps linearly up to ``pmax``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EcnConfig:
+    """ECN marking thresholds, in bytes."""
+
+    kmin: int
+    kmax: int
+    pmax: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.kmin < 0 or self.kmax < self.kmin:
+            raise ValueError(f"invalid ECN thresholds kmin={self.kmin} kmax={self.kmax}")
+        if not 0.0 <= self.pmax <= 1.0:
+            raise ValueError(f"pmax must be a probability, got {self.pmax}")
+
+
+@dataclass(frozen=True)
+class EcnPolicy:
+    """Rate-relative ECN thresholds.
+
+    The paper scales ``Kmin``/``Kmax`` proportionally to link bandwidth
+    (Section 5.1), e.g. DCQCN uses 100KB/400KB at 25Gbps.  ``for_rate``
+    yields the concrete :class:`EcnConfig` of a port.
+    """
+
+    kmin: int          # bytes at the reference rate
+    kmax: int
+    pmax: float
+    ref_rate: float    # bytes/ns
+
+    def for_rate(self, rate: float) -> EcnConfig:
+        factor = rate / self.ref_rate
+        return EcnConfig(int(self.kmin * factor), int(self.kmax * factor), self.pmax)
+
+
+class EcnMarker:
+    """Stateless-per-packet marking decision with a private RNG stream."""
+
+    def __init__(self, config: EcnConfig, seed: int = 0) -> None:
+        self.config = config
+        self._rng = random.Random(seed)
+
+    def should_mark(self, qlen_bytes: int) -> bool:
+        cfg = self.config
+        if qlen_bytes <= cfg.kmin:
+            return False
+        if qlen_bytes >= cfg.kmax:
+            return True
+        if cfg.kmax == cfg.kmin:
+            return True
+        prob = cfg.pmax * (qlen_bytes - cfg.kmin) / (cfg.kmax - cfg.kmin)
+        return self._rng.random() < prob
+
+    def marking_probability(self, qlen_bytes: int) -> float:
+        """The marking probability at a given queue length (for tests)."""
+        cfg = self.config
+        if qlen_bytes <= cfg.kmin:
+            return 0.0
+        if qlen_bytes >= cfg.kmax:
+            return 1.0
+        return cfg.pmax * (qlen_bytes - cfg.kmin) / (cfg.kmax - cfg.kmin)

@@ -1,0 +1,170 @@
+"""Discrete-event simulation engine.
+
+This is the substrate the whole reproduction runs on, playing the role ns-3
+plays in the paper.  It is a classic calendar queue built on ``heapq``:
+
+* time is a float in nanoseconds (``repro.sim.units``),
+* ties are broken by a monotonically increasing sequence number so runs are
+  deterministic,
+* cancellation is done by flagging the event, which the pop loop skips.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the run loop will skip it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.1f} seq={self.seq} {state} {self.fn}>"
+
+
+class Simulator:
+    """The event loop.
+
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(10.0, out.append, "a")
+    >>> _ = sim.schedule(5.0, out.append, "b")
+    >>> sim.run()
+    >>> out
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._stopped: bool = False
+        self.events_processed: int = 0
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} before now={self.now}")
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def stop(self) -> None:
+        """Make :meth:`run` return after the current event."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is drained."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events in time order.
+
+        Stops when the queue drains, when the next event is later than
+        ``until`` (the clock is then advanced to ``until``), after
+        ``max_events`` events, or when :meth:`stop` is called.
+        """
+        self._stopped = False
+        heap = self._heap
+        processed = 0
+        while heap and not self._stopped:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                heapq.heappush(heap, event)
+                self.now = until
+                return
+            self.now = event.time
+            event.fn(*event.args)
+            processed += 1
+            self.events_processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+        if until is not None and self.now < until:
+            self.now = until
+
+
+class PeriodicTask:
+    """Re-schedules a callback every ``interval`` ns until cancelled.
+
+    Used for metric sampling and CC timers (e.g. DCQCN's rate-increase
+    timer).  The callback may call :meth:`cancel` from inside itself.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        start_delay: float | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"non-positive interval {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+        delay = interval if start_delay is None else start_delay
+        self._event = sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fn(*self.args)
+        if not self._cancelled:
+            self._event = self.sim.schedule(self.interval, self._fire)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._event.cancel()
+
+    def reset(self, interval: float | None = None) -> None:
+        """Restart the period from now, optionally with a new interval."""
+        if interval is not None:
+            if interval <= 0:
+                raise SimulationError(f"non-positive interval {interval}")
+            self.interval = interval
+        self._event.cancel()
+        self._cancelled = False
+        self._event = self.sim.schedule(self.interval, self._fire)

@@ -1,0 +1,55 @@
+"""Point-to-point links.
+
+A link joins one egress port on each of two devices.  Serialization happens
+at the ports; the link contributes only propagation delay and hands the
+packet to the peer device's ``receive``.
+"""
+
+from __future__ import annotations
+
+from .engine import Simulator
+from .packet import Packet
+from .queues import EgressPort
+
+
+class Link:
+    """Full-duplex point-to-point link between two (device, port) pairs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dev_a,
+        port_a: EgressPort,
+        dev_b,
+        port_b: EgressPort,
+        prop_delay: float,
+    ) -> None:
+        if prop_delay < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {prop_delay}")
+        self.sim = sim
+        self.dev_a = dev_a
+        self.port_a = port_a
+        self.dev_b = dev_b
+        self.port_b = port_b
+        self.prop_delay = prop_delay
+        self.up = True
+        self.packets_lost_down = 0
+        port_a.link = self
+        port_b.link = self
+
+    def deliver(self, pkt: Packet, from_port: EgressPort) -> None:
+        """Schedule arrival at the peer after the propagation delay.
+
+        A downed link (failure injection) silently discards traffic, as a
+        cut fiber would; ``packets_lost_down`` counts the casualties.
+        """
+        if not self.up:
+            self.packets_lost_down += 1
+            return
+        if from_port is self.port_a:
+            dest_dev, dest_port = self.dev_b, self.port_b.port_id
+        elif from_port is self.port_b:
+            dest_dev, dest_port = self.dev_a, self.port_a.port_id
+        else:  # pragma: no cover - wiring bug
+            raise AssertionError("packet emitted from a port not on this link")
+        self.sim.schedule(self.prop_delay, dest_dev.receive, pkt, dest_port)

@@ -1,0 +1,182 @@
+"""Packets and INT (in-network telemetry) hop records.
+
+Mirrors Figure 7 of the paper: each data packet carries an INT stack; each
+switch appends one :class:`IntHop` when the packet is emitted from its egress
+port, recording the port bandwidth ``B``, a timestamp ``ts``, the cumulative
+transmitted bytes ``tx_bytes``, and the instantaneous queue length ``qlen``.
+The receiver copies the stack onto the ACK so the sender sees per-hop load.
+
+``rx_bytes`` (cumulative bytes *enqueued* at the port) is an extension used
+only by the HPCC-rxRate design-choice variant (Figure 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class PacketType(enum.IntEnum):
+    DATA = 0
+    ACK = 1
+    NACK = 2
+    CNP = 3       # DCQCN congestion notification packet
+    PAUSE = 4     # PFC pause frame (link-local)
+    RESUME = 5    # PFC resume frame (link-local)
+
+
+# Wire-size constants, bytes.  A RoCEv2 data packet carries Eth+IP+UDP+BTH
+# (~48B of headers); the HPCC INT stack adds up to 42B (Section 5.1, the
+# paper's worst-case accounting); control packets are minimum-size frames.
+BASE_HEADER = 48
+INT_OVERHEAD = 42
+ACK_SIZE = 60
+CNP_SIZE = 60
+PFC_FRAME_SIZE = 64
+
+
+class IntHop:
+    """One switch's telemetry record, appended at packet emission."""
+
+    __slots__ = ("bandwidth", "ts", "tx_bytes", "qlen", "rx_bytes")
+
+    def __init__(
+        self,
+        bandwidth: float,
+        ts: float,
+        tx_bytes: int,
+        qlen: int,
+        rx_bytes: int = 0,
+    ) -> None:
+        self.bandwidth = bandwidth    # egress port rate, bytes/ns
+        self.ts = ts                  # emission timestamp, ns
+        self.tx_bytes = tx_bytes      # cumulative bytes emitted by the port
+        self.qlen = qlen              # instantaneous egress queue bytes
+        self.rx_bytes = rx_bytes      # cumulative bytes enqueued (extension)
+
+    def copy(self) -> "IntHop":
+        return IntHop(self.bandwidth, self.ts, self.tx_bytes, self.qlen, self.rx_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IntHop(B={self.bandwidth:.3f}B/ns ts={self.ts:.0f} "
+            f"tx={self.tx_bytes} q={self.qlen})"
+        )
+
+
+class Packet:
+    """A simulated packet.
+
+    ``seq`` is a byte offset (RoCE-style), ``payload`` the number of payload
+    bytes, and ``wire_size`` the bytes that occupy links.  ``ack_seq`` is the
+    cumulative acknowledgement carried by ACK/NACK packets.
+    """
+
+    __slots__ = (
+        "ptype",
+        "flow_id",
+        "src",
+        "dst",
+        "seq",
+        "payload",
+        "header",
+        "ecn",
+        "int_hops",
+        "ack_seq",
+        "ts_tx",
+        "priority",
+        "pause_priority",
+        "hop_count",
+        "_ingress_ref",
+    )
+
+    def __init__(
+        self,
+        ptype: PacketType,
+        flow_id: int,
+        src: int,
+        dst: int,
+        seq: int = 0,
+        payload: int = 0,
+        header: int = BASE_HEADER,
+        priority: int = 0,
+    ) -> None:
+        self.ptype = ptype
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.payload = payload
+        self.header = header
+        self.ecn = False
+        self.int_hops: Optional[list[IntHop]] = None
+        self.ack_seq = 0
+        self.ts_tx = 0.0            # sender timestamp, echoed for RTT (TIMELY)
+        self.priority = priority
+        self.pause_priority = 0     # which priority a PAUSE/RESUME targets
+        self.hop_count = 0
+        self._ingress_ref = None    # (switch-local) ingress accounting token
+
+    @property
+    def wire_size(self) -> int:
+        return self.payload + self.header
+
+    def add_int_hop(self, hop: IntHop) -> None:
+        if self.int_hops is None:
+            self.int_hops = []
+        self.int_hops.append(hop)
+        self.hop_count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.ptype.name} flow={self.flow_id} seq={self.seq} "
+            f"payload={self.payload} {self.src}->{self.dst})"
+        )
+
+
+def make_data_packet(
+    flow_id: int,
+    src: int,
+    dst: int,
+    seq: int,
+    payload: int,
+    int_enabled: bool,
+    now: float,
+) -> Packet:
+    """Build a data packet, reserving INT header space when INT is on."""
+    header = BASE_HEADER + (INT_OVERHEAD if int_enabled else 0)
+    pkt = Packet(PacketType.DATA, flow_id, src, dst, seq=seq, payload=payload, header=header)
+    if int_enabled:
+        pkt.int_hops = []
+    pkt.ts_tx = now
+    return pkt
+
+
+def make_ack(data: Packet, ack_seq: int, now: float, nack: bool = False) -> Packet:
+    """Build the ACK (or NACK) for a received data packet.
+
+    Copies the INT stack and the ECN mark back to the sender, and echoes the
+    sender timestamp for RTT measurement.
+    """
+    ptype = PacketType.NACK if nack else PacketType.ACK
+    header = ACK_SIZE + (INT_OVERHEAD if data.int_hops is not None else 0)
+    ack = Packet(ptype, data.flow_id, data.dst, data.src, seq=data.seq, header=header)
+    ack.ack_seq = ack_seq
+    ack.ecn = data.ecn
+    ack.ts_tx = data.ts_tx
+    if data.int_hops is not None:
+        ack.int_hops = [h.copy() for h in data.int_hops]
+    return ack
+
+
+def make_cnp(flow_id: int, src: int, dst: int) -> Packet:
+    """Build a DCQCN congestion-notification packet (receiver -> sender)."""
+    return Packet(PacketType.CNP, flow_id, src, dst, header=CNP_SIZE)
+
+
+def make_pause(priority: int, pause: bool) -> Packet:
+    """Build a link-local PFC pause/resume frame."""
+    ptype = PacketType.PAUSE if pause else PacketType.RESUME
+    pkt = Packet(ptype, flow_id=-1, src=-1, dst=-1, header=PFC_FRAME_SIZE)
+    pkt.pause_priority = priority
+    return pkt

@@ -1,0 +1,136 @@
+"""Egress ports: FIFO queueing, serialization, PFC pause, INT counters.
+
+A port serializes one packet at a time at its configured rate; the link then
+adds propagation delay.  PFC pause frames travel through a small control
+queue that is served ahead of data and is never paused, matching how real
+switches emit PFC at the highest priority.
+
+The port keeps the counters INT exposes (Figure 7): cumulative transmitted
+bytes (``tx_bytes``) and instantaneous queue length (``qlen_bytes``), plus
+the cumulative *enqueued* bytes (``rx_bytes``) used by the HPCC-rxRate
+design-choice variant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from .engine import Simulator
+from .packet import Packet
+
+
+class EgressPort:
+    """One transmit direction of a device's port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        owner,
+        port_id: int,
+        rate: float,
+        on_emit: Optional[Callable[[Packet, "EgressPort"], None]] = None,
+        on_idle: Optional[Callable[["EgressPort"], None]] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"port rate must be positive, got {rate}")
+        self.sim = sim
+        self.owner = owner
+        self.port_id = port_id
+        self.rate = rate                      # bytes per ns
+        self.link = None                      # set when wired
+        self._queue: deque[Packet] = deque()
+        self._control: deque[Packet] = deque()
+        self._busy = False
+        self.paused = False
+        self.qlen_bytes = 0
+        self.tx_bytes = 0                     # cumulative emitted wire bytes
+        self.rx_bytes = 0                     # cumulative enqueued wire bytes
+        self.packets_emitted = 0
+        self.on_emit = on_emit                # hook: INT stamping, buffer release
+        self.on_idle = on_idle                # hook: NIC pump
+        self._pause_started: float | None = None
+        self.total_paused = 0.0
+
+    # -- queue state ---------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_len_packets(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is being serialized and no data is queued."""
+        return not self._busy and not self._queue and not self._control
+
+    def serialization_time(self, wire_size: int) -> float:
+        return wire_size / self.rate
+
+    # -- enqueue paths -------------------------------------------------------
+
+    def enqueue(self, pkt: Packet) -> None:
+        """Queue a data-plane packet (data, ACK, NACK, CNP)."""
+        self._queue.append(pkt)
+        self.qlen_bytes += pkt.wire_size
+        self.rx_bytes += pkt.wire_size
+        self._kick()
+
+    def enqueue_control(self, pkt: Packet) -> None:
+        """Queue a link-local control frame (PFC); bypasses pause."""
+        self._control.append(pkt)
+        self._kick()
+
+    # -- pause / resume ------------------------------------------------------
+
+    def set_paused(self, paused: bool) -> None:
+        if paused == self.paused:
+            return
+        self.paused = paused
+        now = self.sim.now
+        if paused:
+            self._pause_started = now
+        else:
+            if self._pause_started is not None:
+                self.total_paused += now - self._pause_started
+                self._pause_started = None
+            self._kick()
+            if self.idle and self.on_idle is not None:
+                self.on_idle(self)
+
+    def paused_time(self, now: float) -> float:
+        """Total paused duration including a still-open pause."""
+        open_time = 0.0
+        if self._pause_started is not None:
+            open_time = now - self._pause_started
+        return self.total_paused + open_time
+
+    # -- transmission --------------------------------------------------------
+
+    def _kick(self) -> None:
+        if self._busy:
+            return
+        if self._control:
+            pkt = self._control.popleft()
+        elif self._queue and not self.paused:
+            pkt = self._queue.popleft()
+            self.qlen_bytes -= pkt.wire_size
+        else:
+            return
+        self._busy = True
+        self.tx_bytes += pkt.wire_size
+        self.packets_emitted += 1
+        if self.on_emit is not None:
+            self.on_emit(pkt, self)
+        self.sim.schedule(self.serialization_time(pkt.wire_size), self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self._busy = False
+        if self.link is not None:
+            self.link.deliver(pkt, self)
+        self._kick()
+        if self.idle and self.on_idle is not None:
+            self.on_idle(self)

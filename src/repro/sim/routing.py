@@ -1,0 +1,110 @@
+"""Shortest-path routing with ECMP.
+
+Routing tables are computed once, before the simulation starts, by a BFS
+from every host: at each switch, the next hops toward a destination host are
+all neighbors one hop closer to it.  Per-flow ECMP picks one of the
+equal-cost ports with a deterministic hash of (flow id, src, dst), so the
+forward and reverse directions of a flow hash independently, like a 5-tuple
+hash would.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..topology.base import Topology
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def ecmp_hash(*keys: int) -> int:
+    """Deterministic (cross-run, cross-platform) integer mix.
+
+    FNV-1a accumulation plus a murmur-style avalanche finalizer: plain FNV
+    leaves the low bit a commutative XOR of the inputs, which would send a
+    flow's forward and reverse directions to the same 2-way ECMP member.
+    """
+    h = _FNV_OFFSET
+    for key in keys:
+        h ^= key & 0xFFFFFFFFFFFFFFFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 33
+    h = (h * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 33
+    h = (h * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
+    h ^= h >> 33
+    return h
+
+
+def bfs_distances(topology: Topology, source: int) -> dict[int, int]:
+    """Hop distance from every node to ``source``."""
+    adj = topology.adjacency()
+    dist = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for peer, _ in adj[node]:
+            if peer not in dist:
+                dist[peer] = dist[node] + 1
+                frontier.append(peer)
+    return dist
+
+
+def shortest_path_delays(topology: Topology, source: int, mtu_wire: int) -> dict[int, float]:
+    """One-way delay estimate (propagation + per-hop MTU serialization)."""
+    adj = topology.adjacency()
+    dist = bfs_distances(topology, source)
+    delay: dict[int, float] = {source: 0.0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for peer, link in adj[node]:
+            if dist.get(peer, -1) == dist[node] + 1 and peer not in delay:
+                delay[peer] = delay[node] + link.delay + mtu_wire / link.rate
+                frontier.append(peer)
+    return delay
+
+
+def build_routing_tables(
+    topology: Topology,
+    port_map: dict[tuple[int, int], list[int]],
+    excluded_ports: set[tuple[int, int]] | None = None,
+) -> dict[int, dict[int, tuple[int, ...]]]:
+    """Compute per-switch ECMP routing tables.
+
+    ``port_map[(node, peer)]`` lists the local port ids on ``node`` that
+    attach to ``peer`` (parallel links give several); ``excluded_ports``
+    removes (node, port) pairs whose link is down, so reconvergence after
+    a failure steers ECMP around the cut.  Returns
+    ``tables[switch][dst_host] = (out_port, ...)``.
+    """
+    adj = topology.adjacency()
+    excluded = excluded_ports or set()
+    tables: dict[int, dict[int, tuple[int, ...]]] = {
+        s: {} for s in topology.switches
+    }
+    for dst in topology.hosts:
+        dist = bfs_distances(topology, dst)
+        for switch in topology.switches:
+            if switch not in dist:
+                continue
+            ports: list[int] = []
+            for peer, _ in adj[switch]:
+                if dist.get(peer, -1) == dist[switch] - 1:
+                    ports.extend(
+                        p for p in port_map[(switch, peer)]
+                        if (switch, p) not in excluded
+                    )
+            if ports:
+                # De-duplicate parallel-link entries while keeping order.
+                seen: dict[int, None] = dict.fromkeys(ports)
+                tables[switch][dst] = tuple(seen)
+    return tables
+
+
+def ecmp_select(ports: tuple[int, ...], flow_id: int, src: int, dst: int) -> int:
+    """Pick the ECMP member port for a flow direction."""
+    if len(ports) == 1:
+        return ports[0]
+    return ports[ecmp_hash(flow_id, src, dst) % len(ports)]

@@ -1,0 +1,157 @@
+"""The switch model.
+
+Brings together the substrate pieces: shared-buffer admission
+(``repro.sim.buffer``), WRED ECN marking (``repro.sim.ecn``), PFC
+(``repro.sim.pfc``), ECMP forwarding (``repro.sim.routing``) and INT
+stamping at packet emission (Figure 7 semantics: the telemetry a packet
+carries is the egress-port state at the moment it is dequeued, so the qlen
+it reports is the queue it left *behind* — exactly the Figure 5 scenario).
+"""
+
+from __future__ import annotations
+
+from .buffer import BufferConfig, SharedBuffer
+from .ecn import EcnMarker, EcnPolicy
+from .engine import Simulator
+from .packet import IntHop, Packet, PacketType, make_pause
+from .pfc import PauseTracker, PfcConfig, PfcController
+from .queues import EgressPort
+from .routing import ecmp_select
+
+
+class Switch:
+    """A shared-buffer output-queued switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        buffer_config: BufferConfig,
+        pfc_config: PfcConfig,
+        ecn_policy: EcnPolicy | None = None,
+        int_enabled: bool = True,
+        pause_tracker: PauseTracker | None = None,
+        metrics=None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.buffer = SharedBuffer(buffer_config)
+        self.pfc = PfcController(self, pfc_config, pause_tracker)
+        self.int_enabled = int_enabled
+        self.pause_tracker = pause_tracker
+        self.metrics = metrics
+        self.ports: dict[int, EgressPort] = {}
+        self.port_peer: dict[int, int] = {}
+        # dst host -> tuple of candidate egress ports (ECMP group)
+        self.routing_table: dict[int, tuple[int, ...]] = {}
+        self._ecn_policy = ecn_policy
+        self._markers: dict[int, EcnMarker] = {}
+        self._seed = seed
+        self.drops = 0
+        self.no_route_drops = 0
+
+    # -- wiring (called by Network) -------------------------------------------
+
+    def add_port(self, port_id: int, rate: float, peer: int) -> EgressPort:
+        port = EgressPort(
+            self.sim, self, port_id, rate, on_emit=self._on_emit
+        )
+        self.ports[port_id] = port
+        self.port_peer[port_id] = peer
+        if self._ecn_policy is not None:
+            self._markers[port_id] = EcnMarker(
+                self._ecn_policy.for_rate(rate),
+                seed=self._seed * 131 + port_id,
+            )
+        return port
+
+    def install_routes(self, table: dict[int, tuple[int, ...]]) -> None:
+        self.routing_table = table
+
+    # -- data path -------------------------------------------------------------
+
+    def receive(self, pkt: Packet, in_port: int) -> None:
+        if pkt.ptype is PacketType.PAUSE or pkt.ptype is PacketType.RESUME:
+            self._handle_pfc_frame(pkt, in_port)
+            return
+        ports = self.routing_table.get(pkt.dst)
+        if not ports:
+            # No route: either a mis-wired topology or a destination cut
+            # off by failure injection.  Real switches blackhole this.
+            self.no_route_drops += 1
+            if self.metrics is not None:
+                self.metrics.record_drop(pkt, self.node_id)
+            return
+        out_id = ecmp_select(ports, pkt.flow_id, pkt.src, pkt.dst)
+        size = pkt.wire_size
+        prio = pkt.priority
+        if not self.buffer.occupy(in_port, out_id, prio, size):
+            self.drops += 1
+            if self.metrics is not None:
+                self.metrics.record_drop(pkt, self.node_id)
+            return
+        pkt._ingress_ref = (in_port, out_id, prio, size)
+        out = self.ports[out_id]
+        marker = self._markers.get(out_id)
+        if (
+            marker is not None
+            and pkt.ptype is PacketType.DATA
+            and not pkt.ecn
+            and marker.should_mark(out.qlen_bytes)
+        ):
+            pkt.ecn = True
+        out.enqueue(pkt)
+        self.pfc.on_ingress_change(in_port, prio)
+
+    def _on_emit(self, pkt: Packet, port: EgressPort) -> None:
+        """Emission hook: stamp INT, release buffer, re-check PFC."""
+        if (
+            self.int_enabled
+            and pkt.ptype is PacketType.DATA
+            and pkt.int_hops is not None
+        ):
+            pkt.add_int_hop(
+                IntHop(
+                    bandwidth=port.rate,
+                    ts=self.sim.now,
+                    tx_bytes=port.tx_bytes,
+                    qlen=port.qlen_bytes,
+                    rx_bytes=port.rx_bytes,
+                )
+            )
+        ref = pkt._ingress_ref
+        if ref is not None:
+            in_port, out_port, prio, size = ref
+            pkt._ingress_ref = None
+            self.buffer.release(in_port, out_port, prio, size)
+            self.pfc.on_ingress_change(in_port, prio)
+
+    # -- PFC -------------------------------------------------------------------
+
+    def send_pause(self, in_port: int, priority: int, pause: bool) -> None:
+        """Emit a PAUSE/RESUME frame upstream on ``in_port``."""
+        self.ports[in_port].enqueue_control(make_pause(priority, pause))
+
+    def _handle_pfc_frame(self, pkt: Packet, in_port: int) -> None:
+        port = self.ports[in_port]
+        pause = pkt.ptype is PacketType.PAUSE
+        was_paused = port.paused
+        port.set_paused(pause)
+        if self.pause_tracker is not None and pause != was_paused:
+            if pause:
+                self.pause_tracker.on_paused(self.node_id, in_port, self.sim.now)
+            else:
+                self.pause_tracker.on_resumed(self.node_id, in_port, self.sim.now)
+
+    # -- introspection ----------------------------------------------------------
+
+    def port_to(self, peer: int) -> EgressPort:
+        """The first egress port attached to ``peer`` (convenience)."""
+        for port_id, p in self.port_peer.items():
+            if p == peer:
+                return self.ports[port_id]
+        raise LookupError(f"switch {self.node_id} has no port to {peer}")
+
+    def total_queued_bytes(self) -> int:
+        return sum(port.qlen_bytes for port in self.ports.values())

@@ -1,0 +1,257 @@
+"""Loss-recovery transports: go-back-N and IRN.
+
+The paper's production deployment uses go-back-N with PFC making the fabric
+lossless; Figure 12 additionally evaluates go-back-N *without* PFC and IRN
+(selective retransmission with a BDP-bounded window, after Mittal et al.).
+
+The sender-side state machines expose a uniform interface consumed by
+``repro.sim.nic``:
+
+* ``peek_next(mtu)``       -> (seq, payload) or None
+* ``mark_sent(seq, size)``  consume what ``peek_next`` returned
+* ``on_ack(ack_seq)``      -> newly acknowledged byte count
+* ``on_nack(ack_seq, oos_seq)``  react to an out-of-sequence report
+* ``on_timeout()``          RTO fallback
+
+Sequence numbers are byte offsets (RoCE-style).
+"""
+
+from __future__ import annotations
+
+
+class GbnSender:
+    """Go-back-N: a NACK (or timeout) rewinds ``snd_nxt`` to the hole."""
+
+    def __init__(self, size: int, min_rewind_gap: float = 0.0) -> None:
+        self.size = size
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.min_rewind_gap = min_rewind_gap
+        self._last_rewind = -float("inf")
+        self.rewinds = 0
+
+    @property
+    def inflight(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def complete(self) -> bool:
+        return self.snd_una >= self.size
+
+    def has_pending(self) -> bool:
+        return self.snd_nxt < self.size
+
+    def peek_next(self, mtu: int) -> tuple[int, int] | None:
+        if self.snd_nxt >= self.size:
+            return None
+        return self.snd_nxt, min(mtu, self.size - self.snd_nxt)
+
+    def mark_sent(self, seq: int, payload: int) -> None:
+        if seq != self.snd_nxt:
+            raise AssertionError(f"GBN must send in order: {seq} != {self.snd_nxt}")
+        self.snd_nxt += payload
+
+    def on_ack(self, ack_seq: int) -> int:
+        newly = max(0, min(ack_seq, self.size) - self.snd_una)
+        self.snd_una += newly
+        if self.snd_nxt < self.snd_una:
+            self.snd_nxt = self.snd_una
+        return newly
+
+    def on_nack(self, ack_seq: int, oos_seq: int, now: float = 0.0) -> None:
+        """Rewind to the receiver's expected sequence.
+
+        ``min_rewind_gap`` suppresses the rewind storm caused by the burst
+        of NACKs a single loss event produces (the real NIC rewinds once
+        per loss event too).
+        """
+        if ack_seq >= self.snd_nxt:
+            return
+        if now - self._last_rewind < self.min_rewind_gap:
+            return
+        self._last_rewind = now
+        self.snd_nxt = max(ack_seq, self.snd_una)
+        self.rewinds += 1
+
+    def on_timeout(self, now: float = 0.0) -> None:
+        self._last_rewind = now
+        self.snd_nxt = self.snd_una
+        self.rewinds += 1
+
+
+class IrnSender:
+    """IRN-style selective repeat.
+
+    The receiver reports the in-order frontier (``ack_seq``) plus the
+    sequence of the out-of-order arrival; the sender queues exactly the
+    missing byte ranges for retransmission, never rewinding delivered data.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._rtx: list[tuple[int, int]] = []   # [start, end) byte ranges
+        self._requested_until = 0                # dedupe repeated NACK reports
+        self._dead = 0                           # bytes presumed lost (RTO)
+        self.retransmissions = 0
+
+    @property
+    def inflight(self) -> int:
+        """Unacknowledged bytes believed to still be in the network.
+
+        Bytes declared dead by a retransmission timeout no longer count
+        against the window — otherwise a large loss burst would block the
+        window forever (nothing can be sent, so nothing can be acked).
+        """
+        return max(0, self.snd_nxt - self.snd_una - self._dead)
+
+    @property
+    def complete(self) -> bool:
+        return self.snd_una >= self.size
+
+    def has_pending(self) -> bool:
+        return bool(self._rtx) or self.snd_nxt < self.size
+
+    def peek_next(self, mtu: int) -> tuple[int, int] | None:
+        if self._rtx:
+            start, end = self._rtx[0]
+            return start, min(mtu, end - start)
+        if self.snd_nxt >= self.size:
+            return None
+        return self.snd_nxt, min(mtu, self.size - self.snd_nxt)
+
+    def mark_sent(self, seq: int, payload: int) -> None:
+        if self._rtx and seq == self._rtx[0][0]:
+            start, end = self._rtx[0]
+            if start + payload >= end:
+                self._rtx.pop(0)
+            else:
+                self._rtx[0] = (start + payload, end)
+            self.retransmissions += 1
+            # Retransmitted bytes are live in the network again.
+            self._dead = max(0, self._dead - payload)
+            return
+        if seq != self.snd_nxt:
+            raise AssertionError(f"unexpected send at {seq}, snd_nxt={self.snd_nxt}")
+        self.snd_nxt += payload
+
+    def on_ack(self, ack_seq: int) -> int:
+        # A cumulative ack can never cover bytes not yet sent (IRN does not
+        # rewind, so snd_nxt is the high-water mark of transmitted data).
+        newly = max(0, min(ack_seq, self.size, self.snd_nxt) - self.snd_una)
+        self.snd_una += newly
+        if self._requested_until < self.snd_una:
+            self._requested_until = self.snd_una
+        self._dead = min(self._dead, self.snd_nxt - self.snd_una)
+        # Drop retransmission ranges that the frontier has passed.
+        self._rtx = [
+            (max(s, self.snd_una), e) for s, e in self._rtx if e > self.snd_una
+        ]
+        return newly
+
+    def on_nack(self, ack_seq: int, oos_seq: int, now: float = 0.0) -> None:
+        self.on_ack(ack_seq)
+        start = max(ack_seq, self._requested_until, self.snd_una)
+        end = min(oos_seq, self.size)
+        if end > start:
+            self._rtx.append((start, end))
+            self._requested_until = end
+
+    def on_timeout(self, now: float = 0.0) -> None:
+        if self.complete:
+            return
+        # Nothing came back for a full RTO: everything outstanding is
+        # presumed lost and stops counting against the window, and earlier
+        # retransmission requests are forgotten — they may themselves have
+        # been lost, and the dedupe marker must not block re-requests.
+        self._dead = self.snd_nxt - self.snd_una
+        start = self.snd_una
+        if not (self._rtx and self._rtx[0][0] == start):
+            self._rtx.insert(0, (start, min(start + 1000, self.size)))
+        self._requested_until = self._rtx[0][1]
+
+
+class GbnReceiver:
+    """In-order-only receiver: OOS data is dropped and NACKed."""
+
+    def __init__(self) -> None:
+        self.expected = 0
+
+    def on_data(self, seq: int, payload: int) -> tuple[bool, int]:
+        """Returns ``(is_nack, cumulative_ack)``."""
+        if seq == self.expected:
+            self.expected += payload
+            return False, self.expected
+        if seq > self.expected:
+            return True, self.expected
+        # Duplicate from a rewind: re-ack the frontier.
+        if seq + payload > self.expected:
+            self.expected = seq + payload
+        return False, self.expected
+
+
+class IrnReceiver:
+    """Receiver that buffers out-of-order data (interval tracking)."""
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self._intervals: list[tuple[int, int]] = []   # disjoint, sorted
+
+    def on_data(self, seq: int, payload: int) -> tuple[bool, int]:
+        """Returns ``(is_nack, cumulative_ack)``; NACK signals a gap."""
+        end = seq + payload
+        is_gap = seq > self.expected
+        self._insert(seq, end)
+        self._advance()
+        return is_gap, self.expected
+
+    def first_hole_end(self) -> int | None:
+        """End of the first missing range: [expected, first buffered byte).
+
+        This is what the NACK reports so the sender retransmits exactly
+        the hole (the real IRN conveys it via a SACK bitmap).
+        """
+        if not self._intervals:
+            return None
+        return self._intervals[0][0]
+
+    def _insert(self, start: int, end: int) -> None:
+        merged: list[tuple[int, int]] = []
+        placed = False
+        for s, e in self._intervals:
+            if e < start:
+                merged.append((s, e))
+            elif end < s:
+                if not placed:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((s, e))
+            else:
+                start = min(start, s)
+                end = max(end, e)
+        if not placed:
+            merged.append((start, end))
+        self._intervals = merged
+
+    def _advance(self) -> None:
+        while self._intervals and self._intervals[0][0] <= self.expected:
+            s, e = self._intervals.pop(0)
+            if e > self.expected:
+                self.expected = e
+
+
+def make_sender(mode: str, size: int, min_rewind_gap: float = 0.0):
+    if mode == "gbn":
+        return GbnSender(size, min_rewind_gap=min_rewind_gap)
+    if mode == "irn":
+        return IrnSender(size)
+    raise ValueError(f"unknown transport mode {mode!r}")
+
+
+def make_receiver(mode: str):
+    if mode == "gbn":
+        return GbnReceiver()
+    if mode == "irn":
+        return IrnReceiver()
+    raise ValueError(f"unknown transport mode {mode!r}")

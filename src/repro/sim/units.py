@@ -1,0 +1,132 @@
+"""Units and conversions used throughout the simulator.
+
+The simulator clock is a float measured in nanoseconds.  Bandwidths are
+stored as bytes per nanosecond (1 Gbps == 0.125 B/ns), which makes
+``size_bytes / rate`` directly yield a duration in nanoseconds.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Time constants, in nanoseconds.
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+SEC = 1_000_000_000.0
+
+# Size constants, in bytes.
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KIB = 1_024
+MIB = 1_048_576
+
+_BANDWIDTH_UNITS = {
+    "bps": 1e-9 / 8,
+    "kbps": 1e-6 / 8,
+    "mbps": 1e-3 / 8,
+    "gbps": 1.0 / 8,
+    "tbps": 1e3 / 8,
+}
+
+_TIME_UNITS = {
+    "ns": NS,
+    "us": US,
+    "ms": MS,
+    "s": SEC,
+    "sec": SEC,
+}
+
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "kib": KIB,
+    "mib": MIB,
+}
+
+_QUANTITY_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*([a-zA-Z]+)\s*$")
+
+
+class UnitError(ValueError):
+    """Raised when a quantity string cannot be parsed."""
+
+
+def _parse(text: str, units: dict[str, float], kind: str) -> float:
+    match = _QUANTITY_RE.match(text)
+    if not match:
+        raise UnitError(f"cannot parse {kind} quantity {text!r}")
+    value, unit = match.groups()
+    factor = units.get(unit.lower())
+    if factor is None:
+        raise UnitError(f"unknown {kind} unit {unit!r} in {text!r}")
+    return float(value) * factor
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits per second to bytes per nanosecond."""
+    return value / 8.0
+
+
+def bytes_per_ns_to_gbps(rate: float) -> float:
+    """Convert bytes per nanosecond back to gigabits per second."""
+    return rate * 8.0
+
+
+def parse_bandwidth(text: str | float) -> float:
+    """Parse a bandwidth such as ``"100Gbps"`` into bytes per nanosecond.
+
+    A bare number is interpreted as bytes per nanosecond already.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    return _parse(text, _BANDWIDTH_UNITS, "bandwidth")
+
+
+def parse_time(text: str | float) -> float:
+    """Parse a duration such as ``"5us"`` into nanoseconds.
+
+    A bare number is interpreted as nanoseconds already.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    return _parse(text, _TIME_UNITS, "time")
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a byte size such as ``"400KB"`` into an integer byte count.
+
+    A bare number is interpreted as bytes already.
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    return int(_parse(text, _SIZE_UNITS, "size"))
+
+
+def fmt_time(ns: float) -> str:
+    """Render a nanosecond duration with a human-friendly unit."""
+    if ns >= SEC:
+        return f"{ns / SEC:.3f}s"
+    if ns >= MS:
+        return f"{ns / MS:.3f}ms"
+    if ns >= US:
+        return f"{ns / US:.3f}us"
+    return f"{ns:.1f}ns"
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a human-friendly unit."""
+    if n >= GB:
+        return f"{n / GB:.2f}GB"
+    if n >= MB:
+        return f"{n / MB:.2f}MB"
+    if n >= KB:
+        return f"{n / KB:.1f}KB"
+    return f"{n:.0f}B"
+
+
+def fmt_rate(rate: float) -> str:
+    """Render a bytes-per-ns rate as Gbps."""
+    return f"{bytes_per_ns_to_gbps(rate):.2f}Gbps"

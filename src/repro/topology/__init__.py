@@ -1,0 +1,20 @@
+"""Topology builders: micro shapes, the 32-server testbed, the FatTree."""
+
+from .base import LinkSpec, Topology
+from .fattree import FatTreeSpec, bench_fattree, fattree, paper_fattree
+from .simple import dumbbell, intree, parking_lot, star
+from .testbed import testbed
+
+__all__ = [
+    "FatTreeSpec",
+    "LinkSpec",
+    "Topology",
+    "bench_fattree",
+    "dumbbell",
+    "fattree",
+    "intree",
+    "paper_fattree",
+    "parking_lot",
+    "star",
+    "testbed",
+]

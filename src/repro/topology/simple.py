@@ -1,0 +1,128 @@
+"""Small topologies for micro-benchmarks and tests.
+
+The paper's design-choice experiments run on exactly these shapes:
+Figure 6 uses a 2-to-1 single-switch star, Figure 13 a 16-to-1 star with
+100Gbps links and 1us propagation delay (Section 5.4), Appendix A.4 a
+64-to-1 in-tree.
+"""
+
+from __future__ import annotations
+
+from ..sim.units import parse_bandwidth, parse_time
+from .base import LinkSpec, Topology
+
+
+def star(
+    n_hosts: int,
+    host_rate: str | float = "100Gbps",
+    link_delay: str | float = "1us",
+) -> Topology:
+    """``n_hosts`` hosts on one switch (Section 5.4's incast fixture)."""
+    if n_hosts < 2:
+        raise ValueError("a star needs at least 2 hosts")
+    rate = parse_bandwidth(host_rate)
+    delay = parse_time(link_delay)
+    switch = n_hosts
+    links = [LinkSpec(h, switch, rate, delay) for h in range(n_hosts)]
+    return Topology(
+        name=f"star{n_hosts}", n_hosts=n_hosts, n_switches=1, links=links,
+        switch_tiers={"tor": [switch]},
+    )
+
+
+def dumbbell(
+    n_left: int,
+    n_right: int,
+    host_rate: str | float = "100Gbps",
+    trunk_rate: str | float = "100Gbps",
+    host_delay: str | float = "1us",
+    trunk_delay: str | float = "1us",
+) -> Topology:
+    """Two switches joined by one trunk; classic shared-bottleneck shape."""
+    n_hosts = n_left + n_right
+    rate = parse_bandwidth(host_rate)
+    trunk = parse_bandwidth(trunk_rate)
+    hd = parse_time(host_delay)
+    td = parse_time(trunk_delay)
+    sw_l, sw_r = n_hosts, n_hosts + 1
+    links = [LinkSpec(h, sw_l, rate, hd) for h in range(n_left)]
+    links += [LinkSpec(h, sw_r, rate, hd) for h in range(n_left, n_hosts)]
+    links.append(LinkSpec(sw_l, sw_r, trunk, td))
+    return Topology(
+        name=f"dumbbell{n_left}x{n_right}", n_hosts=n_hosts, n_switches=2,
+        links=links, switch_tiers={"tor": [sw_l, sw_r]},
+    )
+
+
+def parking_lot(
+    n_segments: int,
+    host_rate: str | float = "100Gbps",
+    trunk_rate: str | float = "100Gbps",
+    delay: str | float = "1us",
+) -> Topology:
+    """A chain of switches with one host pair per switch plus one end-to-end
+    pair — the classic multi-bottleneck shape used to test the Appendix A.2
+    claim that multiple bottlenecks need multiple adjustment rounds."""
+    if n_segments < 2:
+        raise ValueError("need at least 2 segments")
+    rate = parse_bandwidth(host_rate)
+    trunk = parse_bandwidth(trunk_rate)
+    d = parse_time(delay)
+    # Hosts: 2 per switch (sender, receiver of local traffic) + 2 end hosts.
+    n_hosts = 2 * n_segments + 2
+    switches = [n_hosts + i for i in range(n_segments)]
+    links = []
+    end_a, end_b = 2 * n_segments, 2 * n_segments + 1
+    links.append(LinkSpec(end_a, switches[0], rate, d))
+    links.append(LinkSpec(end_b, switches[-1], rate, d))
+    for i, sw in enumerate(switches):
+        links.append(LinkSpec(2 * i, sw, rate, d))
+        links.append(LinkSpec(2 * i + 1, sw, rate, d))
+        if i + 1 < n_segments:
+            links.append(LinkSpec(sw, switches[i + 1], trunk, d))
+    return Topology(
+        name=f"parkinglot{n_segments}", n_hosts=n_hosts,
+        n_switches=n_segments, links=links,
+        switch_tiers={"tor": switches},
+    )
+
+
+def intree(
+    fan_in: int,
+    depth: int = 2,
+    host_rate: str | float = "100Gbps",
+    delay: str | float = "1us",
+) -> Topology:
+    """A ``fan_in``-ary in-tree converging on one receiver (Appendix A.4).
+
+    ``fan_in ** depth`` senders at the leaves, one receiver at the root
+    switch; every link runs at the host rate so the root is the single
+    bottleneck.
+    """
+    if fan_in < 2 or depth < 1:
+        raise ValueError("need fan_in >= 2 and depth >= 1")
+    rate = parse_bandwidth(host_rate)
+    d = parse_time(delay)
+    n_senders = fan_in ** depth
+    n_hosts = n_senders + 1             # + the receiver
+    receiver = n_senders
+    # Switch layout: level 0 is the root; level k has fan_in^k switches.
+    n_switches = sum(fan_in ** k for k in range(depth))
+    first_switch = n_hosts
+    level_start = [first_switch]
+    for k in range(1, depth):
+        level_start.append(level_start[-1] + fan_in ** (k - 1))
+    links = [LinkSpec(receiver, first_switch, rate, d)]
+    for k in range(1, depth):
+        for i in range(fan_in ** k):
+            child = level_start[k] + i
+            parent = level_start[k - 1] + i // fan_in
+            links.append(LinkSpec(child, parent, rate, d))
+    leaf_level = level_start[depth - 1]
+    for s in range(n_senders):
+        leaf_switch = leaf_level + s // fan_in
+        links.append(LinkSpec(s, leaf_switch, rate, d))
+    return Topology(
+        name=f"intree{fan_in}^{depth}", n_hosts=n_hosts,
+        n_switches=n_switches, links=links,
+    )

@@ -1,0 +1,19 @@
+"""Traffic generation: public trace CDFs, Poisson load, incast events."""
+
+from .distributions import EmpiricalCdf
+from .fbhadoop import FBHADOOP_POINTS, fbhadoop
+from .generator import offered_load, poisson_flows
+from .incast import incast_events, incast_period_for_load
+from .websearch import WEBSEARCH_POINTS, websearch
+
+__all__ = [
+    "EmpiricalCdf",
+    "FBHADOOP_POINTS",
+    "WEBSEARCH_POINTS",
+    "fbhadoop",
+    "incast_events",
+    "incast_period_for_load",
+    "offered_load",
+    "poisson_flows",
+    "websearch",
+]

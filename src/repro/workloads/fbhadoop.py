@@ -1,0 +1,28 @@
+"""The FB_Hadoop flow-size distribution (Roy et al., [37] in HPCC).
+
+Control points are the decile sizes Figure 11 uses as x-axis labels
+(324, 400, ..., 120K, 10M).  Dominated by sub-KB flows — "90% of the
+flows are shorter than 120KB" (Section 5.3) — with a 10MB tail.
+"""
+
+from __future__ import annotations
+
+from .distributions import EmpiricalCdf
+
+FBHADOOP_POINTS: tuple[tuple[float, float], ...] = (
+    (130, 0.0),
+    (324, 0.1),
+    (400, 0.2),
+    (500, 0.3),
+    (600, 0.4),
+    (700, 0.5),
+    (1_000, 0.6),
+    (7_000, 0.7),
+    (46_000, 0.8),
+    (120_000, 0.9),
+    (10_000_000, 1.0),
+)
+
+
+def fbhadoop() -> EmpiricalCdf:
+    return EmpiricalCdf(FBHADOOP_POINTS, name="FB_Hadoop")

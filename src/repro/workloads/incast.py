@@ -1,0 +1,61 @@
+"""Synchronized incast events.
+
+The paper's stress test (Section 5.3): "randomly selecting 60 senders and
+one receiver, each sending 500KB", repeated so the incast traffic adds 2%
+of the network capacity on top of the background load.  The event period
+that achieves a target load fraction is::
+
+    period = fan_in x flow_size / (incast_load x total_host_capacity)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..sim.flow import FlowSpec
+
+
+def incast_events(
+    hosts: Sequence[int],
+    fan_in: int,
+    flow_size: int,
+    n_events: int,
+    period: float,
+    seed: int = 7,
+    start_offset: float = 0.0,
+    first_flow_id: int = 1_000_000,
+    tag: str = "incast",
+) -> list[FlowSpec]:
+    """``n_events`` incasts, one every ``period`` ns."""
+    if fan_in >= len(hosts):
+        raise ValueError("fan_in must be smaller than the host count")
+    rng = random.Random(seed)
+    specs: list[FlowSpec] = []
+    flow_id = first_flow_id
+    hosts = list(hosts)
+    for event in range(n_events):
+        t = start_offset + event * period
+        receiver = rng.choice(hosts)
+        senders = rng.sample([h for h in hosts if h != receiver], fan_in)
+        for sender in senders:
+            specs.append(
+                FlowSpec(
+                    flow_id=flow_id, src=sender, dst=receiver,
+                    size=flow_size, start_time=t, tag=tag,
+                )
+            )
+            flow_id += 1
+    return specs
+
+
+def incast_period_for_load(
+    fan_in: int,
+    flow_size: int,
+    incast_load: float,
+    total_capacity: float,
+) -> float:
+    """Event period (ns) so incast traffic offers ``incast_load`` x capacity."""
+    if not 0.0 < incast_load < 1.0:
+        raise ValueError("incast_load must be in (0, 1)")
+    return fan_in * flow_size / (incast_load * total_capacity)

@@ -1,0 +1,29 @@
+"""The WebSearch flow-size distribution (DCTCP paper, [8] in HPCC).
+
+The control points below are the decile sizes the HPCC paper uses as
+x-axis labels in Figures 2a, 3 and 10 (0, 6.7K, 20K, ..., 30M): each label
+is the k-th decile of this distribution.  Heavy-tailed: half the flows are
+under 73KB but most bytes come from the multi-megabyte tail.
+"""
+
+from __future__ import annotations
+
+from .distributions import EmpiricalCdf
+
+WEBSEARCH_POINTS: tuple[tuple[float, float], ...] = (
+    (1, 0.0),
+    (6_700, 0.1),
+    (20_000, 0.2),
+    (30_000, 0.3),
+    (50_000, 0.4),
+    (73_000, 0.5),
+    (200_000, 0.6),
+    (1_000_000, 0.7),
+    (2_000_000, 0.8),
+    (5_000_000, 0.9),
+    (30_000_000, 1.0),
+)
+
+
+def websearch() -> EmpiricalCdf:
+    return EmpiricalCdf(WEBSEARCH_POINTS, name="WebSearch")

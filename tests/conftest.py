@@ -1,0 +1,23 @@
+"""Shared fixtures for algorithm unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import CcEnv
+from repro.sim.engine import Simulator
+from repro.sim.units import US, gbps
+
+from tests.helpers import FakeFlow
+
+
+@pytest.fixture
+def env():
+    """100Gbps NIC, T = 9us -> Winit = 112.5KB."""
+    return CcEnv(sim=Simulator(), line_rate=gbps(100), base_rtt=9 * US,
+                 mtu=1000, header=90)
+
+
+@pytest.fixture
+def flow():
+    return FakeFlow()

@@ -1,0 +1,45 @@
+"""Fake flows and hand-built ACKs for CC algorithm unit tests."""
+
+from __future__ import annotations
+
+from repro.sim.packet import IntHop, Packet, PacketType
+
+
+class FakeFlow:
+    """The slice of SenderFlow the CC algorithms touch."""
+
+    def __init__(self):
+        self.window = None
+        self.rate = 0.0
+        self.snd_nxt = 0
+        self.snd_una = 0
+        self.done = False
+
+
+def make_int_ack(
+    seq: int,
+    hops: list[tuple[float, float, int, int]],
+    ack_seq: int | None = None,
+    rx_bytes: list[int] | None = None,
+) -> Packet:
+    """Build an ACK carrying an INT stack.
+
+    ``hops`` entries are (bandwidth B/ns, ts ns, tx_bytes, qlen).
+    """
+    ack = Packet(PacketType.ACK, 1, 1, 0, seq=seq)
+    ack.ack_seq = ack_seq if ack_seq is not None else seq + 1000
+    ack.int_hops = [
+        IntHop(b, ts, tx, q,
+               rx_bytes=rx_bytes[i] if rx_bytes else tx)
+        for i, (b, ts, tx, q) in enumerate(hops)
+    ]
+    return ack
+
+
+def plain_ack(seq: int, ack_seq: int, ecn: bool = False,
+              ts_tx: float = 0.0) -> Packet:
+    ack = Packet(PacketType.ACK, 1, 1, 0, seq=seq)
+    ack.ack_seq = ack_seq
+    ack.ecn = ecn
+    ack.ts_tx = ts_tx
+    return ack

@@ -1,0 +1,51 @@
+"""The hpcc-repro command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _resolve, main
+
+
+class TestResolve:
+    def test_canonical_names(self):
+        for name in EXPERIMENTS:
+            assert _resolve(name) == name
+
+    def test_aliases(self):
+        assert _resolve("figure13") == "fig13"
+        assert _resolve("fig06") == "fig6"
+        assert _resolve("FIGURE9") == "fig9"
+        assert _resolve("appendix_a") == "appendix"
+
+    def test_unknown_exits_with_known_list(self):
+        with pytest.raises(SystemExit, match="fig13"):
+            _resolve("fig99")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig13" in capsys.readouterr().out
+
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "hpcc" in out and "dcqcn" in out
+
+    def test_run_dispatches(self, capsys, monkeypatch):
+        called = []
+        monkeypatch.setitem(
+            EXPERIMENTS, "fig13", ("stub", lambda: called.append(1))
+        )
+        assert main(["run", "fig13"]) == 0
+        assert called == [1]
+
+    def test_every_experiment_has_description_and_callable(self):
+        for name, (desc, fn) in EXPERIMENTS.items():
+            assert isinstance(desc, str) and desc
+            assert callable(fn)

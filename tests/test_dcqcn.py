@@ -1,0 +1,159 @@
+"""DCQCN: CNP decrease, alpha dynamics, the staged increase ladder."""
+
+import pytest
+
+from repro.core.dcqcn import Dcqcn
+from repro.sim.packet import Packet, PacketType
+from repro.sim.units import US, gbps
+
+from tests.helpers import FakeFlow
+
+
+def make_dcqcn(env, **kw):
+    cc = Dcqcn(env, **kw)
+    flow = FakeFlow()
+    cc.install(flow)
+    return cc, flow
+
+
+def data_pkt(size=1000):
+    return Packet(PacketType.DATA, 1, 0, 1, payload=size, header=0)
+
+
+class TestDecrease:
+    def test_first_cnp_halves(self, env):
+        cc, flow = make_dcqcn(env)
+        cc.on_cnp(flow, now=0.0)
+        # alpha starts at 1: Rc *= (1 - 1/2).
+        assert flow.rate == pytest.approx(env.line_rate / 2)
+        assert cc.rt == pytest.approx(env.line_rate)
+
+    def test_alpha_update_on_cnp(self, env):
+        cc, flow = make_dcqcn(env, g=1 / 256)
+        cc.alpha = 0.5
+        cc.on_cnp(flow, now=0.0)
+        assert cc.alpha == pytest.approx((1 - 1 / 256) * 0.5 + 1 / 256)
+
+    def test_small_alpha_gentle_cut(self, env):
+        cc, flow = make_dcqcn(env)
+        cc.alpha = 0.1
+        cc.on_cnp(flow, now=0.0)
+        assert flow.rate == pytest.approx(env.line_rate * 0.95)
+
+    def test_rate_floor(self, env):
+        cc, flow = make_dcqcn(env, min_rate=gbps(0.1))
+        for k in range(100):
+            cc.on_cnp(flow, now=float(k))
+        assert flow.rate >= gbps(0.1) - 1e-12
+
+    def test_cnp_resets_stages_and_bytes(self, env):
+        cc, flow = make_dcqcn(env)
+        cc.t_stage, cc.b_stage, cc.bytes_since = 3, 2, 999
+        cc.on_cnp(flow, now=0.0)
+        assert (cc.t_stage, cc.b_stage, cc.bytes_since) == (0, 0, 0)
+
+
+class TestIncreaseLadder:
+    def test_fast_recovery_approaches_rt(self, env):
+        cc, flow = make_dcqcn(env, fast_recovery_stages=5)
+        cc.on_cnp(flow, now=0.0)
+        rt = cc.rt
+        rc = cc.rc
+        cc.t_stage = 1
+        cc._increase(flow)
+        assert cc.rc == pytest.approx((rt + rc) / 2)
+        assert cc.rt == rt                      # FR leaves the target alone
+
+    def test_additive_after_f_stages(self, env):
+        cc, flow = make_dcqcn(env)
+        cc.on_cnp(flow, now=0.0)
+        cc.t_stage = 5                          # past fast recovery
+        rt = cc.rt
+        cc._increase(flow)
+        assert cc.rt == pytest.approx(min(rt + cc.rai, env.line_rate))
+
+    def test_hyper_when_both_counters_past_f(self, env):
+        cc, flow = make_dcqcn(env)
+        cc.on_cnp(flow, now=0.0)
+        cc.rt = env.line_rate / 4
+        cc.t_stage = 6
+        cc.b_stage = 6
+        rt = cc.rt
+        cc._increase(flow)
+        assert cc.rt == pytest.approx(rt + cc.rhai)
+
+    def test_rt_capped_at_line_rate(self, env):
+        cc, flow = make_dcqcn(env)
+        cc.t_stage = 10
+        cc.rt = env.line_rate
+        cc._increase(flow)
+        assert cc.rt <= env.line_rate
+
+    def test_byte_counter_triggers_stage(self, env):
+        cc, flow = make_dcqcn(env, byte_counter=10_000)
+        cc.on_cnp(flow, now=0.0)
+        rc = cc.rc
+        for _ in range(10):
+            cc.on_packet_sent(flow, data_pkt(1000), now=0.0)
+        assert cc.b_stage == 1
+        assert cc.rc > rc
+
+
+class TestTimers:
+    def test_increase_timer_fires(self, env):
+        cc, flow = make_dcqcn(env, ti=300 * US)
+        cc.on_cnp(flow, now=0.0)
+        rc = cc.rc
+        env.sim.run(until=350 * US)
+        assert cc.t_stage >= 1
+        assert cc.rc > rc
+
+    def test_alpha_decays_without_cnp(self, env):
+        cc, flow = make_dcqcn(env, alpha_timer=55 * US)
+        cc.alpha = 1.0
+        cc.last_cnp = -float("inf")
+        env.sim.run(until=120 * US)
+        assert cc.alpha < 1.0
+
+    def test_alpha_holds_with_recent_cnp(self, env):
+        cc, flow = make_dcqcn(env, alpha_timer=55 * US, g=1 / 256)
+        env.sim.schedule(54 * US, cc.on_cnp, flow, 54 * US)
+        env.sim.run(until=56 * US)
+        # The timer at 55us sees a CNP 1us ago: no decay on top of the
+        # on-CNP update.
+        assert cc.alpha == pytest.approx(1.0)
+
+    def test_flow_done_cancels_timers(self, env):
+        cc, flow = make_dcqcn(env, ti=10 * US)
+        cc.on_flow_done(flow, now=0.0)
+        pending_before = env.sim.pending
+        env.sim.run(until=1000 * US)
+        assert cc.t_stage == 0
+        assert env.sim.pending <= pending_before
+
+    def test_cnp_resets_increase_timer(self, env):
+        cc, flow = make_dcqcn(env, ti=100 * US)
+        env.sim.schedule(90 * US, cc.on_cnp, flow, 90 * US)
+        env.sim.run(until=150 * US)
+        # Timer was reset at 90us; no stage until 190us.
+        assert cc.t_stage == 0
+
+
+class TestDefaults:
+    def test_cnp_interval_is_td(self, env):
+        cc = Dcqcn(env, td=4 * US)
+        assert cc.cnp_interval == 4 * US
+
+    def test_rai_scales_with_line_rate(self, env):
+        cc = Dcqcn(env)
+        # 40Mbps at 40G scaled to 100G = 100Mbps.
+        assert cc.rai == pytest.approx(gbps(0.1))
+
+    def test_invalid_timers_rejected(self, env):
+        with pytest.raises(ValueError):
+            Dcqcn(env, ti=0)
+
+    def test_starts_at_line_rate_unwindowed(self, env):
+        cc, flow = make_dcqcn(env)
+        assert flow.rate == pytest.approx(env.line_rate)
+        assert flow.window is None

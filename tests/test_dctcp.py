@@ -1,0 +1,102 @@
+"""DCTCP: marked-fraction EWMA, once-per-window reaction, AI."""
+
+import pytest
+
+from repro.core.dctcp import Dctcp
+
+from tests.helpers import FakeFlow, plain_ack
+
+
+def make_dctcp(env, **kw):
+    cc = Dctcp(env, **kw)
+    flow = FakeFlow()
+    cc.install(flow)
+    return cc, flow
+
+
+def ack_window(cc, flow, marked: bool, start: int, n: int = 10,
+               mss: int = 1000):
+    """Deliver one window's worth of ACKs; returns the end seq."""
+    seq = start
+    for _ in range(n):
+        seq += mss
+        cc.on_ack(flow, plain_ack(seq - mss, seq, ecn=marked), now=float(seq))
+    flow.snd_nxt = seq + 10 * mss
+    return seq
+
+
+class TestWindowUpdate:
+    def test_starts_at_bdp_window(self, env):
+        cc, flow = make_dctcp(env)
+        assert flow.window == pytest.approx(env.bdp)
+
+    def test_unmarked_window_grows_by_mss(self, env):
+        cc, flow = make_dctcp(env)
+        w0 = flow.window
+        flow.window = w0 / 2
+        flow.snd_nxt = 20_000
+        ack_window(cc, flow, marked=False, start=0)
+        assert flow.window == pytest.approx(w0 / 2 + env.mtu)
+
+    def test_fully_marked_window_cuts_by_alpha_half(self, env):
+        cc, flow = make_dctcp(env, g=1 / 16, initial_alpha=1.0)
+        flow.snd_nxt = 20_000
+        w0 = flow.window
+        ack_window(cc, flow, marked=True, start=0)
+        # alpha stays 1 (fraction 1): cut by 1 - 1/2.
+        assert flow.window == pytest.approx(max(w0 * 0.5, env.mtu))
+
+    def test_alpha_ewma_partial_marks(self, env):
+        cc, flow = make_dctcp(env, g=1 / 16, initial_alpha=0.0)
+        # Prime: the first ACK closes the degenerate initial window and
+        # pins window_end to snd_nxt.
+        flow.snd_nxt = 11_000
+        cc.on_ack(flow, plain_ack(0, 1000, ecn=False), now=1.0)
+        alpha0 = cc.alpha
+        # Deliver the 10-packet observation window, half the bytes marked.
+        seq = 1000
+        for k in range(10):
+            seq += 1000
+            cc.on_ack(flow, plain_ack(seq - 1000, seq, ecn=(k < 5)),
+                      now=float(seq))
+        # Update fires when ack_seq reaches 11000: alpha <- (1-g)a0 + g/2.
+        assert cc.alpha == pytest.approx((1 - 1 / 16) * alpha0 + 0.5 / 16)
+
+    def test_reacts_once_per_window(self, env):
+        cc, flow = make_dctcp(env, initial_alpha=1.0)
+        flow.snd_nxt = 100_000
+        w0 = flow.window
+        end = ack_window(cc, flow, marked=True, start=0)
+        w1 = flow.window
+        assert w1 < w0
+        # More marked ACKs inside the new window: no further cut until the
+        # window-end sequence passes.
+        cc.on_ack(flow, plain_ack(end, end + 1000, ecn=True),
+                  now=float(end + 1))
+        assert flow.window == w1
+
+    def test_window_floor_mtu(self, env):
+        cc, flow = make_dctcp(env, initial_alpha=1.0)
+        for round_ in range(30):
+            start = round_ * 10_000
+            flow.snd_nxt = start + 20_000
+            ack_window(cc, flow, marked=True, start=start)
+        assert flow.window >= env.mtu
+
+    def test_window_cap_bdp(self, env):
+        cc, flow = make_dctcp(env)
+        for round_ in range(30):
+            start = round_ * 10_000
+            flow.snd_nxt = start + 20_000
+            ack_window(cc, flow, marked=False, start=start)
+        assert flow.window <= env.bdp + 1e-9
+
+    def test_rate_paced_at_window_over_t(self, env):
+        cc, flow = make_dctcp(env, initial_alpha=1.0)
+        flow.snd_nxt = 20_000
+        ack_window(cc, flow, marked=True, start=0)
+        assert flow.rate == pytest.approx(flow.window / env.base_rtt)
+
+    def test_bad_g_rejected(self, env):
+        with pytest.raises(ValueError):
+            Dctcp(env, g=0)

@@ -1,0 +1,61 @@
+"""Section 4.3: the reciprocal lookup table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.divtable import ReciprocalTable
+
+
+class TestConstruction:
+    def test_paper_footprint(self):
+        # "about 10KB to represent {1/n | 1 <= n <= 2^22}".
+        table = ReciprocalTable(n_max=1 << 22, epsilon=0.01)
+        assert table.size_bytes < 15_000
+
+    def test_entry_count_grows_with_precision(self):
+        coarse = ReciprocalTable(n_max=1 << 16, epsilon=0.05)
+        fine = ReciprocalTable(n_max=1 << 16, epsilon=0.01)
+        assert fine.entries > coarse.entries
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            ReciprocalTable(n_max=0)
+        with pytest.raises(ValueError):
+            ReciprocalTable(epsilon=0)
+
+
+class TestAccuracy:
+    def test_exact_at_stored_keys(self):
+        table = ReciprocalTable(n_max=1000, epsilon=0.02)
+        assert table.reciprocal(1) == 1.0
+        assert table.reciprocal(2) == 0.5
+
+    def test_error_bounded_by_epsilon(self):
+        table = ReciprocalTable(n_max=1 << 18, epsilon=0.01)
+        assert table.max_relative_error() <= 0.011
+
+    def test_divide(self):
+        table = ReciprocalTable(n_max=1 << 20, epsilon=0.01)
+        assert table.divide(100.0, 4.0) == pytest.approx(25.0, rel=0.02)
+
+    def test_clamps_above_n_max(self):
+        table = ReciprocalTable(n_max=100, epsilon=0.01)
+        assert table.reciprocal(1_000_000) == table.reciprocal(100)
+
+    def test_rejects_below_one(self):
+        table = ReciprocalTable(n_max=100)
+        with pytest.raises(ValueError):
+            table.reciprocal(0.5)
+
+    @given(st.integers(min_value=1, max_value=1 << 20))
+    def test_property_relative_error(self, n):
+        table = ReciprocalTable(n_max=1 << 20, epsilon=0.02)
+        approx = table.reciprocal(n)
+        exact = 1.0 / n
+        assert abs(approx - exact) / exact <= 0.021
+
+    @given(st.floats(min_value=1.0, max_value=1e5),
+           st.integers(min_value=1, max_value=100_000))
+    def test_property_division(self, num, den):
+        table = ReciprocalTable(n_max=1 << 18, epsilon=0.01)
+        assert table.divide(num, den) == pytest.approx(num / den, rel=0.02)

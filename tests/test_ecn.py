@@ -1,0 +1,78 @@
+"""WRED ECN marking: thresholds, ramp, rate scaling."""
+
+import pytest
+
+from repro.sim.ecn import EcnConfig, EcnMarker, EcnPolicy
+from repro.sim.units import KB, gbps
+
+
+class TestEcnConfig:
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            EcnConfig(kmin=400, kmax=100)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EcnConfig(kmin=-1, kmax=100)
+
+    def test_bad_pmax_rejected(self):
+        with pytest.raises(ValueError):
+            EcnConfig(kmin=0, kmax=10, pmax=1.5)
+
+
+class TestMarking:
+    def test_below_kmin_never_marks(self):
+        marker = EcnMarker(EcnConfig(100 * KB, 400 * KB, 0.2), seed=1)
+        assert not any(marker.should_mark(100 * KB) for _ in range(200))
+
+    def test_above_kmax_always_marks(self):
+        marker = EcnMarker(EcnConfig(100 * KB, 400 * KB, 0.2), seed=1)
+        assert all(marker.should_mark(400 * KB) for _ in range(200))
+
+    def test_ramp_probability_midpoint(self):
+        cfg = EcnConfig(100 * KB, 400 * KB, 0.2)
+        marker = EcnMarker(cfg, seed=1)
+        mid = 250 * KB
+        assert marker.marking_probability(mid) == pytest.approx(0.1)
+        n = 20_000
+        hits = sum(marker.should_mark(mid) for _ in range(n))
+        assert hits / n == pytest.approx(0.1, abs=0.02)
+
+    def test_probability_monotone_in_queue(self):
+        cfg = EcnConfig(100 * KB, 400 * KB, 0.2)
+        marker = EcnMarker(cfg, seed=1)
+        probs = [marker.marking_probability(q) for q in range(0, 500 * KB, 10 * KB)]
+        assert probs == sorted(probs)
+
+    def test_step_marking_kmin_equals_kmax(self):
+        # DCTCP-style single threshold.
+        marker = EcnMarker(EcnConfig(30 * KB, 30 * KB, 1.0), seed=1)
+        assert not marker.should_mark(30 * KB)
+        assert marker.should_mark(30 * KB + 1)
+
+    def test_deterministic_given_seed(self):
+        cfg = EcnConfig(0, 100 * KB, 0.5)
+        a = EcnMarker(cfg, seed=42)
+        b = EcnMarker(cfg, seed=42)
+        q = 50 * KB
+        assert [a.should_mark(q) for _ in range(50)] == [
+            b.should_mark(q) for _ in range(50)
+        ]
+
+
+class TestEcnPolicy:
+    def test_scaling_matches_paper(self):
+        # Kmin=100KB at 25Gbps -> 400KB at 100Gbps (Section 5.1).
+        policy = EcnPolicy(kmin=100 * KB, kmax=400 * KB, pmax=0.2,
+                           ref_rate=gbps(25))
+        cfg = policy.for_rate(gbps(100))
+        assert cfg.kmin == 400 * KB
+        assert cfg.kmax == 1600 * KB
+        assert cfg.pmax == 0.2
+
+    def test_downscaling(self):
+        policy = EcnPolicy(kmin=100 * KB, kmax=400 * KB, pmax=0.2,
+                           ref_rate=gbps(25))
+        cfg = policy.for_rate(gbps(10))
+        assert cfg.kmin == 40 * KB
+        assert cfg.kmax == 160 * KB

@@ -1,0 +1,188 @@
+"""The discrete-event engine: ordering, cancellation, periodic tasks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import PeriodicTask, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(10.0, out.append, "late")
+        sim.schedule(5.0, out.append, "early")
+        sim.run()
+        assert out == ["early", "late"]
+
+    def test_fifo_for_ties(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, "first")
+        sim.schedule(1.0, out.append, "second")
+        sim.run()
+        assert out == ["first", "second"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(5.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        out = []
+        def outer():
+            out.append("outer")
+            sim.schedule(1.0, out.append, "inner")
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert out == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_run_until_stops_clock_at_until(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+        assert sim.pending == 1
+        sim.run()
+        assert sim.now == 100.0
+
+    def test_run_until_with_empty_queue_advances(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        out = []
+        for i in range(5):
+            sim.schedule(float(i + 1), out.append, i)
+        sim.run(max_events=3)
+        assert out == [0, 1, 2]
+
+    def test_stop(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: (out.append(1), sim.stop()))
+        sim.schedule(2.0, out.append, 2)
+        sim.run()
+        assert out == [1]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        out = []
+        event = sim.schedule(1.0, out.append, "cancelled")
+        sim.schedule(2.0, out.append, "kept")
+        event.cancel()
+        sim.run()
+        assert out == ["kept"]
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() == 5.0
+
+    def test_peek_time_empty(self):
+        assert Simulator().peek_time() is None
+
+
+class TestPeriodicTask:
+    def test_fires_periodically(self):
+        sim = Simulator()
+        fired = []
+        PeriodicTask(sim, 10.0, lambda: fired.append(sim.now))
+        sim.run(until=35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_cancel_stops_firing(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, 10.0, lambda: fired.append(sim.now))
+        sim.schedule(15.0, task.cancel)
+        sim.run(until=100.0)
+        assert fired == [10.0]
+
+    def test_reset_restarts_period(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, 10.0, lambda: fired.append(sim.now))
+        sim.schedule(5.0, task.reset)
+        sim.run(until=20.0)
+        assert fired == [15.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        fired = []
+        PeriodicTask(sim, 10.0, lambda: fired.append(sim.now), start_delay=3.0)
+        sim.run(until=15.0)
+        assert fired == [3.0, 13.0]
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicTask(Simulator(), 0.0, lambda: None)
+
+    def test_cancel_from_inside_callback(self):
+        sim = Simulator()
+        fired = []
+        holder = {}
+        def cb():
+            fired.append(sim.now)
+            holder["task"].cancel()
+        holder["task"] = PeriodicTask(sim, 10.0, cb)
+        sim.run(until=100.0)
+        assert fired == [10.0]
+
+
+class TestPropertyOrdering:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_any_insertion_order_fires_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, fired.append, d)
+        sim.run()
+        assert fired == sorted(fired)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e5), min_size=1, max_size=20),
+        st.floats(min_value=0.0, max_value=1e5),
+    )
+    def test_run_until_never_passes_deadline_for_clock(self, delays, until):
+        sim = Simulator()
+        for d in delays:
+            sim.schedule(d, lambda: None)
+        sim.run(until=until)
+        assert sim.now == pytest.approx(until)

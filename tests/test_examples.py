@@ -1,0 +1,36 @@
+"""The examples must run: they are the library's front door."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "slowdown" in out
+    assert "drops: 0" in out
+
+
+def test_examples_exist_and_are_documented():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith(("#!", '"""', "'''")) or \
+            '"""' in text.splitlines()[1], script.name
+
+
+def test_custom_cc_example_registers_and_runs(capsys):
+    # The example registers a scheme in the global registry; guard against
+    # double registration when tests re-import it.
+    from repro.core.registry import available_schemes
+    if "naive-aimd" in available_schemes():
+        pytest.skip("example already imported in this session")
+    runpy.run_path(str(EXAMPLES / "custom_cc.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "naive-aimd" in out
+    assert "hpcc" in out

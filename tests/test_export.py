@@ -1,0 +1,94 @@
+"""CSV/JSON exporters."""
+
+import csv
+import json
+
+import pytest
+
+from repro.metrics.export import (
+    run_summary,
+    write_fct_csv,
+    write_pauses_csv,
+    write_queue_csv,
+    write_summary_json,
+)
+from repro.network import Network, NetworkConfig
+from repro.sim.pfc import PauseTracker
+from repro.sim.units import MS, US
+from repro.topology import star
+
+
+@pytest.fixture
+def finished_run():
+    net = Network(star(4, host_rate="100Gbps"),
+                  NetworkConfig(cc_name="hpcc", base_rtt=9 * US))
+    sampler = net.sample_queues(interval=10 * US)
+    net.add_flow(net.make_flow(0, 3, 50_000))
+    net.add_flow(net.make_flow(1, 3, 20_000))
+    assert net.run_until_done(deadline=10 * MS)
+    sampler.stop()
+    return net, sampler
+
+
+class TestFctCsv:
+    def test_roundtrip(self, finished_run, tmp_path):
+        net, _ = finished_run
+        path = tmp_path / "fct.csv"
+        n = write_fct_csv(net.metrics.fct_records, path)
+        assert n == 2
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        sizes = sorted(int(r["size_bytes"]) for r in rows)
+        assert sizes == [20_000, 50_000]
+        for row in rows:
+            assert float(row["slowdown"]) > 0.9
+            assert float(row["fct_ns"]) == pytest.approx(
+                float(row["finish_ns"]) - float(row["start_ns"]), abs=0.2
+            )
+
+
+class TestQueueCsv:
+    def test_long_format(self, finished_run, tmp_path):
+        net, sampler = finished_run
+        path = tmp_path / "queues.csv"
+        n = write_queue_csv(sampler, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == n
+        assert n == len(sampler.times) * len(sampler.samples)
+        assert {r["port"] for r in rows} == set(sampler.samples)
+
+
+class TestPausesCsv:
+    def test_intervals(self, tmp_path):
+        tracker = PauseTracker()
+        tracker.on_paused(3, 1, 100.0)
+        tracker.on_resumed(3, 1, 400.0)
+        path = tmp_path / "pauses.csv"
+        assert write_pauses_csv(tracker, path) == 1
+        with path.open() as handle:
+            row = next(csv.DictReader(handle))
+        assert float(row["duration_ns"]) == 300.0
+
+
+class TestSummary:
+    def test_summary_and_json(self, finished_run, tmp_path):
+        net, _ = finished_run
+        summary = run_summary(
+            net.metrics.fct_records, net.sim.now,
+            tracker=net.metrics.pause_tracker,
+            drops=net.metrics.drop_count,
+            extra={"cc": "hpcc"},
+        )
+        assert summary["flows_finished"] == 2
+        assert summary["drops"] == 0
+        assert summary["pfc"]["pause_events"] == 0
+        assert summary["cc"] == "hpcc"
+        path = tmp_path / "summary.json"
+        write_summary_json(summary, path)
+        assert json.loads(path.read_text())["slowdown"]["p50"] > 0.9
+
+    def test_empty_run(self):
+        summary = run_summary([], duration_ns=1000.0)
+        assert summary["slowdown"]["p50"] is None

@@ -1,0 +1,69 @@
+"""Links: propagation delay and peer dispatch."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import Packet, PacketType
+from repro.sim.queues import EgressPort
+
+
+class Device:
+    def __init__(self):
+        self.received = []
+
+    def receive(self, pkt, in_port):
+        self.received.append((pkt, in_port))
+
+
+def wire(sim, prop=500.0, rate=12.5):
+    dev_a, dev_b = Device(), Device()
+    port_a = EgressPort(sim, dev_a, 3, rate)
+    port_b = EgressPort(sim, dev_b, 7, rate)
+    link = Link(sim, dev_a, port_a, dev_b, port_b, prop)
+    return dev_a, port_a, dev_b, port_b, link
+
+
+def test_delivery_includes_serialization_and_propagation():
+    sim = Simulator()
+    dev_a, port_a, dev_b, _, _ = wire(sim, prop=500.0, rate=12.5)
+    port_a.enqueue(Packet(PacketType.DATA, 1, 0, 1, payload=1000, header=0))
+    sim.run()
+    pkt, in_port = dev_b.received[0]
+    assert sim.now == pytest.approx(580.0)    # 80ns ser + 500ns prop
+    assert in_port == 7                        # arrives on b's port id
+
+
+def test_reverse_direction():
+    sim = Simulator()
+    dev_a, _, dev_b, port_b, _ = wire(sim)
+    port_b.enqueue(Packet(PacketType.DATA, 1, 1, 0, payload=100, header=0))
+    sim.run()
+    assert len(dev_a.received) == 1
+    assert dev_a.received[0][1] == 3
+
+
+def test_full_duplex_simultaneous():
+    sim = Simulator()
+    dev_a, port_a, dev_b, port_b, _ = wire(sim)
+    port_a.enqueue(Packet(PacketType.DATA, 1, 0, 1, payload=100, header=0))
+    port_b.enqueue(Packet(PacketType.DATA, 2, 1, 0, payload=100, header=0))
+    sim.run()
+    assert len(dev_a.received) == 1
+    assert len(dev_b.received) == 1
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    dev = Device()
+    pa = EgressPort(sim, dev, 0, 1.0)
+    pb = EgressPort(sim, dev, 1, 1.0)
+    with pytest.raises(ValueError):
+        Link(sim, dev, pa, dev, pb, -1.0)
+
+
+def test_ports_back_reference_link():
+    sim = Simulator()
+    _, port_a, _, port_b, link = wire(sim)
+    assert port_a.link is link
+    assert port_b.link is link

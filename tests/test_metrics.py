@@ -1,0 +1,217 @@
+"""Metrics: percentiles, slowdown buckets, goodput, PFC analysis, reporter."""
+
+import pytest
+
+from repro.metrics.fct import (
+    WEBSEARCH_BUCKETS,
+    percentile,
+    short_flow_slowdown,
+    slowdown_by_bucket,
+)
+from repro.metrics.pfcstats import (
+    analyze_pause_trees,
+    depth_ccdf,
+    pause_durations,
+    pause_fraction,
+)
+from repro.metrics.reporter import (
+    ascii_series,
+    format_bucket_table,
+    format_table,
+)
+from repro.metrics.timeseries import GoodputTracker, jain_fairness
+from repro.sim.flow import FctRecord, FlowSpec
+from repro.sim.pfc import PauseTracker
+
+
+def record(size, slowdown, tag="bg", flow_id=None):
+    spec = FlowSpec(flow_id or hash((size, slowdown)) % 10**6 + 1,
+                    src=0, dst=1, size=size, start_time=0.0, tag=tag)
+    ideal = 1000.0
+    return FctRecord(spec=spec, start=0.0, finish=ideal * slowdown,
+                     ideal=ideal)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_p0_p100(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_nearest_rank(self):
+        assert percentile(list(range(1, 101)), 95) == 95
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+
+class TestSlowdownBuckets:
+    def test_bucketing_by_size(self):
+        records = [record(5_000, 2.0), record(5_500, 4.0),
+                   record(900_000, 10.0)]
+        stats = slowdown_by_bucket(records, WEBSEARCH_BUCKETS)
+        assert len(stats) == 2
+        small = stats[0]
+        assert small.count == 2
+        assert small.lo == 0 and small.hi == 6_700
+        assert small.p50 == 2.0
+
+    def test_tag_filter(self):
+        records = [record(5_000, 2.0, tag="bg"),
+                   record(5_000, 50.0, tag="incast")]
+        stats = slowdown_by_bucket(records, WEBSEARCH_BUCKETS, tag="bg")
+        assert stats[0].count == 1
+
+    def test_oversize_flows_fall_in_last_bucket(self):
+        stats = slowdown_by_bucket([record(99_000_000, 3.0)],
+                                   WEBSEARCH_BUCKETS)
+        assert stats[0].hi == WEBSEARCH_BUCKETS[-1]
+
+    def test_labels(self):
+        stats = slowdown_by_bucket([record(5_000, 2.0)], WEBSEARCH_BUCKETS)
+        assert stats[0].label == "6.7K"
+
+    def test_short_flow_slowdown(self):
+        records = [record(1_000, s) for s in (1.0, 2.0, 10.0)]
+        records.append(record(1_000_000, 99.0))
+        assert short_flow_slowdown(records, max_size=3_000, pct=99) == 10.0
+
+
+class TestFctRecord:
+    def test_slowdown(self):
+        r = record(1000, 2.5)
+        assert r.slowdown == pytest.approx(2.5)
+        assert r.fct == pytest.approx(2500.0)
+
+
+class TestGoodput:
+    def test_series_binning(self):
+        tracker = GoodputTracker(bin_ns=1000.0)
+        tracker.record(1, 100.0, 1000)      # bin 0
+        tracker.record(1, 1500.0, 2000)     # bin 1
+        times, gbps_series = tracker.series(1)
+        assert len(times) == 2
+        assert gbps_series[0] == pytest.approx(8.0)    # 1000B/1000ns
+        assert gbps_series[1] == pytest.approx(16.0)
+
+    def test_total_series_sums_flows(self):
+        tracker = GoodputTracker(bin_ns=1000.0)
+        tracker.record(1, 100.0, 1000)
+        tracker.record(2, 200.0, 1000)
+        _, total = tracker.total_series()
+        assert total[0] == pytest.approx(16.0)
+
+    def test_mean_gbps(self):
+        tracker = GoodputTracker(bin_ns=1000.0)
+        tracker.record(1, 500.0, 1250)
+        assert tracker.mean_gbps(1, 0.0, 1000.0) == pytest.approx(10.0)
+
+    def test_empty_flow(self):
+        tracker = GoodputTracker(bin_ns=1000.0)
+        assert tracker.series(42) == ([], [])
+
+    def test_bad_bin_rejected(self):
+        with pytest.raises(ValueError):
+            GoodputTracker(0)
+
+
+class TestJain:
+    def test_perfectly_fair(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+
+
+class TestPfcStats:
+    def _tracker(self):
+        t = PauseTracker()
+        # Root congestion at device 100 pauses device 10's port toward it,
+        # which in turn pauses device 1 (a host).
+        t.on_paused(10, 0, 0.0)
+        t.on_resumed(10, 0, 100.0)
+        t.on_paused(1, 0, 10.0)
+        t.on_resumed(1, 0, 90.0)
+        return t
+
+    def test_pause_fraction(self):
+        t = self._tracker()
+        frac = pause_fraction(t, duration=1000.0, n_ports=2)
+        assert frac == pytest.approx((100 + 80) / 2000.0)
+
+    def test_durations(self):
+        assert sorted(pause_durations(self._tracker())) == [80.0, 100.0]
+
+    def test_tree_depth_two(self):
+        t = self._tracker()
+        origin_of = {(10, 0): 100, (1, 0): 10}
+        trees = analyze_pause_trees(t, origin_of, host_ids={1},
+                                    host_rate=10.0)
+        assert len(trees) == 1
+        assert trees[0].depth == 2
+        assert trees[0].root_device == 100
+
+    def test_independent_events_two_trees(self):
+        t = PauseTracker()
+        t.on_paused(10, 0, 0.0)
+        t.on_resumed(10, 0, 50.0)
+        t.on_paused(10, 0, 500.0)       # much later: no overlap
+        t.on_resumed(10, 0, 600.0)
+        origin_of = {(10, 0): 100}
+        trees = analyze_pause_trees(t, origin_of, host_ids=set(),
+                                    host_rate=1.0)
+        assert len(trees) == 2
+        assert all(tr.depth == 1 for tr in trees)
+
+    def test_depth_ccdf(self):
+        t = self._tracker()
+        origin_of = {(10, 0): 100, (1, 0): 10}
+        trees = analyze_pause_trees(t, origin_of, host_ids={1}, host_rate=1.0)
+        ccdf = depth_ccdf(trees)
+        assert ccdf[1] == 1.0
+        assert ccdf[2] == 1.0
+
+    def test_suppressed_fraction(self):
+        t = self._tracker()
+        origin_of = {(10, 0): 100, (1, 0): 10}
+        trees = analyze_pause_trees(t, origin_of, host_ids={1},
+                                    host_rate=10.0)
+        # Host 1 paused 80ns of a 100ns window; it is the only host.
+        assert trees[0].suppressed_fraction == pytest.approx(0.8)
+
+
+class TestReporter:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_bucket_table_columns(self):
+        records = [record(5_000, 2.0)]
+        stats = {"HPCC": slowdown_by_bucket(records, WEBSEARCH_BUCKETS),
+                 "DCQCN": slowdown_by_bucket(records, WEBSEARCH_BUCKETS)}
+        out = format_bucket_table(stats, "p95")
+        assert "HPCC" in out and "DCQCN" in out and "6.7K" in out
+
+    def test_ascii_series_shape(self):
+        out = ascii_series([0, 1, 2], [0.0, 1.0, 2.0], width=20, height=5,
+                           label="q")
+        lines = out.splitlines()
+        assert lines[0].startswith("q")
+        assert len(lines) == 7
+
+    def test_ascii_series_empty(self):
+        assert "(no data)" in ascii_series([], [], label="x")

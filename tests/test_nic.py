@@ -1,0 +1,190 @@
+"""Host NIC behaviour: pacing, window limits, round-robin, retransmission."""
+
+import pytest
+
+from repro.network import Network, NetworkConfig
+from repro.sim.packet import PacketType
+from repro.sim.units import MS, US, gbps
+from repro.topology import star
+
+
+def one_switch_net(cc="hpcc", n=4, **cfg):
+    return Network(star(n, host_rate="100Gbps"),
+                   NetworkConfig(cc_name=cc, base_rtt=9 * US, **cfg))
+
+
+class TestPacing:
+    def test_paced_flow_spreads_packets(self):
+        """A flow paced at half line rate must leave inter-packet gaps."""
+        net = one_switch_net()
+        emits = []
+        nic = net.nics[0]
+        original_kick = nic.port.on_emit
+
+        def spy(pkt, port):
+            if pkt.ptype is PacketType.DATA:
+                emits.append(net.sim.now)
+
+        nic.port.on_emit = spy
+        spec = net.make_flow(src=0, dst=2, size=50_000)
+        net.add_flow(spec)
+        # Halve the rate right after start and freeze the CC so it cannot
+        # override the pacing rate on subsequent ACKs.
+        def slow_down():
+            flow = nic.flows.get(spec.flow_id)
+            if flow:
+                flow.cc.on_ack = lambda *args, **kwargs: None
+                flow.rate = gbps(50)
+                flow.window = None
+        net.sim.schedule(1.0, slow_down)
+        net.run_until_done(deadline=1 * MS)
+        gaps = [b - a for a, b in zip(emits[5:], emits[6:])]
+        wire = 1000 + net.header
+        expected_gap = wire / gbps(50)
+        assert min(gaps) >= wire / gbps(100) - 1e-6
+        assert sum(gaps) / len(gaps) == pytest.approx(expected_gap, rel=0.2)
+
+    def test_window_limits_inflight(self):
+        """A 4KB window must cap unacknowledged bytes at 4KB."""
+        net = one_switch_net()
+        spec = net.make_flow(src=0, dst=2, size=60_000)
+        net.add_flow(spec)
+        nic = net.nics[0]
+        peak = {"v": 0}
+
+        def clamp_and_watch():
+            flow = nic.flows.get(spec.flow_id)
+            if flow is not None:
+                flow.cc.on_ack = lambda *args, **kwargs: None
+                flow.window = 4000.0
+                peak["v"] = max(peak["v"], flow.inflight)
+            if net.sim.now < 100 * US:
+                net.sim.schedule(5.0, clamp_and_watch)
+
+        net.sim.schedule(0.0, clamp_and_watch)
+        net.run_until_done(deadline=10 * MS)
+        assert peak["v"] <= 4000
+
+    def test_zero_window_still_probes_one_packet(self):
+        # The window check never deadlocks: inflight==0 always sends one.
+        net = one_switch_net()
+        spec = net.make_flow(src=0, dst=2, size=10_000)
+        net.add_flow(spec)
+        nic = net.nics[0]
+
+        def clamp():
+            flow = nic.flows.get(spec.flow_id)
+            if flow is not None:
+                flow.window = 0.0
+            if net.sim.now < 2 * MS:
+                net.sim.schedule(1000.0, clamp)
+
+        net.sim.schedule(0.0, clamp)
+        assert net.run_until_done(deadline=10 * MS)
+
+
+class TestRoundRobin:
+    def test_two_flows_share_nic_evenly(self):
+        net = one_switch_net()
+        net.add_flow(net.make_flow(src=0, dst=2, size=500_000))
+        net.add_flow(net.make_flow(src=0, dst=3, size=500_000))
+        net.run_until_done(deadline=10 * MS)
+        records = net.metrics.fct_records
+        assert len(records) == 2
+        fcts = [r.fct for r in records]
+        assert max(fcts) / min(fcts) < 1.3
+
+    def test_duplicate_flow_id_rejected(self):
+        net = one_switch_net()
+        spec = net.make_flow(src=0, dst=2, size=1000)
+        net.nics[0].start_flow(spec)
+        with pytest.raises(ValueError):
+            net.nics[0].start_flow(spec)
+
+
+class TestCompletion:
+    def test_fct_recorded_once(self):
+        net = one_switch_net()
+        spec = net.make_flow(src=0, dst=2, size=10_000)
+        net.add_flow(spec)
+        net.run_until_done(deadline=1 * MS)
+        assert len(net.metrics.fct_records) == 1
+        record = net.metrics.fct_records[0]
+        assert record.spec.flow_id == spec.flow_id
+        assert record.fct > 0
+
+    def test_single_flow_slowdown_near_one(self):
+        net = one_switch_net()
+        net.add_flow(net.make_flow(src=0, dst=2, size=1_000_000))
+        net.run_until_done(deadline=5 * MS)
+        assert net.metrics.fct_records[0].slowdown < 1.3
+
+    def test_receiver_state_complete(self):
+        net = one_switch_net()
+        spec = net.make_flow(src=0, dst=2, size=25_000)
+        net.add_flow(spec)
+        net.run_until_done(deadline=1 * MS)
+        rf = net.nics[2].recv_flows[spec.flow_id]
+        assert rf.state.expected == 25_000
+        assert rf.bytes_received >= 25_000
+
+
+class TestRetransmission:
+    def test_gbn_recovers_from_forced_drop(self):
+        net = one_switch_net(transport="gbn", rto=200 * US)
+        spec = net.make_flow(src=0, dst=2, size=100_000)
+        net.add_flow(spec)
+        # Drop one data packet in flight by intercepting the switch once.
+        switch = net.switches[4]
+        original = switch.receive
+        state = {"dropped": False}
+
+        def lossy(pkt, in_port):
+            if (not state["dropped"] and pkt.ptype is PacketType.DATA
+                    and pkt.seq == 20_000):
+                state["dropped"] = True
+                return
+            original(pkt, in_port)
+
+        switch.receive = lossy
+        assert net.run_until_done(deadline=20 * MS)
+        assert state["dropped"]
+        assert net.nics[0].flows[spec.flow_id].sender.rewinds >= 1
+
+    def test_irn_recovers_selectively(self):
+        net = one_switch_net(transport="irn", rto=200 * US)
+        spec = net.make_flow(src=0, dst=2, size=100_000)
+        net.add_flow(spec)
+        switch = net.switches[4]
+        original = switch.receive
+        state = {"dropped": 0}
+
+        def lossy(pkt, in_port):
+            if (pkt.ptype is PacketType.DATA and pkt.seq == 30_000
+                    and state["dropped"] == 0):
+                state["dropped"] += 1
+                return
+            original(pkt, in_port)
+
+        switch.receive = lossy
+        assert net.run_until_done(deadline=20 * MS)
+        sender = net.nics[0].flows[spec.flow_id].sender
+        # Only the missing packet went out again (IRN, not go-back-N).
+        assert sender.retransmissions <= 2
+
+    def test_rto_fires_when_all_acks_lost(self):
+        net = one_switch_net(rto=100 * US)
+        spec = net.make_flow(src=0, dst=2, size=5_000)
+        net.add_flow(spec)
+        # Swallow everything the receiver sends back for a while.
+        receiver = net.nics[2]
+        original = receiver.port.enqueue
+        cutoff = {"until": 300 * US}
+
+        def muzzle(pkt):
+            if net.sim.now < cutoff["until"]:
+                return
+            original(pkt)
+
+        receiver.port.enqueue = muzzle
+        assert net.run_until_done(deadline=50 * MS)

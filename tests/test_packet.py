@@ -1,0 +1,104 @@
+"""Packets and INT records (Figure 7 semantics)."""
+
+from repro.sim.packet import (
+    ACK_SIZE,
+    BASE_HEADER,
+    INT_OVERHEAD,
+    IntHop,
+    Packet,
+    PacketType,
+    make_ack,
+    make_cnp,
+    make_data_packet,
+    make_pause,
+)
+
+
+class TestDataPacket:
+    def test_wire_size_without_int(self):
+        pkt = make_data_packet(1, 0, 1, seq=0, payload=1000, int_enabled=False, now=0.0)
+        assert pkt.wire_size == 1000 + BASE_HEADER
+        assert pkt.int_hops is None
+
+    def test_wire_size_with_int(self):
+        pkt = make_data_packet(1, 0, 1, seq=0, payload=1000, int_enabled=True, now=0.0)
+        assert pkt.wire_size == 1000 + BASE_HEADER + INT_OVERHEAD
+        assert pkt.int_hops == []
+
+    def test_timestamp_recorded(self):
+        pkt = make_data_packet(1, 0, 1, seq=0, payload=100, int_enabled=False, now=55.5)
+        assert pkt.ts_tx == 55.5
+
+    def test_add_int_hop_counts(self):
+        pkt = make_data_packet(1, 0, 1, seq=0, payload=100, int_enabled=True, now=0.0)
+        pkt.add_int_hop(IntHop(12.5, 1.0, 100, 0))
+        pkt.add_int_hop(IntHop(50.0, 2.0, 200, 10))
+        assert pkt.hop_count == 2
+        assert [h.bandwidth for h in pkt.int_hops] == [12.5, 50.0]
+
+
+class TestAck:
+    def _data(self, int_enabled=True):
+        pkt = make_data_packet(7, 3, 9, seq=2000, payload=1000,
+                               int_enabled=int_enabled, now=11.0)
+        if int_enabled:
+            pkt.add_int_hop(IntHop(12.5, 5.0, 12345, 678, rx_bytes=999))
+        return pkt
+
+    def test_direction_reversed(self):
+        ack = make_ack(self._data(), ack_seq=3000, now=20.0)
+        assert (ack.src, ack.dst) == (9, 3)
+        assert ack.ptype is PacketType.ACK
+
+    def test_seq_echo_and_cumulative(self):
+        ack = make_ack(self._data(), ack_seq=3000, now=20.0)
+        assert ack.seq == 2000        # per-packet echo (HPCC's ack.seq)
+        assert ack.ack_seq == 3000    # cumulative
+
+    def test_int_stack_copied_not_aliased(self):
+        data = self._data()
+        ack = make_ack(data, ack_seq=3000, now=20.0)
+        assert ack.int_hops[0].tx_bytes == 12345
+        assert ack.int_hops[0].rx_bytes == 999
+        ack.int_hops[0].tx_bytes = 1
+        assert data.int_hops[0].tx_bytes == 12345
+
+    def test_ecn_echo(self):
+        data = self._data()
+        data.ecn = True
+        assert make_ack(data, 0, 0.0).ecn is True
+
+    def test_ts_echo_for_rtt(self):
+        ack = make_ack(self._data(), 0, now=99.0)
+        assert ack.ts_tx == 11.0
+
+    def test_nack_type(self):
+        assert make_ack(self._data(), 0, 0.0, nack=True).ptype is PacketType.NACK
+
+    def test_ack_size_includes_int_echo(self):
+        with_int = make_ack(self._data(True), 0, 0.0)
+        without = make_ack(self._data(False), 0, 0.0)
+        assert with_int.wire_size == ACK_SIZE + INT_OVERHEAD
+        assert without.wire_size == ACK_SIZE
+
+
+class TestControlFrames:
+    def test_cnp(self):
+        cnp = make_cnp(5, 1, 2)
+        assert cnp.ptype is PacketType.CNP
+        assert (cnp.flow_id, cnp.src, cnp.dst) == (5, 1, 2)
+
+    def test_pause_resume(self):
+        pause = make_pause(priority=0, pause=True)
+        resume = make_pause(priority=0, pause=False)
+        assert pause.ptype is PacketType.PAUSE
+        assert resume.ptype is PacketType.RESUME
+        assert pause.wire_size == 64
+
+
+class TestIntHop:
+    def test_copy_is_independent(self):
+        hop = IntHop(12.5, 1.0, 10, 20, 30)
+        dup = hop.copy()
+        dup.qlen = 999
+        assert hop.qlen == 20

@@ -1,0 +1,138 @@
+"""PFC: thresholds, XON/XOFF hysteresis, pause tracking."""
+
+import pytest
+
+from repro.sim.buffer import BufferConfig, SharedBuffer
+from repro.sim.pfc import PauseTracker, PfcConfig, PfcController
+
+
+class FakeSwitch:
+    """Minimal switch: a buffer and a log of pause frames sent."""
+
+    def __init__(self, total=10_000, alpha=0.11):
+        self.buffer = SharedBuffer(BufferConfig(total_bytes=total))
+        self.sent = []
+
+    def send_pause(self, in_port, priority, pause):
+        self.sent.append((in_port, priority, pause))
+
+
+class TestConfig:
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            PfcConfig(dynamic_alpha=0)
+
+    def test_bad_xon(self):
+        with pytest.raises(ValueError):
+            PfcConfig(xon_fraction=0)
+
+
+class TestController:
+    def test_pause_when_over_threshold(self):
+        sw = FakeSwitch(total=10_000)
+        ctl = PfcController(sw, PfcConfig(dynamic_alpha=0.11), PauseTracker())
+        # threshold = 0.11 * free; ingress 2000 with free 8000 -> 880 < 2000.
+        sw.buffer.occupy(0, 1, 0, 2000)
+        ctl.on_ingress_change(0, 0)
+        assert ctl.is_pausing(0)
+        assert sw.sent == [(0, 0, True)]
+
+    def test_no_pause_under_threshold(self):
+        sw = FakeSwitch(total=100_000)
+        ctl = PfcController(sw, PfcConfig(dynamic_alpha=0.11), PauseTracker())
+        sw.buffer.occupy(0, 1, 0, 2000)     # free 98000, thr 10780
+        ctl.on_ingress_change(0, 0)
+        assert not ctl.is_pausing(0)
+        assert sw.sent == []
+
+    def test_resume_with_hysteresis(self):
+        sw = FakeSwitch(total=10_000)
+        cfg = PfcConfig(dynamic_alpha=0.11, xon_fraction=0.8)
+        ctl = PfcController(sw, cfg, PauseTracker())
+        sw.buffer.occupy(0, 1, 0, 2000)
+        ctl.on_ingress_change(0, 0)
+        assert ctl.is_pausing(0)
+        # Drain below 80% of the (new) threshold -> resume.
+        sw.buffer.release(0, 1, 0, 1900)
+        ctl.on_ingress_change(0, 0)
+        assert not ctl.is_pausing(0)
+        assert sw.sent[-1] == (0, 0, False)
+
+    def test_no_duplicate_pause_frames(self):
+        sw = FakeSwitch(total=10_000)
+        ctl = PfcController(sw, PfcConfig(dynamic_alpha=0.11), PauseTracker())
+        sw.buffer.occupy(0, 1, 0, 3000)
+        ctl.on_ingress_change(0, 0)
+        ctl.on_ingress_change(0, 0)
+        assert len(sw.sent) == 1
+
+    def test_per_port_independence(self):
+        sw = FakeSwitch(total=10_000)
+        ctl = PfcController(sw, PfcConfig(dynamic_alpha=0.11), PauseTracker())
+        sw.buffer.occupy(0, 1, 0, 3000)
+        ctl.on_ingress_change(0, 0)
+        ctl.on_ingress_change(1, 0)
+        assert ctl.is_pausing(0)
+        assert not ctl.is_pausing(1)
+
+    def test_disabled_never_pauses(self):
+        sw = FakeSwitch(total=1000)
+        ctl = PfcController(sw, PfcConfig(enabled=False), PauseTracker())
+        sw.buffer.occupy(0, 1, 0, 999)
+        ctl.on_ingress_change(0, 0)
+        assert sw.sent == []
+
+    def test_dynamic_threshold_shrinks_as_buffer_fills(self):
+        sw = FakeSwitch(total=10_000)
+        ctl = PfcController(sw, PfcConfig(dynamic_alpha=0.11), PauseTracker())
+        t_empty = ctl.xoff_threshold()
+        sw.buffer.occupy(0, 1, 0, 5000)
+        assert ctl.xoff_threshold() < t_empty
+
+    def test_frame_counters(self):
+        tracker = PauseTracker()
+        sw = FakeSwitch(total=10_000)
+        ctl = PfcController(sw, PfcConfig(dynamic_alpha=0.11), tracker)
+        sw.buffer.occupy(0, 1, 0, 3000)
+        ctl.on_ingress_change(0, 0)
+        sw.buffer.release(0, 1, 0, 3000)
+        ctl.on_ingress_change(0, 0)
+        assert tracker.pause_frames_sent == 1
+        assert tracker.resume_frames_sent == 1
+
+
+class TestPauseTracker:
+    def test_interval_recorded(self):
+        tracker = PauseTracker()
+        tracker.on_paused(5, 2, 100.0)
+        tracker.on_resumed(5, 2, 350.0)
+        assert len(tracker.intervals) == 1
+        iv = tracker.intervals[0]
+        assert (iv.device, iv.port, iv.duration) == (5, 2, 250.0)
+
+    def test_resume_without_pause_ignored(self):
+        tracker = PauseTracker()
+        tracker.on_resumed(1, 1, 10.0)
+        assert tracker.intervals == []
+
+    def test_finalize_closes_open_pauses(self):
+        tracker = PauseTracker()
+        tracker.on_paused(1, 0, 50.0)
+        tracker.finalize(200.0)
+        assert tracker.intervals[0].duration == 150.0
+
+    def test_total_pause_time_filtered_by_device(self):
+        tracker = PauseTracker()
+        tracker.on_paused(1, 0, 0.0)
+        tracker.on_resumed(1, 0, 100.0)
+        tracker.on_paused(2, 0, 0.0)
+        tracker.on_resumed(2, 0, 300.0)
+        assert tracker.total_pause_time({1}) == 100.0
+        assert tracker.total_pause_time() == 400.0
+
+    def test_double_pause_keeps_first_start(self):
+        tracker = PauseTracker()
+        tracker.on_paused(1, 0, 10.0)
+        tracker.on_paused(1, 0, 50.0)
+        tracker.on_resumed(1, 0, 100.0)
+        assert tracker.intervals[0].start == 10.0

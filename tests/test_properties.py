@@ -1,0 +1,123 @@
+"""System-level property tests: invariants that must hold for any
+workload thrown at a network."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.network import Network, NetworkConfig
+from repro.sim.units import MS, US
+from repro.topology import dumbbell, star
+
+
+@st.composite
+def small_workloads(draw):
+    """A handful of flows on a small star, any sizes and offsets."""
+    n_hosts = draw(st.integers(3, 6))
+    flows = []
+    n_flows = draw(st.integers(1, 6))
+    for _ in range(n_flows):
+        src = draw(st.integers(0, n_hosts - 1))
+        dst = draw(st.integers(0, n_hosts - 1).filter(lambda d: d != src))
+        size = draw(st.integers(500, 80_000))
+        start = draw(st.floats(0, 200_000))
+        flows.append((src, dst, size, start))
+    return n_hosts, flows
+
+
+class TestLosslessInvariants:
+    @settings(deadline=None, max_examples=15,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(small_workloads(), st.sampled_from(["hpcc", "dcqcn", "dctcp"]))
+    def test_every_flow_completes_exactly(self, workload, cc_name):
+        n_hosts, flows = workload
+        net = Network(star(n_hosts, host_rate="100Gbps"),
+                      NetworkConfig(cc_name=cc_name, base_rtt=9 * US))
+        for src, dst, size, start in flows:
+            net.add_flow(net.make_flow(src, dst, size, start_time=start))
+        assert net.run_until_done(deadline=100 * MS)
+        # Completion accounting.
+        assert len(net.metrics.fct_records) == len(flows)
+        for record in net.metrics.fct_records:
+            assert record.fct > 0
+            assert record.slowdown >= 0.9   # can't beat the ideal by much
+        # No loss in lossless mode.
+        assert net.metrics.drop_count == 0
+        # All receiver frontiers landed exactly on flow sizes.
+        sizes_by_flow = {}
+        for record in net.metrics.fct_records:
+            sizes_by_flow[record.spec.flow_id] = record.spec.size
+        for nic in net.nics.values():
+            for flow_id, rf in nic.recv_flows.items():
+                assert rf.state.expected == sizes_by_flow[flow_id]
+
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(small_workloads())
+    def test_buffers_drain_and_accounting_balances(self, workload):
+        n_hosts, flows = workload
+        net = Network(star(n_hosts, host_rate="100Gbps"),
+                      NetworkConfig(cc_name="hpcc", base_rtt=9 * US))
+        for src, dst, size, start in flows:
+            net.add_flow(net.make_flow(src, dst, size, start_time=start))
+        assert net.run_until_done(deadline=100 * MS)
+        net.run(until=net.sim.now + 1 * MS)
+        for switch in net.switches.values():
+            assert switch.buffer.used == 0
+            assert switch.total_queued_bytes() == 0
+            for port in switch.ports.values():
+                assert port.qlen_bytes == 0
+
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(small_workloads())
+    def test_determinism(self, workload):
+        n_hosts, flows = workload
+
+        def run():
+            net = Network(star(n_hosts, host_rate="100Gbps"),
+                          NetworkConfig(cc_name="hpcc", base_rtt=9 * US,
+                                        seed=7))
+            for src, dst, size, start in flows:
+                net.add_flow(net.make_flow(src, dst, size, start_time=start))
+            net.run_until_done(deadline=100 * MS)
+            return sorted(
+                (r.spec.flow_id, r.finish) for r in net.metrics.fct_records
+            )
+
+        assert run() == run()
+
+
+class TestLossyInvariants:
+    @settings(deadline=None, max_examples=8,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.sampled_from(["gbn", "irn"]), st.integers(0, 1000))
+    def test_tiny_buffer_never_stalls(self, transport, seed):
+        """Heavy loss must delay flows, never deadlock them."""
+        import random
+        rng = random.Random(seed)
+        net = Network(star(5, host_rate="100Gbps"),
+                      NetworkConfig(cc_name="dctcp", base_rtt=9 * US,
+                                    transport=transport, pfc_enabled=False,
+                                    buffer_bytes=30_000, rto=200 * US))
+        for s in range(4):
+            net.add_flow(net.make_flow(
+                s, 4, rng.randint(20_000, 120_000)
+            ))
+        assert net.run_until_done(deadline=500 * MS)
+        for rf in net.nics[4].recv_flows.values():
+            assert not rf.state.first_hole_end() if hasattr(
+                rf.state, "first_hole_end") else True
+
+
+class TestTopologyInvariants:
+    @settings(deadline=None, max_examples=10,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(1, 4), st.integers(1, 4))
+    def test_dumbbell_any_split_completes(self, n_left, n_right):
+        topo = dumbbell(n_left, n_right, host_rate="50Gbps")
+        net = Network(topo, NetworkConfig(cc_name="hpcc", base_rtt=9 * US))
+        # One flow from each left host to a right host.
+        for i in range(n_left):
+            dst = n_left + (i % n_right)
+            net.add_flow(net.make_flow(i, dst, 30_000))
+        assert net.run_until_done(deadline=100 * MS)

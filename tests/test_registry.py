@@ -1,0 +1,95 @@
+"""The CC scheme registry."""
+
+import pytest
+
+from repro.core.base import CcAlgorithm
+from repro.core.registry import (
+    SchemeInfo,
+    available_schemes,
+    get_scheme,
+    register,
+)
+from repro.sim.units import KB, US, gbps
+
+
+class TestLookup:
+    def test_all_paper_schemes_registered(self):
+        names = available_schemes()
+        for name in ("hpcc", "dcqcn", "timely", "dctcp",
+                     "dcqcn+win", "timely+win",
+                     "hpcc-rxrate", "hpcc-perack", "hpcc-perrtt"):
+            assert name in names
+
+    def test_unknown_scheme_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="hpcc"):
+            get_scheme("bbr")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register(SchemeInfo(
+                name="hpcc", needs_int=True,
+                make=lambda env, params: None,
+            ))
+
+
+class TestSchemeProperties:
+    def test_hpcc_needs_int(self):
+        assert get_scheme("hpcc").needs_int
+        assert get_scheme("hpcc-rxrate").needs_int
+
+    def test_rate_schemes_do_not_need_int(self):
+        for name in ("dcqcn", "timely", "dctcp"):
+            assert not get_scheme(name).needs_int
+
+    def test_dcqcn_cnp_interval_default(self):
+        assert get_scheme("dcqcn").cnp_interval({}) == 4 * US
+
+    def test_dcqcn_cnp_interval_override(self):
+        assert get_scheme("dcqcn").cnp_interval({"td": 50 * US}) == 50 * US
+
+    def test_hpcc_has_no_cnp(self):
+        assert get_scheme("hpcc").cnp_interval({}) is None
+
+    def test_dcqcn_ecn_defaults_paper_values(self):
+        policy = get_scheme("dcqcn").default_ecn({})
+        assert policy.kmin == 100 * KB
+        assert policy.kmax == 400 * KB
+        assert policy.ref_rate == pytest.approx(gbps(25))
+
+    def test_dcqcn_ecn_param_override(self):
+        policy = get_scheme("dcqcn").default_ecn({"kmin": 12 * KB,
+                                                  "kmax": 50 * KB})
+        assert (policy.kmin, policy.kmax) == (12 * KB, 50 * KB)
+
+    def test_dctcp_ecn_step_threshold(self):
+        policy = get_scheme("dctcp").default_ecn({})
+        assert policy.kmin == policy.kmax == 30 * KB
+        assert policy.pmax == 1.0
+
+    def test_hpcc_has_no_ecn(self):
+        assert get_scheme("hpcc").default_ecn({}) is None
+
+
+class TestFactories:
+    def test_make_produces_fresh_instances(self, env):
+        scheme = get_scheme("hpcc")
+        a = scheme.make(env, {})
+        b = scheme.make(env, {})
+        assert a is not b
+        assert isinstance(a, CcAlgorithm)
+
+    def test_params_forwarded(self, env):
+        cc = get_scheme("hpcc").make(env, {"eta": 0.9, "max_stage": 2})
+        assert cc.eta == 0.9
+        assert cc.max_stage == 2
+
+    def test_ecn_params_not_forwarded_to_cc(self, env):
+        # kmin/kmax configure switches, not the sender object.
+        cc = get_scheme("dcqcn").make(env, {"kmin": 1, "kmax": 2,
+                                            "ti": 100 * US})
+        assert cc.ti == 100 * US
+
+    def test_windowed_factory_wraps(self, env):
+        from repro.core.windowed import WindowedCc
+        cc = get_scheme("dcqcn+win").make(env, {})
+        assert isinstance(cc, WindowedCc)

@@ -1,0 +1,126 @@
+"""Routing: BFS tables, ECMP selection, hash determinism."""
+
+from collections import Counter
+
+from repro.sim.routing import (
+    bfs_distances,
+    build_routing_tables,
+    ecmp_hash,
+    ecmp_select,
+)
+from repro.topology.base import LinkSpec, Topology
+from repro.topology.fattree import FatTreeSpec, fattree
+from repro.topology.simple import dumbbell, star
+
+
+def port_map_for(topology):
+    """Assign sequential port ids per node, as Network does."""
+    port_map = {}
+    next_port = {n: 0 for n in list(topology.switches) + list(topology.hosts)}
+    for link in topology.links:
+        for node, peer in ((link.a, link.b), (link.b, link.a)):
+            pid = 0 if topology.is_host(node) else next_port[node]
+            if not topology.is_host(node):
+                next_port[node] += 1
+            port_map.setdefault((node, peer), []).append(pid)
+    return port_map
+
+
+class TestBfs:
+    def test_distances_on_star(self):
+        topo = star(3)
+        dist = bfs_distances(topo, 0)
+        assert dist[3] == 1          # switch
+        assert dist[1] == 2          # other host
+
+    def test_distances_on_dumbbell(self):
+        topo = dumbbell(2, 2)
+        dist = bfs_distances(topo, 0)
+        assert dist[4] == 1          # left switch
+        assert dist[5] == 2          # right switch
+        assert dist[2] == 3          # right host
+
+
+class TestRoutingTables:
+    def test_star_routes_direct(self):
+        topo = star(4)
+        tables = build_routing_tables(topo, port_map_for(topo))
+        switch_table = tables[4]
+        # Every host reachable through exactly one port.
+        assert set(switch_table) == {0, 1, 2, 3}
+        assert all(len(ports) == 1 for ports in switch_table.values())
+
+    def test_dumbbell_cross_traffic_uses_trunk(self):
+        topo = dumbbell(2, 2)
+        pm = port_map_for(topo)
+        tables = build_routing_tables(topo, pm)
+        left_switch = 4
+        trunk_ports = pm[(left_switch, 5)]
+        assert tables[left_switch][2] == tuple(trunk_ports)
+
+    def test_fattree_all_hosts_reachable_from_all_switches(self):
+        topo = fattree(FatTreeSpec(
+            n_pods=2, tors_per_pod=2, aggs_per_pod=2, n_core=2,
+            hosts_per_tor=2,
+        ))
+        tables = build_routing_tables(topo, port_map_for(topo))
+        for sw in topo.switches:
+            assert set(tables[sw]) == set(topo.hosts)
+
+    def test_fattree_ecmp_width(self):
+        # A ToR reaching a remote pod's host should have one ECMP entry per
+        # pod-local Agg.
+        spec = FatTreeSpec(n_pods=2, tors_per_pod=2, aggs_per_pod=2,
+                           n_core=2, hosts_per_tor=2)
+        topo = fattree(spec)
+        tables = build_routing_tables(topo, port_map_for(topo))
+        tor0 = topo.switch_tiers["tor"][0]
+        remote_host = topo.n_hosts - 1
+        assert len(tables[tor0][remote_host]) == spec.aggs_per_pod
+
+
+class TestEcmp:
+    def test_hash_deterministic(self):
+        assert ecmp_hash(1, 2, 3) == ecmp_hash(1, 2, 3)
+
+    def test_hash_varies_with_inputs(self):
+        values = {ecmp_hash(f, 0, 1) for f in range(100)}
+        assert len(values) == 100
+
+    def test_select_single_port_shortcut(self):
+        assert ecmp_select((9,), 123, 0, 1) == 9
+
+    def test_select_stable_per_flow(self):
+        ports = (0, 1, 2, 3)
+        choice = ecmp_select(ports, 42, 7, 9)
+        assert all(ecmp_select(ports, 42, 7, 9) == choice for _ in range(10))
+
+    def test_select_spreads_flows(self):
+        ports = (0, 1, 2, 3)
+        counts = Counter(ecmp_select(ports, f, 0, 1) for f in range(4000))
+        assert set(counts) == set(ports)
+        for port in ports:
+            assert 0.15 < counts[port] / 4000 < 0.35
+
+    def test_forward_reverse_hash_independent(self):
+        ports = (0, 1)
+        forward = [ecmp_select(ports, f, 0, 1) for f in range(200)]
+        reverse = [ecmp_select(ports, f, 1, 0) for f in range(200)]
+        assert forward != reverse      # directions hash independently
+
+
+class TestParallelLinks:
+    def test_parallel_links_both_in_ecmp(self):
+        # Two parallel links between one switch pair.
+        topo = Topology(
+            name="par", n_hosts=2, n_switches=2,
+            links=[
+                LinkSpec(0, 2, 12.5, 100.0),
+                LinkSpec(1, 3, 12.5, 100.0),
+                LinkSpec(2, 3, 12.5, 100.0),
+                LinkSpec(2, 3, 12.5, 100.0),
+            ],
+        )
+        pm = port_map_for(topo)
+        tables = build_routing_tables(topo, pm)
+        assert len(tables[2][1]) == 2

@@ -1,0 +1,153 @@
+"""Switch behaviour inside small live networks: INT stamping, forwarding,
+drops, ECN, PFC frame handling."""
+
+import pytest
+
+from repro.network import Network, NetworkConfig
+from repro.sim.packet import PacketType
+from repro.sim.units import MS, US, gbps
+from repro.topology import dumbbell, star
+
+
+def star_net(cc="hpcc", n=4, **cfg):
+    return Network(star(n, host_rate="100Gbps"),
+                   NetworkConfig(cc_name=cc, base_rtt=9 * US, **cfg))
+
+
+class TestIntStamping:
+    def test_single_hop_int_stack(self):
+        net = star_net()
+        seen = {}
+        nic = net.nics[1]
+        original = nic._on_ack
+
+        def spy(pkt):
+            if pkt.int_hops is not None and "hops" not in seen:
+                seen["hops"] = [h.copy() for h in pkt.int_hops]
+            original(pkt)
+
+        nic._on_ack = spy
+        net.add_flow(net.make_flow(src=1, dst=2, size=20_000))
+        net.run_until_done(deadline=1 * MS)
+        assert len(seen["hops"]) == 1                  # one switch
+        hop = seen["hops"][0]
+        assert hop.bandwidth == pytest.approx(gbps(100))
+        assert hop.tx_bytes > 0
+
+    def test_two_hop_path_two_stamps(self):
+        net = Network(dumbbell(2, 2, host_rate="100Gbps"),
+                      NetworkConfig(cc_name="hpcc", base_rtt=9 * US))
+        seen = {}
+        nic = net.nics[0]
+        original = nic._on_ack
+
+        def spy(pkt):
+            if pkt.int_hops is not None:
+                seen["n"] = len(pkt.int_hops)
+            original(pkt)
+
+        nic._on_ack = spy
+        net.add_flow(net.make_flow(src=0, dst=2, size=10_000))
+        net.run_until_done(deadline=1 * MS)
+        assert seen["n"] == 2
+
+    def test_tx_bytes_monotone_across_acks(self):
+        net = star_net()
+        stamps = []
+        nic = net.nics[0]
+        original = nic._on_ack
+
+        def spy(pkt):
+            if pkt.int_hops:
+                stamps.append(pkt.int_hops[0].tx_bytes)
+            original(pkt)
+
+        nic._on_ack = spy
+        net.add_flow(net.make_flow(src=0, dst=2, size=100_000))
+        net.run_until_done(deadline=1 * MS)
+        assert len(stamps) > 10
+        assert stamps == sorted(stamps)
+
+    def test_no_int_when_disabled(self):
+        net = star_net(cc="dcqcn")
+        assert not net.int_enabled
+        net.add_flow(net.make_flow(src=0, dst=2, size=5_000))
+        net.run_until_done(deadline=1 * MS)
+        # Completion proves ACKs flowed; DCQCN ACKs carry no INT stack.
+        assert len(net.metrics.fct_records) == 1
+
+
+class TestForwarding:
+    def test_no_route_blackholes_and_counts(self):
+        net = star_net()
+        switch = net.switches[4]
+        from repro.sim.packet import Packet
+        orphan = Packet(PacketType.DATA, 1, 0, 99, payload=10)
+        switch.receive(orphan, in_port=0)
+        assert switch.no_route_drops == 1
+        assert net.metrics.drop_count == 1
+
+    def test_port_to_helper(self):
+        net = star_net()
+        port = net.switches[4].port_to(2)
+        assert port is net.port_between(4, 2)
+        with pytest.raises(LookupError):
+            net.switches[4].port_to(99)
+
+    def test_total_queued_bytes(self):
+        net = star_net()
+        assert net.switches[4].total_queued_bytes() == 0
+
+
+class TestDrops:
+    def test_tiny_buffer_drops_and_counts(self):
+        net = star_net(cc="dcqcn", buffer_bytes=20_000, pfc_enabled=False)
+        for s in range(3):
+            net.add_flow(net.make_flow(src=s, dst=3, size=200_000))
+        net.run_until_done(deadline=20 * MS)
+        assert net.metrics.drop_count > 0
+        assert sum(net.metrics.drops_by_device.values()) == net.metrics.drop_count
+
+    def test_lossless_mode_no_drops_with_pfc(self):
+        net = star_net(cc="dcqcn", buffer_bytes=32_000_000, pfc_enabled=True)
+        for s in range(3):
+            net.add_flow(net.make_flow(src=s, dst=3, size=200_000))
+        net.run_until_done(deadline=20 * MS)
+        assert net.metrics.drop_count == 0
+
+
+class TestEcnAtSwitch:
+    def test_dcqcn_receiver_sends_cnps_under_congestion(self):
+        net = star_net(cc="dcqcn")
+        cnp_seen = []
+        nic = net.nics[0]
+        original = nic.receive
+
+        def spy(pkt, in_port):
+            if pkt.ptype is PacketType.CNP:
+                cnp_seen.append(net.sim.now)
+            original(pkt, in_port)
+
+        nic.receive = spy
+        # Three line-rate senders overflow the ECN threshold quickly.
+        for s in range(3):
+            net.add_flow(net.make_flow(src=s, dst=3, size=500_000))
+        net.run_until_done(deadline=30 * MS)
+        assert cnp_seen, "congestion should have produced CNPs"
+
+    def test_hpcc_network_has_no_cnps(self):
+        net = star_net(cc="hpcc")
+        cnp_seen = []
+        for h, nic in net.nics.items():
+            original = nic.receive
+
+            def spy(pkt, in_port, original=original):
+                if pkt.ptype is PacketType.CNP:
+                    cnp_seen.append(1)
+                original(pkt, in_port)
+
+            nic.receive = spy
+        for s in range(3):
+            net.add_flow(net.make_flow(src=s, dst=3, size=100_000))
+        net.run_until_done(deadline=5 * MS)
+        assert not cnp_seen

@@ -1,0 +1,102 @@
+"""TIMELY: RTT gradients, Tlow/Thigh guards, HAI mode."""
+
+import pytest
+
+from repro.core.timely import Timely
+from repro.sim.units import US, gbps
+
+from tests.helpers import FakeFlow, plain_ack
+
+
+def make_timely(env, **kw):
+    cc = Timely(env, **kw)
+    flow = FakeFlow()
+    cc.install(flow)
+    return cc, flow
+
+
+def feed_rtt(cc, flow, rtt, now):
+    """Deliver an ACK whose echoed timestamp implies the given RTT."""
+    cc.on_ack(flow, plain_ack(0, 1000, ts_tx=now - rtt), now=now)
+
+
+class TestBasics:
+    def test_line_rate_start(self, env):
+        cc, flow = make_timely(env)
+        assert flow.rate == pytest.approx(env.line_rate)
+        assert flow.window is None
+
+    def test_first_rtt_only_primes(self, env):
+        cc, flow = make_timely(env)
+        feed_rtt(cc, flow, 10 * US, now=100 * US)
+        assert flow.rate == pytest.approx(env.line_rate)
+
+    def test_default_thresholds_scale_with_t(self, env):
+        cc = Timely(env)
+        assert cc.t_low == pytest.approx(3.8 * env.base_rtt)
+        assert cc.t_high == pytest.approx(38 * env.base_rtt)
+
+
+class TestRegimes:
+    def test_below_tlow_additive_increase(self, env):
+        cc, flow = make_timely(env, delta=gbps(0.5))
+        flow.rate = env.line_rate / 2
+        feed_rtt(cc, flow, 10 * US, now=100 * US)
+        feed_rtt(cc, flow, 11 * US, now=200 * US)       # below t_low=34us
+        assert flow.rate == pytest.approx(env.line_rate / 2 + gbps(0.5))
+
+    def test_above_thigh_multiplicative_decrease(self, env):
+        cc, flow = make_timely(env, beta=0.8)
+        huge = 2 * cc.t_high
+        feed_rtt(cc, flow, huge, now=1000 * US)
+        feed_rtt(cc, flow, huge, now=2000 * US)
+        expected = env.line_rate * (1 - 0.8 * (1 - cc.t_high / huge))
+        assert flow.rate == pytest.approx(expected)
+
+    def test_positive_gradient_decreases(self, env):
+        cc, flow = make_timely(env)
+        base = 5 * env.base_rtt                          # between t_low/t_high
+        feed_rtt(cc, flow, base, now=1000 * US)
+        feed_rtt(cc, flow, base + 3 * US, now=2000 * US)  # rising RTT
+        assert flow.rate < env.line_rate
+
+    def test_negative_gradient_increases(self, env):
+        cc, flow = make_timely(env, delta=gbps(0.5))
+        flow.rate = env.line_rate / 2
+        base = 10 * env.base_rtt
+        feed_rtt(cc, flow, base, now=1000 * US)
+        feed_rtt(cc, flow, base - 2 * US, now=2000 * US)  # falling RTT
+        assert flow.rate > env.line_rate / 2
+
+    def test_hai_after_five_negative_gradients(self, env):
+        cc, flow = make_timely(env, delta=gbps(0.1), hai_threshold=5)
+        flow.rate = env.line_rate / 10
+        rtt = 10 * env.base_rtt
+        feed_rtt(cc, flow, rtt, now=1000 * US)
+        increments = []
+        for k in range(7):
+            rtt -= 100.0                                  # keep falling
+            before = flow.rate
+            feed_rtt(cc, flow, rtt, now=(2000 + k * 100) * US)
+            increments.append(flow.rate - before)
+        # Steps 5+ are in hyper mode: 5x the additive delta.
+        assert increments[-1] == pytest.approx(5 * gbps(0.1))
+        assert increments[0] == pytest.approx(gbps(0.1))
+
+    def test_rate_clamped_to_line(self, env):
+        cc, flow = make_timely(env, delta=gbps(50))
+        feed_rtt(cc, flow, 10 * US, now=1000 * US)
+        feed_rtt(cc, flow, 10 * US, now=2000 * US)
+        assert flow.rate <= env.line_rate
+
+    def test_min_rate_floor(self, env):
+        cc, flow = make_timely(env, min_rate=gbps(0.1))
+        huge = 10 * cc.t_high
+        for k in range(50):
+            feed_rtt(cc, flow, huge, now=(1 + k) * 1000 * US)
+        assert flow.rate >= gbps(0.1) - 1e-12
+
+    def test_nonpositive_rtt_ignored(self, env):
+        cc, flow = make_timely(env)
+        cc.on_ack(flow, plain_ack(0, 1000, ts_tx=500 * US), now=100 * US)
+        assert cc.prev_rtt is None

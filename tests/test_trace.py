@@ -1,0 +1,73 @@
+"""Packet event tracing."""
+
+import pytest
+
+from repro.network import Network, NetworkConfig
+from repro.sim.trace import PacketTracer
+from repro.sim.units import MS, US
+from repro.topology import star
+
+
+@pytest.fixture
+def traced_run():
+    net = Network(star(3, host_rate="100Gbps"),
+                  NetworkConfig(cc_name="hpcc", base_rtt=9 * US))
+    tracer = PacketTracer.attach(net)
+    spec = net.make_flow(0, 2, 10_000)
+    net.add_flow(spec)
+    assert net.run_until_done(deadline=5 * MS)
+    return net, tracer, spec
+
+
+class TestTracing:
+    def test_sends_match_flow_size(self, traced_run):
+        net, tracer, spec = traced_run
+        sends = [e for e in tracer.for_flow(spec.flow_id)
+                 if e.kind == "send"]
+        assert len(sends) == 10                      # 10 x 1000B
+        assert sends[0].seq == 0
+        assert sends[-1].seq == 9_000
+
+    def test_every_send_eventually_received(self, traced_run):
+        net, tracer, spec = traced_run
+        sent = {e.seq for e in tracer.events if e.kind == "send"}
+        received = {e.seq for e in tracer.events if e.kind == "recv"}
+        assert sent <= received | sent               # lossless: all arrive
+        assert tracer.count("recv") == tracer.count("send")
+
+    def test_acks_flow_back(self, traced_run):
+        _, tracer, spec = traced_run
+        assert tracer.count("ack") == tracer.count("send")
+
+    def test_timestamps_monotone(self, traced_run):
+        _, tracer, _ = traced_run
+        times = [e.t for e in tracer.events]
+        assert times == sorted(times)
+
+    def test_write_trace_file(self, traced_run, tmp_path):
+        _, tracer, _ = traced_run
+        path = tmp_path / "trace.txt"
+        n = tracer.write(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == n == len(tracer.events)
+        assert "send flow=" in lines[0] or "recv flow=" in lines[0]
+
+    def test_max_events_cap(self):
+        net = Network(star(3, host_rate="100Gbps"),
+                      NetworkConfig(cc_name="hpcc", base_rtt=9 * US))
+        tracer = PacketTracer.attach(net, max_events=5)
+        net.add_flow(net.make_flow(0, 2, 50_000))
+        net.run_until_done(deadline=5 * MS)
+        assert len(tracer.events) == 5
+
+    def test_drop_events_traced(self):
+        net = Network(star(4, host_rate="100Gbps"),
+                      NetworkConfig(cc_name="dctcp", base_rtt=9 * US,
+                                    pfc_enabled=False, buffer_bytes=20_000,
+                                    rto=200 * US))
+        tracer = PacketTracer.attach(net)
+        for s in range(3):
+            net.add_flow(net.make_flow(s, 3, 100_000))
+        net.run_until_done(deadline=100 * MS)
+        assert tracer.count("drop") == net.metrics.drop_count
+        assert tracer.count("drop") > 0

@@ -1,0 +1,240 @@
+"""Go-back-N and IRN state machines."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.transport import (
+    GbnReceiver,
+    GbnSender,
+    IrnReceiver,
+    IrnSender,
+    make_receiver,
+    make_sender,
+)
+
+
+class TestGbnSender:
+    def test_sends_in_order(self):
+        s = GbnSender(3000)
+        assert s.peek_next(1000) == (0, 1000)
+        s.mark_sent(0, 1000)
+        assert s.peek_next(1000) == (1000, 1000)
+
+    def test_last_packet_truncated(self):
+        s = GbnSender(2500)
+        s.mark_sent(0, 1000)
+        s.mark_sent(1000, 1000)
+        assert s.peek_next(1000) == (2000, 500)
+
+    def test_nothing_left(self):
+        s = GbnSender(1000)
+        s.mark_sent(0, 1000)
+        assert s.peek_next(1000) is None
+        assert not s.has_pending()
+
+    def test_out_of_order_send_rejected(self):
+        s = GbnSender(3000)
+        with pytest.raises(AssertionError):
+            s.mark_sent(1000, 1000)
+
+    def test_ack_advances_una(self):
+        s = GbnSender(3000)
+        s.mark_sent(0, 1000)
+        assert s.on_ack(1000) == 1000
+        assert s.snd_una == 1000
+        assert s.inflight == 0
+
+    def test_stale_ack_ignored(self):
+        s = GbnSender(3000)
+        s.mark_sent(0, 1000)
+        s.on_ack(1000)
+        assert s.on_ack(500) == 0
+        assert s.snd_una == 1000
+
+    def test_complete_at_size(self):
+        s = GbnSender(1500)
+        s.mark_sent(0, 1000)
+        s.mark_sent(1000, 500)
+        s.on_ack(1500)
+        assert s.complete
+
+    def test_nack_rewinds(self):
+        s = GbnSender(5000)
+        for seq in range(0, 5000, 1000):
+            s.mark_sent(seq, 1000)
+        s.on_nack(2000, 3000, now=100.0)
+        assert s.snd_nxt == 2000
+        assert s.rewinds == 1
+
+    def test_rewind_storm_suppressed(self):
+        s = GbnSender(5000, min_rewind_gap=1000.0)
+        for seq in range(0, 5000, 1000):
+            s.mark_sent(seq, 1000)
+        s.on_nack(2000, 3000, now=0.0)
+        s.mark_sent(2000, 1000)
+        s.mark_sent(3000, 1000)
+        s.on_nack(2000, 3000, now=500.0)     # within the gap: ignored
+        assert s.rewinds == 1
+        s.on_nack(2000, 3000, now=2000.0)    # past the gap: honored
+        assert s.rewinds == 2
+
+    def test_nack_never_rewinds_before_una(self):
+        s = GbnSender(5000)
+        for seq in range(0, 3000, 1000):
+            s.mark_sent(seq, 1000)
+        s.on_ack(2000)
+        s.on_nack(1000, 2500, now=10.0)
+        assert s.snd_nxt >= s.snd_una
+
+    def test_timeout_rewinds_to_una(self):
+        s = GbnSender(5000)
+        for seq in range(0, 4000, 1000):
+            s.mark_sent(seq, 1000)
+        s.on_ack(1000)
+        s.on_timeout(now=1.0)
+        assert s.snd_nxt == 1000
+
+
+class TestGbnReceiver:
+    def test_in_order_acks(self):
+        r = GbnReceiver()
+        assert r.on_data(0, 1000) == (False, 1000)
+        assert r.on_data(1000, 1000) == (False, 2000)
+
+    def test_gap_nacks_expected(self):
+        r = GbnReceiver()
+        r.on_data(0, 1000)
+        assert r.on_data(3000, 1000) == (True, 1000)
+
+    def test_duplicate_reacked(self):
+        r = GbnReceiver()
+        r.on_data(0, 1000)
+        r.on_data(1000, 1000)
+        assert r.on_data(0, 1000) == (False, 2000)
+
+
+class TestIrnSender:
+    def test_rtx_range_served_first(self):
+        s = IrnSender(10_000)
+        for seq in range(0, 5000, 1000):
+            s.mark_sent(seq, 1000)
+        s.on_nack(1000, 3000, now=1.0)       # [1000, 3000) missing
+        assert s.snd_una == 1000
+        assert s.peek_next(1000) == (1000, 1000)
+        s.mark_sent(1000, 1000)
+        assert s.peek_next(1000) == (2000, 1000)
+        s.mark_sent(2000, 1000)
+        assert s.peek_next(1000) == (5000, 1000)   # back to new data
+        assert s.retransmissions == 2
+
+    def test_duplicate_nacks_deduped(self):
+        s = IrnSender(10_000)
+        for seq in range(0, 6000, 1000):
+            s.mark_sent(seq, 1000)
+        s.on_nack(1000, 3000, now=1.0)
+        s.on_nack(1000, 4000, now=2.0)       # only [3000,4000) is new
+        total_rtx = sum(e - st for st, e in s._rtx)
+        assert total_rtx == 3000
+
+    def test_frontier_clears_stale_rtx(self):
+        s = IrnSender(10_000)
+        for seq in range(0, 5000, 1000):
+            s.mark_sent(seq, 1000)
+        s.on_nack(1000, 3000, now=1.0)
+        s.on_ack(3000)                       # receiver got it after all
+        assert s.peek_next(1000) == (5000, 1000)
+
+    def test_timeout_requests_head(self):
+        s = IrnSender(5000)
+        for seq in range(0, 3000, 1000):
+            s.mark_sent(seq, 1000)
+        s.on_timeout(now=1.0)
+        assert s.peek_next(1000)[0] == 0
+
+    def test_complete(self):
+        s = IrnSender(2000)
+        s.mark_sent(0, 1000)
+        s.mark_sent(1000, 1000)
+        s.on_ack(2000)
+        assert s.complete
+
+
+class TestIrnReceiver:
+    def test_in_order(self):
+        r = IrnReceiver()
+        assert r.on_data(0, 1000) == (False, 1000)
+
+    def test_gap_buffers_and_nacks(self):
+        r = IrnReceiver()
+        r.on_data(0, 1000)
+        is_gap, frontier = r.on_data(2000, 1000)
+        assert is_gap and frontier == 1000
+        # Filling the hole advances past the buffered range.
+        is_gap, frontier = r.on_data(1000, 1000)
+        assert not is_gap and frontier == 3000
+
+    def test_reordered_arrivals_all_counted_once(self):
+        r = IrnReceiver()
+        order = [3000, 0, 2000, 1000, 4000]
+        for seq in order:
+            r.on_data(seq, 1000)
+        assert r.expected == 5000
+
+    def test_overlapping_intervals_merge(self):
+        r = IrnReceiver()
+        r.on_data(1000, 2000)     # [1000, 3000)
+        r.on_data(2000, 2000)     # [2000, 4000) overlaps
+        r.on_data(0, 1000)
+        assert r.expected == 4000
+
+
+class TestFactories:
+    def test_make_sender_modes(self):
+        assert isinstance(make_sender("gbn", 100), GbnSender)
+        assert isinstance(make_sender("irn", 100), IrnSender)
+        with pytest.raises(ValueError):
+            make_sender("quic", 100)
+
+    def test_make_receiver_modes(self):
+        assert isinstance(make_receiver("gbn"), GbnReceiver)
+        assert isinstance(make_receiver("irn"), IrnReceiver)
+        with pytest.raises(ValueError):
+            make_receiver("tcp")
+
+
+class TestTransportProperties:
+    @given(st.permutations(list(range(0, 8000, 1000))))
+    def test_irn_receiver_any_order_completes(self, order):
+        r = IrnReceiver()
+        for seq in order:
+            r.on_data(seq, 1000)
+        assert r.expected == 8000
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=30))
+    def test_gbn_receiver_expected_monotone(self, seqs):
+        r = GbnReceiver()
+        last = 0
+        for k in seqs:
+            r.on_data(k * 1000, 1000)
+            assert r.expected >= last
+            last = r.expected
+
+    @given(st.data())
+    def test_irn_sender_invariants(self, data):
+        s = IrnSender(10_000)
+        for _ in range(data.draw(st.integers(1, 40))):
+            action = data.draw(st.sampled_from(["send", "ack", "nack"]))
+            if action == "send":
+                nxt = s.peek_next(1000)
+                if nxt is not None:
+                    s.mark_sent(*nxt)
+            elif action == "ack":
+                s.on_ack(data.draw(st.integers(0, 10_000)))
+            else:
+                frontier = data.draw(st.integers(0, s.snd_nxt))
+                oos = data.draw(st.integers(0, 10_000))
+                s.on_nack(frontier, oos, now=1.0)
+            assert 0 <= s.snd_una <= 10_000
+            assert s.snd_una <= s.snd_nxt
+            for start, end in s._rtx:
+                assert start < end <= 10_000

@@ -1,0 +1,90 @@
+"""Units: parsing, conversion, formatting."""
+
+import pytest
+
+from repro.sim import units
+
+
+class TestParseBandwidth:
+    def test_gbps(self):
+        assert units.parse_bandwidth("100Gbps") == pytest.approx(12.5)
+
+    def test_mbps(self):
+        assert units.parse_bandwidth("800Mbps") == pytest.approx(0.1)
+
+    def test_case_insensitive(self):
+        assert units.parse_bandwidth("25gbps") == units.parse_bandwidth("25Gbps")
+
+    def test_numeric_passthrough(self):
+        assert units.parse_bandwidth(12.5) == 12.5
+
+    def test_tbps(self):
+        assert units.parse_bandwidth("1Tbps") == pytest.approx(125.0)
+
+    def test_bad_unit(self):
+        with pytest.raises(units.UnitError):
+            units.parse_bandwidth("10parsecs")
+
+    def test_bad_format(self):
+        with pytest.raises(units.UnitError):
+            units.parse_bandwidth("Gbps10")
+
+
+class TestParseTime:
+    def test_us(self):
+        assert units.parse_time("5us") == 5000.0
+
+    def test_ms(self):
+        assert units.parse_time("1.5ms") == 1_500_000.0
+
+    def test_seconds(self):
+        assert units.parse_time("2s") == 2e9
+
+    def test_ns(self):
+        assert units.parse_time("80ns") == 80.0
+
+    def test_numeric_passthrough(self):
+        assert units.parse_time(42) == 42.0
+
+    def test_scientific(self):
+        assert units.parse_time("1e3ns") == 1000.0
+
+
+class TestParseSize:
+    def test_kb(self):
+        assert units.parse_size("400KB") == 400_000
+
+    def test_mb(self):
+        assert units.parse_size("32MB") == 32_000_000
+
+    def test_kib(self):
+        assert units.parse_size("4KiB") == 4096
+
+    def test_numeric(self):
+        assert units.parse_size(1000) == 1000
+
+
+class TestConversions:
+    def test_gbps_roundtrip(self):
+        assert units.bytes_per_ns_to_gbps(units.gbps(100)) == pytest.approx(100)
+
+    def test_serialization_time_example(self):
+        # 1000B at 100Gbps = 80ns.
+        assert 1000 / units.gbps(100) == pytest.approx(80.0)
+
+
+class TestFormatting:
+    def test_fmt_time_us(self):
+        assert units.fmt_time(5_400) == "5.400us"
+
+    def test_fmt_time_ms(self):
+        assert units.fmt_time(2_000_000) == "2.000ms"
+
+    def test_fmt_bytes_kb(self):
+        assert units.fmt_bytes(22_900) == "22.9KB"
+
+    def test_fmt_bytes_mb(self):
+        assert units.fmt_bytes(2_100_000) == "2.10MB"
+
+    def test_fmt_rate(self):
+        assert units.fmt_rate(units.gbps(25)) == "25.00Gbps"

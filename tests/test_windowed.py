@@ -1,0 +1,71 @@
+"""+win wrappers: fixed BDP cap over a rate-based scheme."""
+
+import pytest
+
+from repro.core.dcqcn import Dcqcn
+from repro.core.timely import Timely
+from repro.core.windowed import WindowedCc
+from repro.sim.units import US
+
+from tests.helpers import FakeFlow, plain_ack
+
+
+def make_windowed(env, inner_cls, **kw):
+    cc = WindowedCc(env, inner_cls(env, **kw))
+    flow = FakeFlow()
+    cc.install(flow)
+    return cc, flow
+
+
+class TestWindowEnforcement:
+    def test_install_sets_bdp_window(self, env):
+        cc, flow = make_windowed(env, Dcqcn)
+        assert flow.window == pytest.approx(env.bdp)
+        assert flow.rate == pytest.approx(env.line_rate)
+
+    def test_window_enforced_after_cnp(self, env):
+        cc, flow = make_windowed(env, Dcqcn)
+        cc.on_cnp(flow, now=0.0)
+        assert flow.window == pytest.approx(env.bdp)
+        assert flow.rate < env.line_rate            # inner DCQCN still cut
+
+    def test_window_enforced_after_ack(self, env):
+        cc, flow = make_windowed(env, Timely)
+        cc.on_ack(flow, plain_ack(0, 1000, ts_tx=0.0), now=50 * US)
+        cc.on_ack(flow, plain_ack(1000, 2000, ts_tx=0.0), now=900 * US)
+        assert flow.window == pytest.approx(env.bdp)
+
+    def test_inner_rate_drives_pacing(self, env):
+        cc, flow = make_windowed(env, Dcqcn)
+        cc.on_cnp(flow, now=0.0)
+        assert flow.rate == pytest.approx(env.line_rate / 2)
+
+
+class TestDelegation:
+    def test_cnp_interval_passthrough(self, env):
+        cc = WindowedCc(env, Dcqcn(env, td=7 * US))
+        assert cc.cnp_interval == 7 * US
+
+    def test_timely_has_no_cnp(self, env):
+        cc = WindowedCc(env, Timely(env))
+        assert cc.cnp_interval is None
+
+    def test_needs_int_follows_inner(self, env):
+        assert WindowedCc(env, Dcqcn(env)).needs_int is False
+
+    def test_flow_done_propagates(self, env):
+        cc, flow = make_windowed(env, Dcqcn, ti=10 * US)
+        cc.on_flow_done(flow, now=0.0)
+        env.sim.run(until=100 * US)
+        assert cc.inner.t_stage == 0
+
+    def test_packet_sent_feeds_byte_counter(self, env):
+        from repro.sim.packet import Packet, PacketType
+        cc, flow = make_windowed(env, Dcqcn, byte_counter=5000)
+        cc.on_cnp(flow, now=0.0)
+        for _ in range(6):
+            cc.on_packet_sent(
+                flow, Packet(PacketType.DATA, 1, 0, 1, payload=1000, header=0),
+                now=0.0,
+            )
+        assert cc.inner.b_stage == 1

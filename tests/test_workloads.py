@@ -1,0 +1,170 @@
+"""Traffic generation: CDF sampling, Poisson load calibration, incast."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.units import MS, SEC, gbps
+from repro.workloads import (
+    EmpiricalCdf,
+    fbhadoop,
+    incast_events,
+    incast_period_for_load,
+    offered_load,
+    poisson_flows,
+    websearch,
+)
+
+
+class TestEmpiricalCdf:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(1, 0.0)])
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(1, 0.0), (2, 0.9)])        # must end at 1
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(5, 0.0), (1, 1.0)])        # sizes must ascend
+
+    def test_quantile_endpoints(self):
+        cdf = websearch()
+        assert cdf.quantile(0.0) == 1
+        assert cdf.quantile(1.0) == 30_000_000
+
+    def test_deciles_are_paper_buckets(self):
+        assert websearch().deciles() == pytest.approx([
+            6_700, 20_000, 30_000, 50_000, 73_000, 200_000,
+            1_000_000, 2_000_000, 5_000_000, 30_000_000,
+        ])
+        assert fbhadoop().deciles() == pytest.approx([
+            324, 400, 500, 600, 700, 1_000, 7_000, 46_000,
+            120_000, 10_000_000,
+        ])
+
+    def test_cdf_quantile_roundtrip(self):
+        cdf = websearch()
+        for u in (0.05, 0.25, 0.55, 0.85, 0.95):
+            assert cdf.cdf_at(cdf.quantile(u)) == pytest.approx(u, abs=1e-9)
+
+    def test_sample_bounds(self):
+        cdf = fbhadoop()
+        rng = random.Random(1)
+        for _ in range(500):
+            size = cdf.sample(rng)
+            assert 1 <= size <= 10_000_000
+
+    def test_sample_mean_matches_analytic(self):
+        cdf = websearch()
+        rng = random.Random(7)
+        n = 30_000
+        mean = sum(cdf.sample(rng) for _ in range(n)) / n
+        assert mean == pytest.approx(cdf.mean(), rel=0.1)
+
+    def test_fbhadoop_mostly_small(self):
+        # Section 5.3: "90% of the flows are shorter than 120KB".
+        assert fbhadoop().cdf_at(120_000) == pytest.approx(0.9)
+
+    def test_scaled_preserves_shape(self):
+        cdf = websearch().scaled(0.1)
+        assert cdf.mean() == pytest.approx(websearch().mean() * 0.1, rel=0.01)
+        assert cdf.quantile(0.5) == pytest.approx(7_300)
+
+    def test_scaled_validation(self):
+        with pytest.raises(ValueError):
+            websearch().scaled(0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_monotone(self, u):
+        cdf = websearch()
+        assert cdf.quantile(u) <= cdf.quantile(min(1.0, u + 0.05))
+
+
+class TestPoissonFlows:
+    def test_load_calibration(self):
+        hosts = list(range(16))
+        rate = gbps(10)
+        duration = 1 * SEC
+        specs = poisson_flows(hosts, rate, websearch(), load=0.3,
+                              duration=duration, seed=3)
+        measured = offered_load(specs, 16 * rate, duration)
+        assert measured == pytest.approx(0.3, rel=0.15)
+
+    def test_valid_endpoints(self):
+        specs = poisson_flows(list(range(8)), gbps(10), fbhadoop(),
+                              load=0.5, duration=10 * MS, seed=2)
+        for spec in specs:
+            assert spec.src != spec.dst
+            assert 0 <= spec.src < 8 and 0 <= spec.dst < 8
+
+    def test_start_times_ordered_and_bounded(self):
+        specs = poisson_flows(list(range(4)), gbps(10), fbhadoop(),
+                              load=0.4, duration=20 * MS, seed=5,
+                              start_offset=5 * MS)
+        starts = [s.start_time for s in specs]
+        assert starts == sorted(starts)
+        assert all(5 * MS <= t < 25 * MS for t in starts)
+
+    def test_unique_flow_ids(self):
+        specs = poisson_flows(list(range(4)), gbps(10), fbhadoop(),
+                              load=0.4, duration=20 * MS, seed=5,
+                              first_flow_id=100)
+        ids = [s.flow_id for s in specs]
+        assert len(set(ids)) == len(ids)
+        assert min(ids) == 100
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(hosts=list(range(4)), host_rates=gbps(10),
+                      cdf=fbhadoop(), load=0.4, duration=10 * MS, seed=9)
+        a = poisson_flows(**kwargs)
+        b = poisson_flows(**kwargs)
+        assert [(s.src, s.dst, s.size, s.start_time) for s in a] == \
+               [(s.src, s.dst, s.size, s.start_time) for s in b]
+
+    def test_bad_load_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_flows([0, 1], gbps(10), fbhadoop(), load=1.5,
+                          duration=1 * MS)
+
+    def test_wire_overhead_reduces_payload_rate(self):
+        hosts = list(range(8))
+        lean = poisson_flows(hosts, gbps(10), fbhadoop(), load=0.3,
+                             duration=0.2 * SEC, seed=1, wire_overhead=1.0)
+        padded = poisson_flows(hosts, gbps(10), fbhadoop(), load=0.3,
+                               duration=0.2 * SEC, seed=1, wire_overhead=1.5)
+        assert len(padded) < len(lean)
+
+
+class TestIncast:
+    def test_event_structure(self):
+        specs = incast_events(list(range(20)), fan_in=6, flow_size=500_000,
+                              n_events=3, period=1 * MS, seed=4)
+        assert len(specs) == 18
+        by_time = {}
+        for spec in specs:
+            by_time.setdefault(spec.start_time, []).append(spec)
+        assert len(by_time) == 3
+        for group in by_time.values():
+            receivers = {s.dst for s in group}
+            assert len(receivers) == 1
+            assert receivers.pop() not in {s.src for s in group}
+            assert len({s.src for s in group}) == 6
+
+    def test_fan_in_bound(self):
+        with pytest.raises(ValueError):
+            incast_events(list(range(4)), fan_in=4, flow_size=1, n_events=1,
+                          period=1.0)
+
+    def test_tagged(self):
+        specs = incast_events(list(range(8)), 3, 1000, 1, 1.0)
+        assert all(s.tag == "incast" for s in specs)
+
+    def test_period_for_load(self):
+        # 60 x 500KB at 2% of 320 x 100Gbps: the paper's setup.
+        period = incast_period_for_load(60, 500_000, 0.02,
+                                        320 * gbps(100))
+        offered = 60 * 500_000 / period
+        assert offered == pytest.approx(0.02 * 320 * gbps(100))
+
+    def test_period_load_validation(self):
+        with pytest.raises(ValueError):
+            incast_period_for_load(60, 500_000, 0.0, 1.0)
