@@ -1,0 +1,90 @@
+"""Sweep-runner wall-clock: serial vs ``--jobs 4`` on a multi-scheme grid.
+
+The grid is six independent load scenarios (3 CC schemes x 2 seeds) on a
+small testbed PoD — the Figure 10/11 shape at reduced flow count.  On a
+multi-core box the parallel run beats serial roughly by min(jobs, cores);
+on a single-core box it degrades gracefully to ~serial (pool overhead is
+a few percent).  The cache pass is near-free everywhere, which is why
+the speedup assertion below is on the cache, not the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.runner import (
+    CcChoice,
+    RunCache,
+    ScenarioGrid,
+    ScenarioSpec,
+    SweepRunner,
+    axis,
+    cc_axis,
+)
+from repro.sim.units import US
+
+from conftest import run_once
+
+SCHEMES = (
+    CcChoice("hpcc", label="HPCC"),
+    CcChoice("dcqcn", label="DCQCN"),
+    CcChoice("dctcp", label="DCTCP"),
+)
+
+
+def sweep_grid() -> list[ScenarioSpec]:
+    base = ScenarioSpec(
+        program="load",
+        topology="testbed",
+        topology_params=dict(servers_per_tor=4, n_tors=2,
+                             host_rate="10Gbps", uplink_rate="40Gbps"),
+        workload={"cdf": "websearch", "size_scale": 0.1,
+                  "load": 0.3, "n_flows": 150},
+        config={"base_rtt": 9 * US, "buffer_bytes": 4_000_000},
+        label="sweep-bench",
+    )
+    return ScenarioGrid(base, cc_axis(SCHEMES), axis("seed", [1, 2])).expand()
+
+
+def test_sweep_serial(benchmark):
+    records = run_once(benchmark, SweepRunner(jobs=1).run, sweep_grid())
+    assert len(records) == 6
+    assert all(r.fct for r in records)
+
+
+def test_sweep_parallel_jobs4(benchmark):
+    records = run_once(benchmark, SweepRunner(jobs=4).run, sweep_grid())
+    assert len(records) == 6
+    assert all(r.fct for r in records)
+
+
+def test_sweep_speedup_and_cache(tmp_path):
+    """Report the serial / parallel / cached wall-clock side by side."""
+    specs = sweep_grid()
+
+    t0 = time.perf_counter()
+    serial = SweepRunner(jobs=1).run(specs)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = SweepRunner(jobs=4, cache=RunCache(tmp_path)).run(specs)
+    t_parallel = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cached = SweepRunner(jobs=4, cache=RunCache(tmp_path)).run(specs)
+    t_cached = time.perf_counter() - t0
+
+    print(
+        f"\nsweep of {len(specs)} scenarios on {os.cpu_count()} CPU(s): "
+        f"serial {t_serial:.2f}s, "
+        f"--jobs 4 {t_parallel:.2f}s ({t_serial / t_parallel:.2f}x), "
+        f"cached {t_cached:.3f}s ({t_serial / max(t_cached, 1e-9):.0f}x)"
+    )
+    # Identical results on every path (determinism is what makes the
+    # parallelism and the cache trustworthy).
+    assert [r.fct for r in serial] == [r.fct for r in parallel]
+    assert [r.fct for r in parallel] == [r.fct for r in cached]
+    assert all(r.cached for r in cached)
+    # The cache pass must be essentially free next to recomputation.
+    assert t_cached < t_serial / 5

@@ -30,11 +30,20 @@ from .network import Network, NetworkConfig
 from .sim import FlowSpec, PfcConfig, Simulator
 from .sim.ecn import EcnPolicy
 from .workloads import fbhadoop, incast_events, poisson_flows, websearch
+from .runner import (
+    CcChoice,
+    RunCache,
+    RunRecord,
+    ScenarioGrid,
+    ScenarioSpec,
+    SweepRunner,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CcAlgorithm",
+    "CcChoice",
     "CcEnv",
     "Dcqcn",
     "Dctcp",
@@ -46,7 +55,12 @@ __all__ = [
     "NetworkConfig",
     "PfcConfig",
     "QueueSampler",
+    "RunCache",
+    "RunRecord",
+    "ScenarioGrid",
+    "ScenarioSpec",
     "Simulator",
+    "SweepRunner",
     "Timely",
     "available_schemes",
     "fbhadoop",

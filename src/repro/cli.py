@@ -5,14 +5,23 @@ Examples::
     hpcc-repro list
     hpcc-repro run fig13
     hpcc-repro run fig11 --scale full
+    hpcc-repro sweep fig10 fig11 --jobs 4 --out results/
+    hpcc-repro sweep fig11 --seeds 1,2,3 --jobs 8
     hpcc-repro schemes
+
+``sweep`` expands each experiment's declared scenario grid
+(``scenarios()``), executes it on a process pool, and persists one
+``RunRecord`` JSON per scenario (content-addressed by spec hash) plus a
+``summary.csv`` under ``--out``.  Re-running the same sweep hits the
+cache and recomputes nothing; ``--no-cache`` forces fresh runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+import time
+from pathlib import Path
 
 from .core.registry import available_schemes
 from .experiments import (
@@ -30,21 +39,23 @@ from .experiments import (
     figure14,
 )
 
-EXPERIMENTS: dict[str, tuple[str, Callable[[], None]]] = {
-    "fig1": ("PFC pause propagation and suppressed bandwidth", figure01.main),
-    "fig2": ("DCQCN timer trade-off (throughput vs stability)", figure02.main),
-    "fig3": ("DCQCN ECN-threshold trade-off (bandwidth vs latency)", figure03.main),
-    "fig6": ("txRate vs rxRate feedback", figure06.main),
-    "fig9": ("testbed micro-benchmarks: HPCC vs DCQCN", figure09.main),
-    "fig10": ("testbed WebSearch FCT + queue CDF", figure10.main),
-    "fig11": ("large-scale FatTree, six CC schemes", figure11.main),
-    "fig12": ("flow-control choices (PFC / GBN / IRN)", figure12.main),
-    "fig13": ("per-ACK vs per-RTT vs HPCC reaction", figure13.main),
-    "fig14": ("WAI tuning", figure14.main),
+# name -> (description, module). Modules expose main(scale=...) and
+# scenarios(scale=..., seed=...).
+EXPERIMENTS = {
+    "fig1": ("PFC pause propagation and suppressed bandwidth", figure01),
+    "fig2": ("DCQCN timer trade-off (throughput vs stability)", figure02),
+    "fig3": ("DCQCN ECN-threshold trade-off (bandwidth vs latency)", figure03),
+    "fig6": ("txRate vs rxRate feedback", figure06),
+    "fig9": ("testbed micro-benchmarks: HPCC vs DCQCN", figure09),
+    "fig10": ("testbed WebSearch FCT + queue CDF", figure10),
+    "fig11": ("large-scale FatTree, six CC schemes", figure11),
+    "fig12": ("flow-control choices (PFC / GBN / IRN)", figure12),
+    "fig13": ("per-ACK vs per-RTT vs HPCC reaction", figure13),
+    "fig14": ("WAI tuning", figure14),
     "appendix": ("Appendix A: A.1 queueing, A.2 lemma, A.4 window limits",
-                 appendix_a.main),
+                 appendix_a),
     "failover": ("extension: CC behaviour across a link failure",
-                 failover.main),
+                 failover),
 }
 
 _ALIASES = {
@@ -68,6 +79,69 @@ def _resolve(name: str) -> str:
     return key
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _parse_seeds(text: str | None) -> list[int] | None:
+    if text is None:
+        return None
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"bad --seeds value {text!r}; expected e.g. 1,2,3")
+
+
+def _cmd_sweep(args) -> int:
+    from .runner import RunCache, SweepRunner, write_records_csv
+
+    seeds = _parse_seeds(args.seeds)
+    specs = []
+    for name in args.experiments:
+        module = EXPERIMENTS[_resolve(name)][1]
+        if seeds is None:
+            specs.extend(module.scenarios(scale=args.scale))
+        else:
+            for seed in seeds:
+                specs.extend(module.scenarios(scale=args.scale, seed=seed))
+    if not specs:
+        print("nothing to run")
+        return 1
+
+    out = Path(args.out)
+    try:
+        out.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise SystemExit(f"cannot create --out directory {out}: {exc}")
+    cache = None if args.no_cache else RunCache(out)
+
+    def progress(record, done, total):
+        status = "cache" if record.cached else f"{record.wall_time_s:.2f}s"
+        print(f"[{done}/{total}] {record.label}  ({status})", flush=True)
+
+    started = time.perf_counter()
+    runner = SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
+    records = runner.run(specs)
+    elapsed = time.perf_counter() - started
+
+    if cache is None:                       # still persist the records
+        for record in records:
+            record.write_json(out / f"{record.spec_hash}.json")
+    write_records_csv(records, out / "summary.csv")
+    hits = sum(1 for r in records if r.cached)
+    print(
+        f"{len(records)} scenarios ({hits} cached) in {elapsed:.2f}s "
+        f"with --jobs {args.jobs} -> {out}"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="hpcc-repro",
@@ -77,8 +151,42 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list available experiments")
     sub.add_parser("schemes", help="list registered CC schemes")
+
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="e.g. fig13, fig11, appendix")
+    run.add_argument(
+        "--scale", choices=("bench", "full"), default="bench",
+        help="bench = shrunk for Python speed (default); full = paper sizes",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="run experiment grids in parallel, with caching"
+    )
+    sweep.add_argument(
+        "experiments", nargs="+", help="experiment names, e.g. fig10 fig11"
+    )
+    sweep.add_argument(
+        "--scale", choices=("bench", "full"), default="bench",
+        help="scenario scale (default bench)",
+    )
+    sweep.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes (default 1 = serial)",
+    )
+    sweep.add_argument(
+        "--out", default="sweep-results", metavar="DIR",
+        help="directory for RunRecord JSONs + summary.csv "
+             "(default sweep-results/)",
+    )
+    sweep.add_argument(
+        "--seeds", default=None, metavar="S1,S2,...",
+        help="comma-separated seeds; expands the grid once per seed",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every scenario even if a record exists in --out",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list" or args.command is None:
@@ -91,8 +199,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "run":
         key = _resolve(args.experiment)
-        EXPERIMENTS[key][1]()
+        EXPERIMENTS[key][1].main(scale=args.scale)
         return 0
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     parser.print_help()
     return 1
 

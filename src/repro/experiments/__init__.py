@@ -1,9 +1,13 @@
 """One driver per paper figure plus the Appendix A experiments.
 
-Each module exposes ``run_figureNN(scale=...)`` returning a result
-dataclass and a ``main()`` that prints the paper-style table.  Run any of
-them as ``python -m repro.experiments.figureNN`` or via the ``hpcc-repro``
-CLI.
+Each module declares its figure as a scenario grid — ``scenarios(scale=...,
+seed=...)`` returns :class:`~repro.runner.ScenarioSpec` lists — and exposes
+``run_figureNN(scale=...)`` (executes the grid through a
+:class:`~repro.runner.SweepRunner` and post-processes the records into a
+result dataclass) plus a ``main(scale=...)`` that prints the paper-style
+table.  Run any of them as ``python -m repro.experiments.figureNN`` or via
+the ``hpcc-repro`` CLI; ``hpcc-repro sweep`` executes whole grids in
+parallel with caching.
 """
 
 from . import (

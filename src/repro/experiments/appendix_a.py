@@ -8,23 +8,18 @@
 * A.4 — window limits under a 64-to-1 line-rate incast in-tree: the root
   queue drains as fast as possible and senders end up at ~1/65 of the
   initial window, without PFC.
+
+A.1 and A.2 are analytic/numeric programs; A.4 is a regular ``flows``
+scenario — all three route through the sweep runner, so ``hpcc-repro
+sweep appendix`` caches them like any figure cell.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from ..analysis.convergence import RateNetwork, random_network
-from ..analysis.queueing import (
-    PeriodicSourcesQueue,
-    mean_queue_full_load,
-    overflow_probability,
-)
+from ..runner import CcChoice, ScenarioSpec, SweepRunner, build_topology
 from ..sim.units import MS, US
-from ..topology.simple import intree, star
-from .common import CcChoice, run_workload, setup_network
 
 
 @dataclass
@@ -37,16 +32,29 @@ class A1Result:
     simulated_tail: float
 
 
+def a1_scenario(n_sources: int = 50, rho: float = 0.95, threshold: int = 20,
+                seed: int = 5) -> ScenarioSpec:
+    return ScenarioSpec(
+        program="appendix_a1",
+        workload={"n_sources": n_sources, "rho": rho, "threshold": threshold},
+        seed=seed,
+        label=f"A.1 N={n_sources} rho={rho}",
+        meta={"figure": "appendix"},
+    )
+
+
 def run_a1(n_sources: int = 50, rho: float = 0.95, threshold: int = 20,
-           seed: int = 5) -> A1Result:
-    sim = PeriodicSourcesQueue(n_sources, rho, seed=seed)
+           seed: int = 5, runner: SweepRunner | None = None) -> A1Result:
+    spec = a1_scenario(n_sources, rho, threshold, seed)
+    [record] = (runner or SweepRunner()).run([spec])
+    e = record.extras
     return A1Result(
-        n_sources=n_sources,
-        rho=rho,
-        analytic_mean_full_load=mean_queue_full_load(n_sources),
-        simulated_mean=sim.mean_queue(n_periods=200),
-        analytic_tail=overflow_probability(n_sources, rho, threshold),
-        simulated_tail=sim.tail_probability(threshold, n_periods=200),
+        n_sources=e["n_sources"],
+        rho=e["rho"],
+        analytic_mean_full_load=e["analytic_mean_full_load"],
+        simulated_mean=e["simulated_mean"],
+        analytic_tail=e["analytic_tail"],
+        simulated_tail=e["simulated_tail"],
     )
 
 
@@ -59,7 +67,7 @@ class A2Result:
     pareto_asymptotic: int        # within 5I steps at 1e-6 tolerance
 
 
-def run_a2(n_trials: int = 50, seed: int = 11) -> A2Result:
+def a2_scenario(n_trials: int = 50, seed: int = 11) -> ScenarioSpec:
     """Check the Lemma numerically.
 
     Reproduction note: the appendix proof saturates one resource per step
@@ -68,28 +76,27 @@ def run_a2(n_trials: int = 50, seed: int = 11) -> A2Result:
     asymptotic).  We therefore check Pareto optimality within I steps at a
     1% saturation tolerance and within 5I steps at 1e-6 (EXPERIMENTS.md).
     """
-    rng = np.random.default_rng(seed)
-    feasible = monotone = pareto_i = pareto_inf = 0
-    for _ in range(n_trials):
-        net = random_network(
-            n_resources=int(rng.integers(2, 8)),
-            n_paths=int(rng.integers(2, 10)),
-            rng=rng,
-        )
-        r0 = rng.uniform(0.1, 5.0, size=net.n_paths)
-        trajectory = net.iterate(r0, 5 * net.n_resources)
-        if net.is_feasible(trajectory[1]):
-            feasible += 1
-        if all(
-            (trajectory[k + 1] >= trajectory[k] - 1e-9).all()
-            for k in range(1, len(trajectory) - 1)
-        ):
-            monotone += 1
-        if net.is_pareto_optimal(trajectory[net.n_resources], tol=0.01):
-            pareto_i += 1
-        if net.is_pareto_optimal(trajectory[-1]):
-            pareto_inf += 1
-    return A2Result(n_trials, feasible, monotone, pareto_i, pareto_inf)
+    return ScenarioSpec(
+        program="appendix_a2",
+        workload={"n_trials": n_trials},
+        seed=seed,
+        label=f"A.2 {n_trials} trials",
+        meta={"figure": "appendix"},
+    )
+
+
+def run_a2(n_trials: int = 50, seed: int = 11,
+           runner: SweepRunner | None = None) -> A2Result:
+    spec = a2_scenario(n_trials, seed)
+    [record] = (runner or SweepRunner()).run([spec])
+    e = record.extras
+    return A2Result(
+        n_trials=e["n_trials"],
+        feasible_after_one=e["feasible_after_one"],
+        monotone=e["monotone"],
+        pareto_within_i=e["pareto_within_i"],
+        pareto_asymptotic=e["pareto_asymptotic"],
+    )
 
 
 @dataclass
@@ -101,26 +108,47 @@ class A4Result:
     pfc_pauses: int
 
 
-def run_a4(fan_in: int = 64, seed: int = 1) -> A4Result:
+A4_BASE_RTT = 9 * US
+
+
+def a4_scenario(fan_in: int = 64, seed: int = 1) -> ScenarioSpec:
     """64 senders at line rate into one receiver through an in-tree."""
-    topo = intree(fan_in=8, depth=2, host_rate="100Gbps", delay="1us")
-    base_rtt = 9 * US
-    net = setup_network(
-        topo, CcChoice("hpcc"), base_rtt=base_rtt,
-        pfc_enabled=True, buffer_bytes=64_000_000,
-    )
     receiver = 64
-    root_switch = 65
-    bottleneck = {"root": net.port_between(root_switch, receiver)}
-    specs = [
-        net.make_flow(src=s, dst=receiver, size=2_000_000)
-        for s in range(64)
-    ]
-    result = run_workload(
-        net, specs, deadline=3 * MS,
-        sample_interval=1 * US, sample_ports=bottleneck,
+    return ScenarioSpec(
+        program="flows",
+        topology="intree",
+        topology_params={
+            "fan_in": 8, "depth": 2,
+            "host_rate": "100Gbps", "delay": "1us",
+        },
+        cc=CcChoice("hpcc"),
+        workload={
+            "flows": [
+                [s, receiver, 2_000_000, 0.0, "incast"] for s in range(64)
+            ],
+            "deadline": 3 * MS,
+        },
+        config={
+            "base_rtt": A4_BASE_RTT,
+            "pfc_enabled": True,
+            "buffer_bytes": 64_000_000,
+        },
+        measure={
+            "sample_interval": 1 * US,
+            "sample_ports": [["root", "to_host", receiver]],
+            "windows": True,
+        },
+        seed=seed,
+        label=f"A.4 {fan_in}-to-1 incast",
+        meta={"figure": "appendix", "fan_in": fan_in},
     )
-    t, q = result.sampler.series("root")
+
+
+def run_a4(fan_in: int = 64, seed: int = 1,
+           runner: SweepRunner | None = None) -> A4Result:
+    spec = a4_scenario(fan_in, seed)
+    [record] = (runner or SweepRunner()).run([spec])
+    t, q = record.queue_series("root")
     peak = max(q)
     drain_time = next(
         (tt for tt, v in zip(t, q) if v > 0.5 * peak), 0.0
@@ -129,38 +157,45 @@ def run_a4(fan_in: int = 64, seed: int = 1) -> A4Result:
         (tt for tt, v in zip(t, q) if tt > drain_time and v < 0.01 * peak),
         float("inf"),
     )
-    windows = [
-        f.window for f in (net.nics[s].flows.get(spec.flow_id)
-                           for s, spec in zip(range(64), specs))
-        if f is not None and f.window is not None
-    ]
-    winit = net.nics[0].port.rate * base_rtt
+    windows = [w for w in record.final_windows().values() if w is not None]
+    topo = build_topology(spec)
+    winit = topo.host_rate(0) * A4_BASE_RTT
     mean_window = sum(windows) / len(windows) if windows else winit
     return A4Result(
         fan_in=64,
         peak_queue=peak,
         drain_time_us=(drained_at - drain_time) / US,
         final_window_fraction=mean_window / winit,
-        pfc_pauses=result.metrics.pause_tracker.pause_count(),
+        pfc_pauses=record.extras["pause_count"],
     )
 
 
-def main() -> None:
-    a1 = run_a1()
+def scenarios(scale: str = "bench", seed: int | None = None) -> list[ScenarioSpec]:
+    """All Appendix A cells (for ``hpcc-repro sweep``); seeds follow the
+    per-experiment defaults unless overridden."""
+    if seed is None:
+        return [a1_scenario(), a2_scenario(), a4_scenario()]
+    return [a1_scenario(seed=seed), a2_scenario(seed=seed),
+            a4_scenario(seed=seed)]
+
+
+def main(scale: str = "bench") -> None:
+    runner = SweepRunner()
+    a1 = run_a1(runner=runner)
     print(
         f"A.1  N={a1.n_sources} rho={a1.rho}: simulated mean queue "
         f"{a1.simulated_mean:.2f} pkts (analytic bound at rho=1: "
         f"{a1.analytic_mean_full_load:.2f}); P(Q>20) sim {a1.simulated_tail:.2e} "
         f"analytic {a1.analytic_tail:.2e}"
     )
-    a2 = run_a2()
+    a2 = run_a2(runner=runner)
     print(
         f"A.2  {a2.n_trials} random networks: feasible after 1 step "
         f"{a2.feasible_after_one}, monotone {a2.monotone}, Pareto within I "
         f"steps (1% tol) {a2.pareto_within_i}, Pareto by 5I steps "
         f"{a2.pareto_asymptotic}"
     )
-    a4 = run_a4()
+    a4 = run_a4(runner=runner)
     print(
         f"A.4  64-to-1 incast: peak root queue {a4.peak_queue / 1000:.0f}KB, "
         f"drained in {a4.drain_time_us:.0f}us, mean window at end "

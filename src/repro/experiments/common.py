@@ -1,9 +1,12 @@
-"""Shared experiment harness.
+"""Shared experiment harness (now a facade over ``repro.runner``).
 
-Each ``figureNN`` module describes one figure of the paper as code: build
-a topology, deploy a CC scheme, offer a workload, collect the figure's
-metric.  Everything routes through :func:`run_workload` so the benchmarks,
-the CLI and the examples all execute identical code paths.
+Each ``figureNN`` module describes one figure of the paper as *data*: a
+:class:`~repro.runner.ScenarioSpec` grid built in its ``scenarios()``
+function, executed by a :class:`~repro.runner.SweepRunner`, and
+post-processed from :class:`~repro.runner.RunRecord` payloads.  The
+execution primitives (``setup_network``/``run_workload``/
+``load_experiment``) live in ``repro.runner.harness`` and are re-exported
+here for compatibility.
 
 Every driver takes a ``scale`` argument:
 
@@ -16,136 +19,25 @@ Every driver takes a ``scale`` argument:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from ..runner.harness import (
+    RunResult,
+    load_experiment,
+    run_workload,
+    setup_network,
+)
+from ..runner.spec import CcChoice
 
-from ..metrics.queuestats import QueueSampler
-from ..network import Network, NetworkConfig
-from ..sim.flow import FctRecord, FlowSpec
-from ..topology.base import Topology
-
-
-@dataclass(frozen=True)
-class CcChoice:
-    """A labelled CC configuration, e.g. DCQCN with specific timers."""
-
-    name: str                        # registry name
-    label: str | None = None         # display label (defaults to name)
-    params: dict = field(default_factory=dict)
-
-    @property
-    def display(self) -> str:
-        return self.label or self.name
-
-
-@dataclass
-class RunResult:
-    """Everything an experiment driver needs after one run."""
-
-    net: Network
-    records: list[FctRecord]
-    sampler: QueueSampler | None
-    duration: float
-    completed: bool
-
-    @property
-    def metrics(self):
-        return self.net.metrics
-
-
-def setup_network(
-    topology: Topology,
-    cc: CcChoice,
-    base_rtt: float | None = None,
-    goodput_bin: float | None = None,
-    seed: int = 1,
-    **config_kwargs,
-) -> Network:
-    """Build a network running one CC choice."""
-    config = NetworkConfig(
-        cc_name=cc.name,
-        cc_params=dict(cc.params),
-        base_rtt=base_rtt,
-        goodput_bin=goodput_bin,
-        seed=seed,
-        **config_kwargs,
-    )
-    return Network(topology, config)
-
-
-def run_workload(
-    net: Network,
-    specs: list[FlowSpec],
-    deadline: float,
-    sample_interval: float | None = None,
-    sample_ports: dict | None = None,
-) -> RunResult:
-    """Offer flows, optionally sample queues, run to completion/deadline."""
-    sampler = None
-    if sample_interval is not None:
-        ports = sample_ports if sample_ports is not None else net.switch_port_labels()
-        sampler = QueueSampler(net.sim, ports, sample_interval)
-    net.add_flows(specs)
-    completed = net.run_until_done(deadline=deadline)
-    if sampler is not None:
-        sampler.stop()
-    return RunResult(
-        net=net,
-        records=net.metrics.fct_records,
-        sampler=sampler,
-        duration=net.sim.now,
-        completed=completed,
-    )
+__all__ = [
+    "CcChoice",
+    "RunResult",
+    "load_experiment",
+    "require_scale",
+    "run_workload",
+    "setup_network",
+]
 
 
 def require_scale(scale: str) -> str:
     if scale not in ("bench", "full"):
         raise ValueError(f"scale must be 'bench' or 'full', got {scale!r}")
     return scale
-
-
-def load_experiment(
-    topology: Topology,
-    cc: CcChoice,
-    cdf,
-    load: float,
-    n_flows: int,
-    base_rtt: float,
-    seed: int = 1,
-    incast: dict | None = None,
-    deadline_factor: float = 2.5,
-    sample_interval: float | None = None,
-    **config_kwargs,
-) -> RunResult:
-    """One background-load run: Poisson flows from ``cdf`` at ``load``.
-
-    The duration follows from the target flow count; ``incast`` optionally
-    adds synchronized bursts (keys: fan_in, flow_size, load).  The run gets
-    ``deadline_factor`` times the workload duration to drain.
-    """
-    from ..workloads.generator import poisson_flows
-    from ..workloads.incast import incast_events, incast_period_for_load
-
-    net = setup_network(topology, cc, base_rtt=base_rtt, seed=seed, **config_kwargs)
-    rates = {h: topology.host_rate(h) for h in topology.hosts}
-    total_capacity = sum(rates.values())
-    wire = (net.config.mtu + net.header) / net.config.mtu
-    flow_rate = load * total_capacity / (cdf.mean() * wire)     # flows per ns
-    duration = n_flows / flow_rate
-    specs = poisson_flows(
-        list(topology.hosts), rates, cdf, load, duration,
-        seed=seed, wire_overhead=wire,
-    )
-    if incast is not None:
-        period = incast_period_for_load(
-            incast["fan_in"], incast["flow_size"], incast["load"], total_capacity
-        )
-        n_events = max(1, int(duration / period))
-        specs += incast_events(
-            list(topology.hosts), incast["fan_in"], incast["flow_size"],
-            n_events, period, seed=seed + 13,
-            start_offset=period / 2,
-        )
-    return run_workload(
-        net, specs, deadline=duration * deadline_factor,
-        sample_interval=sample_interval,
-    )

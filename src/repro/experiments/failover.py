@@ -18,32 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sim.units import MS, US, parse_bandwidth
-from ..topology.base import LinkSpec, Topology
-from .common import CcChoice, run_workload, setup_network
+from ..runner import CcChoice, ScenarioGrid, ScenarioSpec, SweepRunner, cc_axis
+from ..sim.units import MS, US
+from ..topology.simple import dual_trunk
 
-
-def dual_trunk(
-    n_pairs: int = 4,
-    host_rate: str = "25Gbps",
-    trunk_rate: str = "50Gbps",
-    delay: str = "1us",
-) -> Topology:
-    """n senders rack A -> n receivers rack B over two parallel trunks."""
-    hrate = parse_bandwidth(host_rate)
-    trate = parse_bandwidth(trunk_rate)
-    from ..sim.units import parse_time
-    d = parse_time(delay)
-    n_hosts = 2 * n_pairs
-    sw_a, sw_b = n_hosts, n_hosts + 1
-    links = [LinkSpec(h, sw_a, hrate, d) for h in range(n_pairs)]
-    links += [LinkSpec(h, sw_b, hrate, d) for h in range(n_pairs, n_hosts)]
-    links.append(LinkSpec(sw_a, sw_b, trate, d))
-    links.append(LinkSpec(sw_a, sw_b, trate, d))
-    return Topology(
-        name=f"dualtrunk{n_pairs}", n_hosts=n_hosts, n_switches=2,
-        links=links, switch_tiers={"tor": [sw_a, sw_b]},
-    )
+__all__ = ["BENCH", "SCHEMES", "FailoverResult", "dual_trunk",
+           "run_failover", "scenarios", "main"]
 
 
 @dataclass
@@ -70,50 +50,72 @@ SCHEMES = (
 )
 
 
-def run_failover(
+def scenarios(
+    scale: str = "bench",
+    seed: int = 1,
     schemes: tuple[CcChoice, ...] = SCHEMES,
     params: dict | None = None,
-) -> FailoverResult:
+) -> list[ScenarioSpec]:
+    """The grid: one dual-trunk run per scheme, trunk cut mid-run."""
     p = dict(BENCH)
     if params:
         p.update(params)
     n = p["n_pairs"]
+    sw_a, sw_b = 2 * n, 2 * n + 1
+    base = ScenarioSpec(
+        program="flows",
+        topology="dual_trunk",
+        topology_params={"n_pairs": n},
+        workload={
+            "flows": [
+                [i, n + i, p["flow_size"], 0.0, "bg"] for i in range(n)
+            ],
+            "deadline": p["duration"],
+            "events": [["fail_link", p["fail_at"], sw_a, sw_b]],
+        },
+        config={
+            "base_rtt": 9 * US,
+            "goodput_bin": p["goodput_bin"],
+            "rto": 500 * US,
+        },
+        seed=seed,
+        scale=scale,
+        meta={"figure": "failover", "params": p, "sw_a": sw_a},
+    )
+    return ScenarioGrid(base, cc_axis(schemes)).expand()
+
+
+def run_failover(
+    schemes: tuple[CcChoice, ...] = SCHEMES,
+    params: dict | None = None,
+    seed: int = 1,
+    runner: SweepRunner | None = None,
+) -> FailoverResult:
+    specs = scenarios(seed=seed, schemes=schemes, params=params)
+    records = (runner or SweepRunner()).run(specs)
     before: dict[str, float] = {}
     after: dict[str, float] = {}
     recovery: dict[str, float] = {}
     lost: dict[str, int] = {}
     drained: dict[str, bool] = {}
-    for cc in schemes:
-        topo = dual_trunk(n)
-        net = setup_network(
-            topo, cc, base_rtt=9 * US, goodput_bin=p["goodput_bin"],
-            rto=500 * US,
-        )
-        sw_a, sw_b = topo.switch_tiers["tor"]
-        specs = [
-            net.make_flow(src=i, dst=n + i, size=p["flow_size"])
-            for i in range(n)
-        ]
-        failed = {}
-
-        def cut():
-            failed["link"] = net.fail_link(sw_a, sw_b)
-
-        net.sim.at(p["fail_at"], cut)
-        run_workload(net, specs, deadline=p["duration"])
-        ids = [s.flow_id for s in specs]
-        goodput = net.metrics.goodput
+    for spec, record in zip(specs, records):
+        label = spec.label
+        p = spec.meta["params"]
+        goodput = record.goodput()
+        ids = record.flow_ids("bg")
 
         def total_in(t0, t1):
             return sum(goodput.mean_gbps(fid, t0, t1) for fid in ids)
 
-        before[cc.display] = total_in(1 * MS, p["fail_at"])
-        after[cc.display] = total_in(p["duration"] - 3 * MS,
-                                     p["duration"] - 1 * MS)
-        lost[cc.display] = failed["link"].packets_lost_down
+        before[label] = total_in(1 * MS, p["fail_at"])
+        after[label] = total_in(p["duration"] - 3 * MS,
+                                p["duration"] - 1 * MS)
+        [cut] = record.link_events()
+        lost[label] = cut["packets_lost_down"]
         # Recovery: first bin after the cut where aggregate goodput
         # reaches 80% of the surviving trunk's payload capacity.
-        surviving_payload = 50 * (1000 / (1000 + net.header))   # Gbps
+        header = record.extras["header_bytes"]
+        surviving_payload = 50 * (1000 / (1000 + header))   # Gbps
         target = 0.8 * surviving_payload
         times, series = goodput.total_series(ids)
         rec = next(
@@ -121,12 +123,14 @@ def run_failover(
              if t > p["fail_at"] + p["goodput_bin"] and g >= target),
             float("inf"),
         )
-        recovery[cc.display] = (rec - p["fail_at"]) / US
-        drained[cc.display] = net.switches[sw_a].total_queued_bytes() < 10_000_000
+        recovery[label] = (rec - p["fail_at"]) / US
+        drained[label] = (
+            record.switch_queued_bytes()[spec.meta["sw_a"]] < 10_000_000
+        )
     return FailoverResult(before, after, recovery, lost, drained)
 
 
-def main() -> None:
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_table
 
     result = run_failover()

@@ -17,10 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..metrics.pfcstats import PauseTreeStats, analyze_pause_trees, depth_ccdf
+from ..runner import ScenarioSpec, SweepRunner, build_topology, CcChoice
 from ..sim.units import US
-from ..topology.testbed import testbed
-from ..workloads.fbhadoop import fbhadoop
-from .common import CcChoice, load_experiment, require_scale
+from .common import require_scale
 
 SCALES = {
     "bench": {
@@ -55,29 +54,49 @@ class Figure1Result:
     pause_events: int
 
 
-def run_figure01(scale: str = "bench", seed: int = 3,
-                 overrides: dict | None = None) -> Figure1Result:
+def scenarios(scale: str = "bench", seed: int = 3,
+              overrides: dict | None = None) -> list[ScenarioSpec]:
+    """The figure's grid: one DCQCN run with incast, pause tracing on."""
     p = dict(SCALES[require_scale(scale)])
     if overrides:
         p.update(overrides)
-    topo = testbed(**p["topology"])
-    result = load_experiment(
-        topo, CcChoice("dcqcn", label="DCQCN"),
-        fbhadoop().scaled(p["size_scale"]),
-        load=p["load"], n_flows=p["n_flows"], base_rtt=p["base_rtt"],
-        seed=seed,
-        incast={
-            "fan_in": p["incast_fan_in"],
-            "flow_size": p["incast_size"],
-            "load": 0.04,
+    return [ScenarioSpec(
+        program="load",
+        topology="testbed",
+        topology_params=dict(p["topology"]),
+        cc=CcChoice("dcqcn", label="DCQCN"),
+        workload={
+            "cdf": "fbhadoop",
+            "size_scale": p["size_scale"],
+            "load": p["load"],
+            "n_flows": p["n_flows"],
+            "incast": {
+                "fan_in": p["incast_fan_in"],
+                "flow_size": p["incast_size"],
+                "load": 0.04,
+            },
         },
-        buffer_bytes=p["buffer_bytes"],
-    )
-    net = result.net
-    tracker = result.metrics.pause_tracker
+        config={
+            "base_rtt": p["base_rtt"],
+            "buffer_bytes": p["buffer_bytes"],
+        },
+        measure={"pause_intervals": True},
+        seed=seed,
+        scale=scale,
+        label="fig1/DCQCN",
+        meta={"figure": "fig1"},
+    )]
+
+
+def run_figure01(scale: str = "bench", seed: int = 3,
+                 overrides: dict | None = None,
+                 runner: SweepRunner | None = None) -> Figure1Result:
+    specs = scenarios(scale, seed=seed, overrides=overrides)
+    [record] = (runner or SweepRunner()).run(specs)
+    topo = build_topology(specs[0])
     trees = analyze_pause_trees(
-        tracker,
-        origin_of=net.origin_of,
+        record.pause_tracker(),
+        origin_of=record.origin_map(),
         host_ids=set(topo.hosts),
         host_rate=topo.min_host_rate(),
     )
@@ -86,14 +105,14 @@ def run_figure01(scale: str = "bench", seed: int = 3,
         trees=trees,
         depth_ccdf=depth_ccdf(trees),
         suppressed=suppressed,
-        pause_events=tracker.pause_count(),
+        pause_events=record.extras["pause_count"],
     )
 
 
-def main() -> None:
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_table
 
-    result = run_figure01()
+    result = run_figure01(scale)
     print(f"pause intervals recorded: {result.pause_events}; "
           f"pause trees: {len(result.trees)}")
     rows = [

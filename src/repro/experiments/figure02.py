@@ -17,11 +17,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..metrics.fct import BucketStats, percentile, slowdown_by_bucket
-from ..metrics.pfcstats import pause_durations
+from ..runner import (
+    CcChoice,
+    ScenarioGrid,
+    ScenarioSpec,
+    SweepRunner,
+    workload_cdf,
+)
 from ..sim.units import US
-from ..topology.testbed import testbed
-from ..workloads.websearch import websearch
-from .common import CcChoice, load_experiment, require_scale
+from .common import require_scale
 
 TIMER_SETTINGS = (
     ("Ti=55,Td=50", {"ti": 55 * US, "td": 50 * US}),
@@ -61,56 +65,89 @@ class Figure2Result:
     bucket_edges: list[int]
 
 
+def scenarios(
+    scale: str = "bench",
+    seed: int = 1,
+    load: float = 0.30,
+    with_incast: bool = True,
+    overrides: dict | None = None,
+) -> list[ScenarioSpec]:
+    """The figure's grid: one DCQCN run per timer setting."""
+    p = dict(SCALES[require_scale(scale)])
+    if overrides:
+        p.update(overrides)
+    incast = None
+    if with_incast:
+        incast = {
+            "fan_in": p["incast_fan_in"],
+            "flow_size": p["incast_size"],
+            "load": 0.02,
+        }
+    base = ScenarioSpec(
+        program="load",
+        topology="testbed",
+        topology_params=dict(p["topology"]),
+        workload={
+            "cdf": "websearch",
+            "size_scale": p["size_scale"],
+            "load": load,
+            "n_flows": p["n_flows"],
+            "incast": incast,
+        },
+        config={
+            "base_rtt": p["base_rtt"],
+            "buffer_bytes": p["buffer_bytes"],
+        },
+        seed=seed,
+        scale=scale,
+        meta={"figure": "fig2", "size_scale": p["size_scale"]},
+    )
+    return ScenarioGrid(base, [
+        {"cc": CcChoice("dcqcn", label=label, params=dict(timers)),
+         "label": label}
+        for label, timers in TIMER_SETTINGS
+    ]).expand()
+
+
 def run_figure02(
     scale: str = "bench",
     load: float = 0.30,
     with_incast: bool = True,
     seed: int = 1,
     overrides: dict | None = None,
+    runner: SweepRunner | None = None,
 ) -> Figure2Result:
-    p = dict(SCALES[require_scale(scale)])
-    if overrides:
-        p.update(overrides)
-    cdf = websearch().scaled(p["size_scale"])
-    edges = [0] + [int(d) for d in cdf.deciles()]
+    specs = scenarios(scale, seed=seed, load=load,
+                      with_incast=with_incast, overrides=overrides)
+    records = (runner or SweepRunner()).run(specs)
+    size_scale = specs[0].meta["size_scale"]
+    edges = [0] + [int(d) for d in workload_cdf(specs[0].workload).deciles()]
+    short_cut = max(3000 * size_scale, 2 * 1000)
     buckets: dict[str, list[BucketStats]] = {}
     pause_frac: dict[str, float] = {}
     short_p95: dict[str, float] = {}
     pause_events: dict[str, int] = {}
-    for label, timers in TIMER_SETTINGS:
-        topo = testbed(**p["topology"])
-        incast = None
-        if with_incast:
-            incast = {
-                "fan_in": p["incast_fan_in"],
-                "flow_size": p["incast_size"],
-                "load": 0.02,
-            }
-        result = load_experiment(
-            topo, CcChoice("dcqcn", label=label, params=dict(timers)),
-            cdf, load=load, n_flows=p["n_flows"], base_rtt=p["base_rtt"],
-            seed=seed, incast=incast, buffer_bytes=p["buffer_bytes"],
-        )
-        buckets[label] = slowdown_by_bucket(result.records, edges, tag="bg")
-        short_cut = max(3000 * p["size_scale"], 2 * 1000)
+    for spec, record in zip(specs, records):
+        label = spec.label
+        fct = record.fct_records()
+        buckets[label] = slowdown_by_bucket(fct, edges, tag="bg")
         short = [
-            r.fct / US for r in result.records
+            r.fct / US for r in fct
             if r.spec.size <= short_cut and r.spec.tag == "bg"
         ]
         short_p95[label] = percentile(short, 95) if short else float("nan")
-        tracker = result.metrics.pause_tracker
-        host_ids = set(topo.hosts)
         pause_frac[label] = (
-            tracker.total_pause_time(None) / (result.duration * topo.n_hosts)
+            record.extras["pause_total_ns"]
+            / (record.duration_ns * record.extras["n_hosts"])
         )
-        pause_events[label] = len(pause_durations(tracker))
+        pause_events[label] = record.extras["pause_count"]
     return Figure2Result(buckets, pause_frac, short_p95, pause_events, edges)
 
 
-def main() -> None:
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_bucket_table, format_table
 
-    result = run_figure02()
+    result = run_figure02(scale)
     print(format_bucket_table(
         result.buckets, "p95",
         title="Figure 2a: p95 FCT slowdown, DCQCN timer settings (WebSearch 30%)",

@@ -12,10 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..metrics.fct import BucketStats, slowdown_by_bucket
+from ..runner import CcChoice, ScenarioGrid, ScenarioSpec, SweepRunner, workload_cdf
 from ..sim.units import KB, US
-from ..topology.testbed import testbed
-from ..workloads.websearch import websearch
-from .common import CcChoice, load_experiment, require_scale
+from .common import require_scale
 
 # (label, Kmin, Kmax) at the 25Gbps reference rate (Figure 3's legend).
 ECN_SETTINGS = (
@@ -49,32 +48,62 @@ class Figure3Result:
     bucket_edges: list[int]
 
 
+def scenarios(
+    scale: str = "bench",
+    seed: int = 1,
+    loads: tuple[float, ...] = (0.30, 0.50),
+    overrides: dict | None = None,
+) -> list[ScenarioSpec]:
+    """The figure's grid: load x ECN-threshold, DCQCN throughout."""
+    p = dict(SCALES[require_scale(scale)])
+    if overrides:
+        p.update(overrides)
+    base = ScenarioSpec(
+        program="load",
+        topology="testbed",
+        topology_params=dict(p["topology"]),
+        workload={
+            "cdf": "websearch",
+            "size_scale": p["size_scale"],
+            "load": loads[0],
+            "n_flows": p["n_flows"],
+        },
+        config={
+            "base_rtt": p["base_rtt"],
+            "buffer_bytes": p["buffer_bytes"],
+        },
+        seed=seed,
+        scale=scale,
+        meta={"figure": "fig3"},
+    )
+    return ScenarioGrid(
+        base,
+        [{"workload.load": load, "meta.load": load} for load in loads],
+        [
+            {"cc": CcChoice("dcqcn", label=label,
+                            params={"kmin": kmin, "kmax": kmax}),
+             "label": label}
+            for label, kmin, kmax in ECN_SETTINGS
+        ],
+    ).expand()
+
+
 def run_figure03(
     scale: str = "bench",
     loads: tuple[float, ...] = (0.30, 0.50),
     seed: int = 1,
     overrides: dict | None = None,
+    runner: SweepRunner | None = None,
 ) -> Figure3Result:
-    p = dict(SCALES[require_scale(scale)])
-    if overrides:
-        p.update(overrides)
-    cdf = websearch().scaled(p["size_scale"])
-    edges = [0] + [int(d) for d in cdf.deciles()]
+    specs = scenarios(scale, seed=seed, loads=loads, overrides=overrides)
+    records = (runner or SweepRunner()).run(specs)
+    edges = [0] + [int(d) for d in workload_cdf(specs[0].workload).deciles()]
     by_load: dict[float, dict[str, list[BucketStats]]] = {}
-    for load in loads:
-        by_load[load] = {}
-        for label, kmin, kmax in ECN_SETTINGS:
-            topo = testbed(**p["topology"])
-            cc = CcChoice(
-                "dcqcn", label=label,
-                params={"kmin": kmin, "kmax": kmax},
-            )
-            result = load_experiment(
-                topo, cc, cdf, load=load, n_flows=p["n_flows"],
-                base_rtt=p["base_rtt"], seed=seed,
-                buffer_bytes=p["buffer_bytes"],
-            )
-            by_load[load][label] = slowdown_by_bucket(result.records, edges)
+    for spec, record in zip(specs, records):
+        load = spec.meta["load"]
+        by_load.setdefault(load, {})[spec.label] = slowdown_by_bucket(
+            record.fct_records(), edges
+        )
     return Figure3Result(by_load, edges)
 
 
@@ -88,10 +117,10 @@ def short_vs_long_p95(stats: list[BucketStats]) -> tuple[float, float]:
     return short, long_
 
 
-def main() -> None:
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_bucket_table
 
-    result = run_figure03()
+    result = run_figure03(scale)
     for load, by_setting in result.buckets.items():
         print(format_bucket_table(
             by_setting, "p95",

@@ -22,9 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..runner import CcChoice, ScenarioGrid, ScenarioSpec, SweepRunner
 from ..sim.units import MS, US
-from ..topology.simple import star
-from .common import CcChoice, run_workload, setup_network
 
 BENCH = {
     "host_rate": "100Gbps",
@@ -34,6 +33,8 @@ BENCH = {
     "duration": 2 * MS,
     "sample_interval": 1 * US,
 }
+
+VARIANTS = (("HPCC (txRate)", "hpcc"), ("HPCC-rxRate", "hpcc-rxrate"))
 
 
 @dataclass
@@ -53,41 +54,67 @@ def _steady_stats(times: list[float], qlens: list[int], t_from: float):
     return mean, var ** 0.5
 
 
-def run_figure06(scale: str = "bench", params: dict | None = None) -> Figure6Result:
+def scenarios(scale: str = "bench", seed: int = 1,
+              params: dict | None = None) -> list[ScenarioSpec]:
+    """The figure's grid: the two feedback variants on a 2-to-1 star."""
     p = dict(BENCH)
     if params:
         p.update(params)
+    base = ScenarioSpec(
+        program="flows",
+        topology="star",
+        topology_params={
+            "n_hosts": 3,
+            "host_rate": p["host_rate"],
+            "link_delay": p["link_delay"],
+        },
+        workload={
+            "flows": [
+                [0, 2, p["flow_size"], 0.0, "bg"],
+                [1, 2, p["flow_size"], 0.0, "bg"],
+            ],
+            "deadline": p["duration"],
+        },
+        config={"base_rtt": p["base_rtt"]},
+        measure={
+            "sample_interval": p["sample_interval"],
+            "sample_ports": [["bneck", "to_host", 2]],
+        },
+        seed=seed,
+        scale=scale,
+        meta={"figure": "fig6", "duration": p["duration"]},
+    )
+    return ScenarioGrid(base, [
+        {"cc": CcChoice(cc_name, label=label), "label": label}
+        for label, cc_name in VARIANTS
+    ]).expand()
+
+
+def run_figure06(scale: str = "bench", params: dict | None = None,
+                 seed: int = 1,
+                 runner: SweepRunner | None = None) -> Figure6Result:
+    specs = scenarios(scale, seed=seed, params=params)
+    records = (runner or SweepRunner()).run(specs)
     series: dict[str, tuple[list[float], list[int]]] = {}
     steady_mean: dict[str, float] = {}
     steady_std: dict[str, float] = {}
     peak: dict[str, int] = {}
-    for label, cc_name in (("HPCC (txRate)", "hpcc"), ("HPCC-rxRate", "hpcc-rxrate")):
-        topo = star(3, host_rate=p["host_rate"], link_delay=p["link_delay"])
-        cc = CcChoice(cc_name, label=label)
-        net = setup_network(topo, cc, base_rtt=p["base_rtt"])
-        bottleneck = {"bneck": net.port_between(3, 2)}
-        specs = [
-            net.make_flow(src=0, dst=2, size=p["flow_size"]),
-            net.make_flow(src=1, dst=2, size=p["flow_size"]),
-        ]
-        result = run_workload(
-            net, specs, deadline=p["duration"],
-            sample_interval=p["sample_interval"], sample_ports=bottleneck,
-        )
-        t, q = result.sampler.series("bneck")
+    for spec, record in zip(specs, records):
+        label = spec.label
+        t, q = record.queue_series("bneck")
         series[label] = (t, q)
         # Steady window: after 25% of the run (past the line-rate transient).
-        mean, std = _steady_stats(t, q, p["duration"] * 0.25)
+        mean, std = _steady_stats(t, q, spec.meta["duration"] * 0.25)
         steady_mean[label] = mean
         steady_std[label] = std
         peak[label] = max(q) if q else 0
     return Figure6Result(series, steady_mean, steady_std, peak)
 
 
-def main() -> None:
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import ascii_series, format_table
 
-    result = run_figure06()
+    result = run_figure06(scale)
     rows = [
         (label,
          f"{result.steady_mean[label] / 1000:.1f}",

@@ -26,9 +26,9 @@ from dataclasses import dataclass, field
 
 from ..metrics.fct import percentile
 from ..metrics.timeseries import jain_fairness
+from ..runner import CcChoice, ScenarioSpec, SweepRunner
 from ..sim.units import MS, US, gbps
-from ..topology.testbed import testbed
-from .common import CcChoice, run_workload, setup_network
+from .common import require_scale
 
 T_TESTBED = 9 * US          # the paper's testbed T
 
@@ -37,13 +37,22 @@ CCS = (
     CcChoice("dcqcn", label="DCQCN"),
 )
 
+RECEIVER = 8                # first host of the second rack
 
-def _receiver_port(net, receiver: int):
-    tor = next(
-        peer for (node, peer) in net.port_map if node == receiver
+
+def _testbed_spec(cc: CcChoice, scenario: str, **kwargs) -> ScenarioSpec:
+    return ScenarioSpec(
+        program="flows",
+        topology="testbed",
+        topology_params={},
+        cc=cc,
+        label=cc.display,
+        meta={"figure": "fig9", "scenario": scenario},
+        **kwargs,
     )
-    return {"bneck": net.port_between(tor, receiver)}
 
+
+# -- 9a/9b: long-short -------------------------------------------------------------
 
 @dataclass
 class LongShortResult:
@@ -53,44 +62,61 @@ class LongShortResult:
     line_gbps: float = 25.0
 
 
-def run_long_short(params: dict | None = None) -> LongShortResult:
+def long_short_scenarios(params: dict | None = None,
+                         seed: int = 1) -> list[ScenarioSpec]:
     p = {
         "duration": 3 * MS, "short_join": 1 * MS, "short_size": 1_000_000,
         "long_size": 12_000_000, "goodput_bin": 50 * US, "sample_interval": 5 * US,
     }
     if params:
         p.update(params)
+    return [
+        _testbed_spec(
+            cc, "long-short",
+            workload={
+                "flows": [
+                    [0, RECEIVER, p["long_size"], 0.0, "long"],
+                    [1, RECEIVER, p["short_size"], p["short_join"], "short"],
+                ],
+                "deadline": p["duration"],
+            },
+            config={"base_rtt": T_TESTBED, "goodput_bin": p["goodput_bin"]},
+            measure={
+                "sample_interval": p["sample_interval"],
+                "sample_ports": [["bneck", "to_host", RECEIVER]],
+            },
+            seed=seed,
+        ).replaced(**{"meta.params": p})
+        for cc in CCS
+    ]
+
+
+def run_long_short(params: dict | None = None, seed: int = 1,
+                   runner: SweepRunner | None = None) -> LongShortResult:
+    specs = long_short_scenarios(params, seed=seed)
+    records = (runner or SweepRunner()).run(specs)
     goodput: dict[str, dict[str, tuple]] = {}
     queue: dict[str, tuple] = {}
     recovery: dict[str, float] = {}
-    for cc in CCS:
-        net = setup_network(
-            testbed(), cc, base_rtt=T_TESTBED, goodput_bin=p["goodput_bin"]
-        )
-        receiver = 8                      # first host of the second rack
-        long_spec = net.make_flow(src=0, dst=receiver, size=p["long_size"], tag="long")
-        short_spec = net.make_flow(
-            src=1, dst=receiver, size=p["short_size"],
-            start_time=p["short_join"], tag="short",
-        )
-        result = run_workload(
-            net, [long_spec, short_spec], deadline=p["duration"],
-            sample_interval=p["sample_interval"],
-            sample_ports=_receiver_port(net, receiver),
-        )
-        goodput[cc.display] = {
-            "long": net.metrics.goodput.series(long_spec.flow_id),
-            "short": net.metrics.goodput.series(short_spec.flow_id),
+    for spec, record in zip(specs, records):
+        p = spec.meta["params"]
+        tracker = record.goodput()
+        [long_id] = record.flow_ids("long")
+        [short_id] = record.flow_ids("short")
+        goodput[spec.label] = {
+            "long": tracker.series(long_id),
+            "short": tracker.series(short_id),
         }
-        queue[cc.display] = result.sampler.series("bneck")
-        short_rec = net.metrics.flows.finished.get(short_spec.flow_id)
-        short_end = short_rec.finish if short_rec else p["duration"]
+        queue[spec.label] = record.queue_series("bneck")
+        short_end = record.finish_times().get(short_id, p["duration"])
         window_from = min(short_end + 200 * US, p["duration"] - 500 * US)
-        recovery[cc.display] = net.metrics.goodput.mean_gbps(
-            long_spec.flow_id, window_from, p["duration"]
+        recovery[spec.label] = tracker.mean_gbps(
+            long_id, window_from, p["duration"]
         )
     return LongShortResult(goodput, queue, recovery)
 
+
+# -- 9c/9d: incast -----------------------------------------------------------------
 
 @dataclass
 class IncastResult:
@@ -100,7 +126,8 @@ class IncastResult:
     total_goodput: dict[str, tuple[list[float], list[float]]]
 
 
-def run_incast(params: dict | None = None) -> IncastResult:
+def incast_scenarios(params: dict | None = None,
+                     seed: int = 1) -> list[ScenarioSpec]:
     p = {
         "duration": 5 * MS, "incast_at": 1 * MS, "fan_in": 7,
         "incast_size": 500_000, "long_size": 16_000_000,
@@ -108,41 +135,51 @@ def run_incast(params: dict | None = None) -> IncastResult:
     }
     if params:
         p.update(params)
+    flows = [[0, RECEIVER, p["long_size"], 0.0, "long"]]
+    flows += [
+        [1 + i, RECEIVER, p["incast_size"], p["incast_at"], "incast"]
+        for i in range(p["fan_in"])
+    ]
+    return [
+        _testbed_spec(
+            cc, "incast",
+            workload={"flows": flows, "deadline": p["duration"]},
+            config={"base_rtt": T_TESTBED, "goodput_bin": p["goodput_bin"]},
+            measure={
+                "sample_interval": p["sample_interval"],
+                "sample_ports": [["bneck", "to_host", RECEIVER]],
+            },
+            seed=seed,
+        ).replaced(**{"meta.params": p})
+        for cc in CCS
+    ]
+
+
+def run_incast(params: dict | None = None, seed: int = 1,
+               runner: SweepRunner | None = None) -> IncastResult:
+    specs = incast_scenarios(params, seed=seed)
+    records = (runner or SweepRunner()).run(specs)
     peak: dict[str, int] = {}
     settled: dict[str, int] = {}
     queue: dict[str, tuple] = {}
     tput: dict[str, tuple] = {}
-    for cc in CCS:
-        net = setup_network(
-            testbed(), cc, base_rtt=T_TESTBED, goodput_bin=p["goodput_bin"]
-        )
-        receiver = 8
-        specs = [net.make_flow(src=0, dst=receiver, size=p["long_size"], tag="long")]
-        specs += [
-            net.make_flow(
-                src=1 + i, dst=receiver, size=p["incast_size"],
-                start_time=p["incast_at"], tag="incast",
-            )
-            for i in range(p["fan_in"])
-        ]
-        result = run_workload(
-            net, specs, deadline=p["duration"],
-            sample_interval=p["sample_interval"],
-            sample_ports=_receiver_port(net, receiver),
-        )
-        t, q = result.sampler.series("bneck")
-        queue[cc.display] = (t, q)
-        tput[cc.display] = net.metrics.goodput.total_series()
+    for spec, record in zip(specs, records):
+        p = spec.meta["params"]
+        t, q = record.queue_series("bneck")
+        queue[spec.label] = (t, q)
+        tput[spec.label] = record.goodput().total_series()
         in_event = [
             (tt, v) for tt, v in zip(t, q) if tt >= p["incast_at"]
         ]
-        peak[cc.display] = max(v for _, v in in_event)
+        peak[spec.label] = max(v for _, v in in_event)
         probe = p["incast_at"] + 10 * T_TESTBED
-        settled[cc.display] = next(
+        settled[spec.label] = next(
             (v for tt, v in in_event if tt >= probe), 0
         )
     return IncastResult(peak, settled, queue, tput)
 
+
+# -- 9e/9f: elephant-mice ----------------------------------------------------------
 
 @dataclass
 class ElephantMiceResult:
@@ -153,7 +190,8 @@ class ElephantMiceResult:
     queue_p95: dict[str, float]
 
 
-def run_elephant_mice(params: dict | None = None) -> ElephantMiceResult:
+def elephant_mice_scenarios(params: dict | None = None,
+                            seed: int = 1) -> list[ScenarioSpec]:
     p = {
         "warmup": 10 * MS, "measure": 4 * MS, "mice_gap": 100 * US,
         "mice_size": 1_000, "sample_interval": 10 * US,
@@ -161,47 +199,60 @@ def run_elephant_mice(params: dict | None = None) -> ElephantMiceResult:
     }
     if params:
         p.update(params)
+    duration = p["warmup"] + p["measure"]
+    elephant_size = int(3.125 * duration)  # 25Gbps worth of bytes: never ends
+    flows = [
+        [0, RECEIVER, elephant_size, 0.0, "elephant"],
+        [1, RECEIVER, elephant_size, 0.0, "elephant"],
+    ]
+    t = p["warmup"]
+    while t < duration:
+        flows.append([2, RECEIVER, p["mice_size"], t, "mice"])
+        t += p["mice_gap"]
+    specs = []
+    for cc in CCS:
+        cc_run = cc
+        if cc.name == "dcqcn":
+            cc_run = CcChoice("dcqcn", label=cc.label,
+                              params={"rai": p["dcqcn_rai"]})
+        specs.append(_testbed_spec(
+            cc_run, "elephant-mice",
+            workload={"flows": flows, "deadline": duration},
+            config={"base_rtt": T_TESTBED},
+            measure={
+                "sample_interval": p["sample_interval"],
+                "sample_ports": [["bneck", "to_host", RECEIVER]],
+            },
+            seed=seed,
+        ).replaced(**{"meta.params": p}))
+    return specs
+
+
+def run_elephant_mice(params: dict | None = None, seed: int = 1,
+                      runner: SweepRunner | None = None) -> ElephantMiceResult:
+    specs = elephant_mice_scenarios(params, seed=seed)
+    records = (runner or SweepRunner()).run(specs)
     fcts: dict[str, list[float]] = {}
     q50: dict[str, float] = {}
     q95: dict[str, float] = {}
     p50: dict[str, float] = {}
     p95: dict[str, float] = {}
-    duration = p["warmup"] + p["measure"]
-    for cc in CCS:
-        cc_run = cc
-        if cc.name == "dcqcn":
-            cc_run = CcChoice("dcqcn", label=cc.label, params={"rai": p["dcqcn_rai"]})
-        net = setup_network(testbed(), cc_run, base_rtt=T_TESTBED)
-        receiver = 8
-        elephant_size = int(3.125 * duration)  # 25Gbps worth of bytes: never ends
-        specs = [
-            net.make_flow(src=0, dst=receiver, size=elephant_size, tag="elephant"),
-            net.make_flow(src=1, dst=receiver, size=elephant_size, tag="elephant"),
-        ]
-        t = p["warmup"]
-        while t < duration:
-            specs.append(
-                net.make_flow(src=2, dst=receiver, size=p["mice_size"],
-                              start_time=t, tag="mice")
-            )
-            t += p["mice_gap"]
-        result = run_workload(
-            net, specs, deadline=duration,
-            sample_interval=p["sample_interval"],
-            sample_ports=_receiver_port(net, receiver),
-        )
+    for spec, record in zip(specs, records):
+        p = spec.meta["params"]
         mice = [
-            r.fct / US for r in result.records if r.spec.tag == "mice"
+            r.fct / US for r in record.fct_records() if r.spec.tag == "mice"
         ]
-        fcts[cc.display] = mice
-        p50[cc.display] = percentile(mice, 50)
-        p95[cc.display] = percentile(mice, 95)
-        t_q, q = result.sampler.series("bneck")
+        fcts[spec.label] = mice
+        p50[spec.label] = percentile(mice, 50)
+        p95[spec.label] = percentile(mice, 95)
+        t_q, q = record.queue_series("bneck")
         steady = [v for tt, v in zip(t_q, q) if tt >= p["warmup"]]
-        q50[cc.display] = percentile(steady, 50)
-        q95[cc.display] = percentile(steady, 95)
+        q50[spec.label] = percentile(steady, 50)
+        q95[spec.label] = percentile(steady, 95)
     return ElephantMiceResult(fcts, p50, p95, q50, q95)
 
+
+# -- 9g/9h: fairness ---------------------------------------------------------------
 
 @dataclass
 class FairnessResult:
@@ -210,16 +261,19 @@ class FairnessResult:
     rates_all_active: dict[str, list[float]] = field(default_factory=dict)
 
 
-def run_fairness(params: dict | None = None) -> FairnessResult:
+def fairness_scenarios(params: dict | None = None,
+                       seed: int = 1) -> list[ScenarioSpec]:
     p = {
         "join_gap": 2 * MS, "flow_size": 25_000_000, "duration": 30 * MS,
         "goodput_bin": 200 * US,
     }
     if params:
         p.update(params)
-    goodput: dict[str, dict[int, tuple]] = {}
-    jain: dict[str, float] = {}
-    rates_out: dict[str, list[float]] = {}
+    flows = [
+        [i, RECEIVER, p["flow_size"], i * p["join_gap"], f"flow{i}"]
+        for i in range(4)
+    ]
+    specs = []
     for cc in CCS:
         cc_run = cc
         if cc.name == "hpcc":
@@ -227,48 +281,65 @@ def run_fairness(params: dict | None = None) -> FairnessResult:
             # expected flow count) so fairness converges within the window.
             cc_run = CcChoice(cc.name, label=cc.label,
                               params={"n_flows_for_wai": 16})
-        net = setup_network(
-            testbed(), cc_run, base_rtt=T_TESTBED, goodput_bin=p["goodput_bin"]
-        )
-        receiver = 8
-        specs = [
-            net.make_flow(src=i, dst=receiver, size=p["flow_size"],
-                          start_time=i * p["join_gap"], tag=f"flow{i}")
-            for i in range(4)
-        ]
-        run_workload(net, specs, deadline=p["duration"])
-        goodput[cc.display] = {
-            s.flow_id: net.metrics.goodput.series(s.flow_id) for s in specs
-        }
+        specs.append(_testbed_spec(
+            cc_run, "fairness",
+            workload={"flows": flows, "deadline": p["duration"]},
+            config={"base_rtt": T_TESTBED, "goodput_bin": p["goodput_bin"]},
+            seed=seed,
+        ).replaced(**{"meta.params": p}))
+    return specs
+
+
+def run_fairness(params: dict | None = None, seed: int = 1,
+                 runner: SweepRunner | None = None) -> FairnessResult:
+    specs = fairness_scenarios(params, seed=seed)
+    records = (runner or SweepRunner()).run(specs)
+    goodput: dict[str, dict[int, tuple]] = {}
+    jain: dict[str, float] = {}
+    rates_out: dict[str, list[float]] = {}
+    for spec, record in zip(specs, records):
+        p = spec.meta["params"]
+        tracker = record.goodput()
+        ids = [record.flow_ids(f"flow{i}")[0] for i in range(4)]
+        goodput[spec.label] = {fid: tracker.series(fid) for fid in ids}
         # All four flows are active from the last join until the first finish.
         window_from = 3 * p["join_gap"] + 1 * MS
-        finishes = [
-            net.metrics.flows.finished[s.flow_id].finish
-            for s in specs if s.flow_id in net.metrics.flows.finished
-        ]
+        finish_times = record.finish_times()
+        finishes = [finish_times[fid] for fid in ids if fid in finish_times]
         window_to = min(finishes) if finishes else p["duration"]
         window_to = min(window_to - 100 * US, p["duration"])
         window_to = max(window_to, window_from + 500 * US)
         rates = [
-            net.metrics.goodput.mean_gbps(s.flow_id, window_from, window_to)
-            for s in specs
+            tracker.mean_gbps(fid, window_from, window_to) for fid in ids
         ]
-        rates_out[cc.display] = rates
-        jain[cc.display] = jain_fairness(rates)
+        rates_out[spec.label] = rates
+        jain[spec.label] = jain_fairness(rates)
     return FairnessResult(goodput, jain, rates_out)
 
 
-def main() -> None:
+def scenarios(scale: str = "bench", seed: int = 1) -> list[ScenarioSpec]:
+    """All four micro-benchmarks as one grid (for ``hpcc-repro sweep``)."""
+    require_scale(scale)
+    return (
+        long_short_scenarios(seed=seed)
+        + incast_scenarios(seed=seed)
+        + elephant_mice_scenarios(seed=seed)
+        + fairness_scenarios(seed=seed)
+    )
+
+
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_table
 
-    ls = run_long_short()
+    runner = SweepRunner()
+    ls = run_long_short(runner=runner)
     print(format_table(
         ["scheme", "long-flow goodput after short leaves (Gbps)"],
         [(k, f"{v:.1f}") for k, v in ls.recovery_gbps.items()],
         title="Figure 9a/9b: long-short rate recovery (line rate 25G)",
     ))
     print()
-    inc = run_incast()
+    inc = run_incast(runner=runner)
     print(format_table(
         ["scheme", "incast queue peak (KB)", "queue 10 RTTs later (KB)"],
         [(k, f"{inc.queue_peak[k] / 1000:.0f}", f"{inc.queue_after_2rtt[k] / 1000:.0f}")
@@ -276,7 +347,7 @@ def main() -> None:
         title="Figure 9c/9d: 7-to-1 incast on a busy receiver",
     ))
     print()
-    em = run_elephant_mice()
+    em = run_elephant_mice(runner=runner)
     print(format_table(
         ["scheme", "mice p50 (us)", "mice p95 (us)", "queue p50 (KB)", "queue p95 (KB)"],
         [(k, f"{em.mice_p50_us[k]:.1f}", f"{em.mice_p95_us[k]:.1f}",
@@ -285,7 +356,7 @@ def main() -> None:
         title="Figure 9e/9f: elephant-mice latency and queue",
     ))
     print()
-    fair = run_fairness()
+    fair = run_fairness(runner=runner)
     print(format_table(
         ["scheme", "Jain index (4 active)", "rates (Gbps)"],
         [(k, f"{fair.jain_all_active[k]:.3f}",

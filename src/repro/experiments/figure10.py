@@ -15,10 +15,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..metrics.fct import BucketStats, percentile, slowdown_by_bucket
+from ..runner import (
+    CcChoice,
+    ScenarioGrid,
+    ScenarioSpec,
+    SweepRunner,
+    cc_axis,
+    workload_cdf,
+)
 from ..sim.units import US
-from ..topology.testbed import testbed
-from ..workloads.websearch import websearch
-from .common import CcChoice, load_experiment, require_scale
+from .common import require_scale
 
 CCS = (CcChoice("hpcc", label="HPCC"), CcChoice("dcqcn", label="DCQCN"))
 
@@ -53,54 +59,79 @@ class Figure10Result:
     bucket_edges: list[int]
 
 
+def scenarios(
+    scale: str = "bench",
+    seed: int = 1,
+    loads: tuple[float, ...] = (0.30, 0.50),
+    overrides: dict | None = None,
+) -> list[ScenarioSpec]:
+    """The figure's grid: load x scheme, queues sampled on every port."""
+    p = dict(SCALES[require_scale(scale)])
+    if overrides:
+        p.update(overrides)
+    base = ScenarioSpec(
+        program="load",
+        topology="testbed",
+        topology_params=dict(p["topology"]),
+        workload={
+            "cdf": "websearch",
+            "size_scale": p["size_scale"],
+            "load": loads[0],
+            "n_flows": p["n_flows"],
+        },
+        config={
+            "base_rtt": p["base_rtt"],
+            "buffer_bytes": p["buffer_bytes"],
+        },
+        measure={"sample_interval": p["sample_interval"]},
+        seed=seed,
+        scale=scale,
+        meta={"figure": "fig10", "size_scale": p["size_scale"]},
+    )
+    return ScenarioGrid(
+        base,
+        [{"workload.load": load, "meta.load": load} for load in loads],
+        cc_axis(CCS),
+    ).expand()
+
+
 def run_figure10(
     scale: str = "bench",
     loads: tuple[float, ...] = (0.30, 0.50),
     seed: int = 1,
     overrides: dict | None = None,
+    runner: SweepRunner | None = None,
 ) -> Figure10Result:
-    p = dict(SCALES[require_scale(scale)])
-    if overrides:
-        p.update(overrides)
-    cdf = websearch().scaled(p["size_scale"])
-    edges = [0] + [int(d) for d in cdf.deciles()]
-    short_cut = 3000 * p["size_scale"]
+    specs = scenarios(scale, seed=seed, loads=loads, overrides=overrides)
+    records = (runner or SweepRunner()).run(specs)
+    size_scale = specs[0].meta["size_scale"]
+    edges = [0] + [int(d) for d in workload_cdf(specs[0].workload).deciles()]
+    short_cut = 3000 * size_scale
     buckets: dict[float, dict[str, list[BucketStats]]] = {}
     q50: dict[float, dict[str, float]] = {}
     q95: dict[float, dict[str, float]] = {}
     q99: dict[float, dict[str, float]] = {}
     s99: dict[float, dict[str, float]] = {}
-    for load in loads:
-        buckets[load] = {}
-        q50[load] = {}
-        q95[load] = {}
-        q99[load] = {}
-        s99[load] = {}
-        for cc in CCS:
-            topo = testbed(**p["topology"])
-            result = load_experiment(
-                topo, cc, cdf, load=load, n_flows=p["n_flows"],
-                base_rtt=p["base_rtt"], seed=seed,
-                buffer_bytes=p["buffer_bytes"],
-                sample_interval=p["sample_interval"],
-            )
-            buckets[load][cc.display] = slowdown_by_bucket(result.records, edges)
-            samples = result.sampler.all_samples()
-            q50[load][cc.display] = percentile(samples, 50)
-            q95[load][cc.display] = percentile(samples, 95)
-            q99[load][cc.display] = percentile(samples, 99)
-            shorts = [
-                r.slowdown for r in result.records
-                if r.spec.size <= short_cut
-            ]
-            s99[load][cc.display] = percentile(shorts, 99) if shorts else float("nan")
+    for spec, record in zip(specs, records):
+        load = spec.meta["load"]
+        label = spec.label
+        for table in (buckets, q50, q95, q99, s99):
+            table.setdefault(load, {})
+        fct = record.fct_records()
+        buckets[load][label] = slowdown_by_bucket(fct, edges)
+        samples = record.all_queue_samples()
+        q50[load][label] = percentile(samples, 50)
+        q95[load][label] = percentile(samples, 95)
+        q99[load][label] = percentile(samples, 99)
+        shorts = [r.slowdown for r in fct if r.spec.size <= short_cut]
+        s99[load][label] = percentile(shorts, 99) if shorts else float("nan")
     return Figure10Result(buckets, q50, q95, q99, s99, edges)
 
 
-def main() -> None:
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_bucket_table, format_table
 
-    result = run_figure10()
+    result = run_figure10(scale)
     for load in result.buckets:
         print(format_bucket_table(
             result.buckets[load], "p99",

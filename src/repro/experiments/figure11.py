@@ -15,13 +15,20 @@ DCQCN+win, TIMELY+win, DCTCP and HPCC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..metrics.fct import BucketStats, percentile, slowdown_by_bucket
+from ..runner import (
+    CcChoice,
+    ScenarioGrid,
+    ScenarioSpec,
+    SweepRunner,
+    cc_axis,
+    workload_cdf,
+)
 from ..sim.units import US
-from ..topology.fattree import FatTreeSpec, fattree
-from ..workloads.fbhadoop import fbhadoop
-from .common import CcChoice, load_experiment, require_scale
+from ..topology.fattree import FatTreeSpec
+from .common import require_scale
 
 SCHEMES = (
     CcChoice("dcqcn", label="DCQCN"),
@@ -65,63 +72,95 @@ class Figure11Result:
     bucket_edges: list[int]
 
 
+def _case_updates(case: str, p: dict) -> dict:
+    load = 0.30 if case.startswith("30") else 0.50
+    updates = {"workload.load": load, "meta.case": case}
+    if "incast" in case:
+        updates["workload.incast"] = {
+            "fan_in": p["incast_fan_in"],
+            "flow_size": p["incast_size"],
+            "load": 0.02,
+        }
+    return updates
+
+
+def scenarios(
+    scale: str = "bench",
+    seed: int = 1,
+    cases: tuple[str, ...] = ("30%+incast", "50%"),
+    schemes: tuple[CcChoice, ...] = SCHEMES,
+    overrides: dict | None = None,
+) -> list[ScenarioSpec]:
+    """The figure's grid: traffic case x CC scheme on the FatTree."""
+    p = dict(SCALES[require_scale(scale)])
+    if overrides:
+        p.update(overrides)
+    base = ScenarioSpec(
+        program="load",
+        topology="fattree",
+        topology_params=asdict(p["fattree"]),
+        workload={
+            "cdf": "fbhadoop",
+            "size_scale": p["size_scale"],
+            "load": 0.30,
+            "n_flows": p["n_flows"],
+            "incast": None,
+        },
+        config={
+            "base_rtt": p["base_rtt"],
+            "buffer_bytes": p["buffer_bytes"],
+        },
+        seed=seed,
+        scale=scale,
+        meta={"figure": "fig11", "size_scale": p["size_scale"]},
+    )
+    return ScenarioGrid(
+        base,
+        [_case_updates(case, p) for case in cases],
+        cc_axis(schemes),
+    ).expand()
+
+
 def run_figure11(
     scale: str = "bench",
     cases: tuple[str, ...] = ("30%+incast", "50%"),
     schemes: tuple[CcChoice, ...] = SCHEMES,
     seed: int = 1,
     overrides: dict | None = None,
+    runner: SweepRunner | None = None,
 ) -> Figure11Result:
-    p = dict(SCALES[require_scale(scale)])
-    if overrides:
-        p.update(overrides)
-    cdf = fbhadoop().scaled(p["size_scale"])
-    edges = [0] + [int(d) for d in cdf.deciles()]
-    short_cut = 1000 * p["size_scale"]
+    specs = scenarios(scale, seed=seed, cases=cases, schemes=schemes,
+                      overrides=overrides)
+    records = (runner or SweepRunner()).run(specs)
+    size_scale = specs[0].meta["size_scale"]
+    edges = [0] + [int(d) for d in workload_cdf(specs[0].workload).deciles()]
+    short_cut = 1000 * size_scale
     buckets: dict[str, dict[str, list[BucketStats]]] = {}
     pauses: dict[str, dict[str, float]] = {}
     lat: dict[str, dict[str, float]] = {}
-    for case in cases:
-        load = 0.30 if case.startswith("30") else 0.50
-        incast = None
-        if "incast" in case:
-            incast = {
-                "fan_in": p["incast_fan_in"],
-                "flow_size": p["incast_size"],
-                "load": 0.02,
-            }
-        buckets[case] = {}
-        pauses[case] = {}
-        lat[case] = {}
-        for cc in schemes:
-            topo = fattree(p["fattree"])
-            result = load_experiment(
-                topo, cc, cdf, load=load, n_flows=p["n_flows"],
-                base_rtt=p["base_rtt"], seed=seed, incast=incast,
-                buffer_bytes=p["buffer_bytes"],
-            )
-            buckets[case][cc.display] = slowdown_by_bucket(
-                result.records, edges, tag="bg"
-            )
-            tracker = result.metrics.pause_tracker
-            pauses[case][cc.display] = (
-                tracker.total_pause_time(None)
-                / (result.duration * topo.n_hosts)
-            )
-            shorts = [
-                r.fct / US for r in result.records
-                if r.spec.size <= short_cut and r.spec.tag == "bg"
-            ]
-            lat[case][cc.display] = (
-                percentile(shorts, 95) if shorts else float("nan")
-            )
+    for spec, record in zip(specs, records):
+        case = spec.meta["case"]
+        label = spec.label
+        for table in (buckets, pauses, lat):
+            table.setdefault(case, {})
+        fct = record.fct_records()
+        buckets[case][label] = slowdown_by_bucket(fct, edges, tag="bg")
+        pauses[case][label] = (
+            record.extras["pause_total_ns"]
+            / (record.duration_ns * record.extras["n_hosts"])
+        )
+        shorts = [
+            r.fct / US for r in fct
+            if r.spec.size <= short_cut and r.spec.tag == "bg"
+        ]
+        lat[case][label] = percentile(shorts, 95) if shorts else float("nan")
     return Figure11Result(buckets, pauses, lat, edges)
 
 
-def main() -> None:
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_bucket_table, format_table
 
-    result = run_figure11()
+    result = run_figure11(scale)
     for case in result.buckets:
         print(format_bucket_table(
             result.buckets[case], "p95",

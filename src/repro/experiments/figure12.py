@@ -14,13 +14,11 @@ losses barely happen); DCQCN's performance depends visibly on the choice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from ..metrics.fct import BucketStats, percentile, slowdown_by_bucket
-from ..sim.units import US
-from ..workloads.fbhadoop import fbhadoop
-from ..topology.fattree import fattree
-from .common import CcChoice, load_experiment, require_scale
+from ..runner import CcChoice, ScenarioGrid, ScenarioSpec, SweepRunner, workload_cdf
+from .common import require_scale
 from .figure11 import SCALES
 
 FLOW_CONTROLS = (
@@ -40,18 +38,17 @@ class Figure12Result:
     bucket_edges: list[int]
 
 
-def run_figure12(
+def scenarios(
     scale: str = "bench",
+    seed: int = 1,
     load: float = 0.30,
     with_incast: bool = True,
-    seed: int = 1,
     overrides: dict | None = None,
-) -> Figure12Result:
+) -> list[ScenarioSpec]:
+    """The figure's grid: CC scheme x flow-control mechanism."""
     p = dict(SCALES[require_scale(scale)])
     if overrides:
         p.update(overrides)
-    cdf = fbhadoop().scaled(p["size_scale"])
-    edges = [0] + [int(d) for d in cdf.deciles()]
     incast = None
     if with_incast:
         incast = {
@@ -59,31 +56,70 @@ def run_figure12(
             "flow_size": p["incast_size"],
             "load": 0.02,
         }
+    base = ScenarioSpec(
+        program="load",
+        topology="fattree",
+        topology_params=asdict(p["fattree"]),
+        workload={
+            "cdf": "fbhadoop",
+            "size_scale": p["size_scale"],
+            "load": load,
+            "n_flows": p["n_flows"],
+            "incast": incast,
+        },
+        config={
+            "base_rtt": p["base_rtt"],
+            "buffer_bytes": p["buffer_bytes"],
+        },
+        seed=seed,
+        scale=scale,
+        meta={"figure": "fig12"},
+    )
+    cc_ax = [{"cc": cc, "meta.cc": cc.display} for cc in CCS]
+    fc_ax = [
+        {
+            "config.transport": fc_cfg["transport"],
+            "config.pfc_enabled": fc_cfg["pfc_enabled"],
+            "meta.fc": fc_label,
+        }
+        for fc_label, fc_cfg in FLOW_CONTROLS
+    ]
+    specs = []
+    for spec in ScenarioGrid(base, cc_ax, fc_ax).expand():
+        label = f"{spec.meta['cc']}-{spec.meta['fc']}"
+        specs.append(spec.replaced(label=label))
+    return specs
+
+
+def run_figure12(
+    scale: str = "bench",
+    load: float = 0.30,
+    with_incast: bool = True,
+    seed: int = 1,
+    overrides: dict | None = None,
+    runner: SweepRunner | None = None,
+) -> Figure12Result:
+    specs = scenarios(scale, seed=seed, load=load,
+                      with_incast=with_incast, overrides=overrides)
+    records = (runner or SweepRunner()).run(specs)
+    edges = [0] + [int(d) for d in workload_cdf(specs[0].workload).deciles()]
     buckets: dict[str, list[BucketStats]] = {}
     overall: dict[str, float] = {}
     drops: dict[str, int] = {}
-    for cc in CCS:
-        for fc_label, fc_cfg in FLOW_CONTROLS:
-            label = f"{cc.display}-{fc_label}"
-            topo = fattree(p["fattree"])
-            result = load_experiment(
-                topo, cc, cdf, load=load, n_flows=p["n_flows"],
-                base_rtt=p["base_rtt"], seed=seed, incast=incast,
-                buffer_bytes=p["buffer_bytes"], **fc_cfg,
-            )
-            buckets[label] = slowdown_by_bucket(result.records, edges, tag="bg")
-            slowdowns = [
-                r.slowdown for r in result.records if r.spec.tag == "bg"
-            ]
-            overall[label] = percentile(slowdowns, 95) if slowdowns else float("nan")
-            drops[label] = result.metrics.drop_count
+    for spec, record in zip(specs, records):
+        label = spec.label
+        fct = record.fct_records()
+        buckets[label] = slowdown_by_bucket(fct, edges, tag="bg")
+        slowdowns = [r.slowdown for r in fct if r.spec.tag == "bg"]
+        overall[label] = percentile(slowdowns, 95) if slowdowns else float("nan")
+        drops[label] = record.extras["drops"]
     return Figure12Result(buckets, overall, drops, edges)
 
 
-def main() -> None:
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_table
 
-    result = run_figure12()
+    result = run_figure12(scale)
     rows = [
         (label, f"{result.overall_p95[label]:.2f}", result.drops[label])
         for label in result.overall_p95

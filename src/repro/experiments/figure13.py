@@ -16,9 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..runner import CcChoice, ScenarioGrid, ScenarioSpec, SweepRunner
 from ..sim.units import US
-from ..topology.simple import star
-from .common import CcChoice, run_workload, setup_network
 
 BENCH = {
     "fan_in": 16,
@@ -46,34 +45,59 @@ class Figure13Result:
     drain_time: dict[str, float]                             # ns (inf if never)
 
 
-def run_figure13(scale: str = "bench", params: dict | None = None) -> Figure13Result:
+def scenarios(scale: str = "bench", seed: int = 1,
+              params: dict | None = None) -> list[ScenarioSpec]:
+    """The figure's grid: one 16-to-1 incast per reaction strategy."""
     p = dict(BENCH)
     if params:
         p.update(params)
     fan_in = p["fan_in"]
+    receiver = fan_in
+    base = ScenarioSpec(
+        program="flows",
+        topology="star",
+        topology_params={
+            "n_hosts": fan_in + 1,
+            "host_rate": p["host_rate"],
+            "link_delay": p["link_delay"],
+        },
+        workload={
+            "flows": [
+                [s, receiver, p["flow_size"], 0.0, "incast"]
+                for s in range(fan_in)
+            ],
+            "deadline": p["duration"],
+        },
+        config={"base_rtt": p["base_rtt"], "goodput_bin": p["goodput_bin"]},
+        measure={
+            "sample_interval": p["sample_interval"],
+            "sample_ports": [["bneck", "to_host", receiver]],
+        },
+        seed=seed,
+        scale=scale,
+        meta={"figure": "fig13", "params": p},
+    )
+    return ScenarioGrid(base, [
+        {"cc": CcChoice(cc_name, label=label), "label": label}
+        for label, cc_name in STRATEGIES
+    ]).expand()
+
+
+def run_figure13(scale: str = "bench", params: dict | None = None,
+                 seed: int = 1,
+                 runner: SweepRunner | None = None) -> Figure13Result:
+    specs = scenarios(scale, seed=seed, params=params)
+    records = (runner or SweepRunner()).run(specs)
     throughput: dict[str, tuple[list[float], list[float]]] = {}
     queue: dict[str, tuple[list[float], list[int]]] = {}
     min_tput: dict[str, float] = {}
     drain: dict[str, float] = {}
-    for label, cc_name in STRATEGIES:
-        topo = star(fan_in + 1, host_rate=p["host_rate"], link_delay=p["link_delay"])
-        net = setup_network(
-            topo, CcChoice(cc_name, label=label),
-            base_rtt=p["base_rtt"], goodput_bin=p["goodput_bin"],
-        )
-        receiver = fan_in
-        bottleneck = {"bneck": net.port_between(fan_in + 1, receiver)}
-        specs = [
-            net.make_flow(src=s, dst=receiver, size=p["flow_size"], tag="incast")
-            for s in range(fan_in)
-        ]
-        result = run_workload(
-            net, specs, deadline=p["duration"],
-            sample_interval=p["sample_interval"], sample_ports=bottleneck,
-        )
-        t_q, q = result.sampler.series("bneck")
+    for spec, record in zip(specs, records):
+        label = spec.label
+        p = spec.meta["params"]
+        t_q, q = record.queue_series("bneck")
         queue[label] = (t_q, q)
-        t_g, gbps = net.metrics.goodput.total_series()
+        t_g, gbps = record.goodput().total_series()
         throughput[label] = (t_g, gbps)
         # Collapse check: minimum aggregate goodput in the window after the
         # first reaction (skip the first 3 base RTTs) while flows remain.
@@ -96,10 +120,10 @@ def run_figure13(scale: str = "bench", params: dict | None = None) -> Figure13Re
     return Figure13Result(throughput, queue, min_tput, drain)
 
 
-def main() -> None:
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import ascii_series, format_table
 
-    result = run_figure13()
+    result = run_figure13(scale)
     rows = [
         (label,
          f"{result.min_throughput_after_start[label]:.1f}",

@@ -14,9 +14,8 @@ from dataclasses import dataclass
 
 from ..metrics.fct import percentile
 from ..metrics.timeseries import jain_fairness
+from ..runner import CcChoice, ScenarioGrid, ScenarioSpec, SweepRunner
 from ..sim.units import MS, US
-from ..topology.simple import star
-from .common import CcChoice, run_workload, setup_network
 
 BENCH = {
     "fan_in": 16,
@@ -39,54 +38,78 @@ class Figure14Result:
     throughput: dict[float, dict[int, tuple[list[float], list[float]]]]
 
 
-def run_figure14(scale: str = "bench", params: dict | None = None) -> Figure14Result:
+def scenarios(scale: str = "bench", seed: int = 1,
+              params: dict | None = None) -> list[ScenarioSpec]:
+    """The figure's grid: one 16-flow run per WAI value."""
     p = dict(BENCH)
     if params:
         p.update(params)
     fan_in = p["fan_in"]
+    receiver = fan_in
+    base = ScenarioSpec(
+        program="flows",
+        topology="star",
+        topology_params={
+            "n_hosts": fan_in + 1,
+            "host_rate": p["host_rate"],
+            "link_delay": p["link_delay"],
+        },
+        workload={
+            "flows": [
+                [s, receiver, p["flow_size"], 0.0, "bg"]
+                for s in range(fan_in)
+            ],
+            "deadline": p["duration"],
+        },
+        config={"base_rtt": p["base_rtt"], "goodput_bin": p["goodput_bin"]},
+        measure={
+            "sample_interval": p["sample_interval"],
+            "sample_ports": [["bneck", "to_host", receiver]],
+        },
+        seed=seed,
+        scale=scale,
+        meta={"figure": "fig14", "params": p},
+    )
+    return ScenarioGrid(base, [
+        {"cc": CcChoice("hpcc", params={"wai": wai}),
+         "label": f"WAI={wai:.0f}B", "meta.wai": wai}
+        for wai in p["wai_values"]
+    ]).expand()
+
+
+def run_figure14(scale: str = "bench", params: dict | None = None,
+                 seed: int = 1,
+                 runner: SweepRunner | None = None) -> Figure14Result:
+    specs = scenarios(scale, seed=seed, params=params)
+    records = (runner or SweepRunner()).run(specs)
     queue_p95: dict[float, float] = {}
     queue_p99: dict[float, float] = {}
     fairness: dict[float, float] = {}
     tput: dict[float, dict[int, tuple[list[float], list[float]]]] = {}
-    for wai in p["wai_values"]:
-        topo = star(fan_in + 1, host_rate=p["host_rate"], link_delay=p["link_delay"])
-        net = setup_network(
-            topo, CcChoice("hpcc", params={"wai": wai}),
-            base_rtt=p["base_rtt"], goodput_bin=p["goodput_bin"],
-        )
-        receiver = fan_in
-        bottleneck = {"bneck": net.port_between(fan_in + 1, receiver)}
-        specs = [
-            net.make_flow(src=s, dst=receiver, size=p["flow_size"])
-            for s in range(fan_in)
-        ]
-        result = run_workload(
-            net, specs, deadline=p["duration"],
-            sample_interval=p["sample_interval"], sample_ports=bottleneck,
-        )
+    for spec, record in zip(specs, records):
+        wai = spec.meta["wai"]
+        p = spec.meta["params"]
         # Skip the startup transient (first 10%) when reading the queue.
-        t_q, q = result.sampler.series("bneck")
+        t_q, q = record.queue_series("bneck")
         steady = [v for t, v in zip(t_q, q) if t >= p["duration"] * 0.1]
         queue_p95[wai] = percentile(steady, 95) if steady else 0.0
         queue_p99[wai] = percentile(steady, 99) if steady else 0.0
         # Fairness over the second half of the run.
         half = p["duration"] / 2
+        tracker = record.goodput()
+        ids = record.flow_ids("bg")
         rates = [
-            net.metrics.goodput.mean_gbps(spec.flow_id, half, p["duration"])
-            for spec in specs
+            tracker.mean_gbps(fid, half, p["duration"]) for fid in ids
         ]
         fairness[wai] = jain_fairness(rates)
-        tput[wai] = {
-            spec.flow_id: net.metrics.goodput.series(spec.flow_id)
-            for spec in specs[:4]
-        }
+        tput[wai] = {fid: tracker.series(fid) for fid in ids[:4]}
     return Figure14Result(queue_p95, queue_p99, fairness, tput)
 
 
-def main() -> None:
+def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_table
 
-    result = run_figure14()
+    result = run_figure14(scale)
     rows = [
         (f"{wai:.0f}B",
          f"{result.queue_p95[wai] / 1000:.1f}",

@@ -1,0 +1,57 @@
+"""Declarative scenario specs and the parallel sweep runner.
+
+Four layers (see ``ROADMAP.md`` and the module docstrings):
+
+* **spec** — :class:`ScenarioSpec` (hashable, JSON-able, picklable) and
+  :class:`ScenarioGrid` for cartesian sweep expansion;
+* **execution** — :class:`SweepRunner` (process-pool parallelism with a
+  serial fallback) over generic scenario programs (:func:`execute_spec`);
+* **results** — :class:`RunRecord` persistence and the content-addressed
+  :class:`RunCache`;
+* **consumers** — every ``repro.experiments`` figure declares a grid and
+  post-processes the records; ``hpcc-repro sweep`` drives grids from the
+  shell.
+"""
+
+from .execute import (
+    CDFS,
+    PROGRAMS,
+    TOPOLOGIES,
+    SweepRunner,
+    build_topology,
+    execute_spec,
+    workload_cdf,
+)
+from .harness import RunResult, load_experiment, run_workload, setup_network
+from .results import RunCache, RunRecord, write_records_csv
+from .spec import (
+    CcChoice,
+    ScenarioGrid,
+    ScenarioSpec,
+    axis,
+    cc_axis,
+    seed_axis,
+)
+
+__all__ = [
+    "CDFS",
+    "CcChoice",
+    "PROGRAMS",
+    "RunCache",
+    "RunRecord",
+    "RunResult",
+    "ScenarioGrid",
+    "ScenarioSpec",
+    "SweepRunner",
+    "TOPOLOGIES",
+    "axis",
+    "build_topology",
+    "cc_axis",
+    "execute_spec",
+    "workload_cdf",
+    "load_experiment",
+    "run_workload",
+    "seed_axis",
+    "setup_network",
+    "write_records_csv",
+]

@@ -1,0 +1,475 @@
+"""Scenario execution: programs, the spec interpreter, and the sweep runner.
+
+The **programs** are the generic execution recipes every figure is built
+from.  A program takes a :class:`ScenarioSpec` (pure data), builds its
+own ``Network``, runs it, and returns a :class:`RunRecord` (pure data
+again) — nothing live crosses the boundary, which is what lets
+:class:`SweepRunner` fan specs out over a ``ProcessPoolExecutor``.
+Because every run is rebuilt from the spec's seed, serial and parallel
+sweeps produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Callable
+
+from ..topology.base import Topology
+from ..topology.fattree import FatTreeSpec, fattree
+from ..topology.simple import dual_trunk, dumbbell, intree, parking_lot, star
+from ..topology.testbed import testbed
+from ..workloads.fbhadoop import fbhadoop
+from ..workloads.websearch import websearch
+from .harness import RunResult, load_experiment, run_workload, setup_network
+from .results import RunCache, RunRecord
+from .spec import ScenarioSpec
+
+# -- registries (resolved by name inside worker processes) -----------------------
+
+TOPOLOGIES: dict[str, Callable[..., Topology]] = {
+    "star": star,
+    "dumbbell": dumbbell,
+    "parking_lot": parking_lot,
+    "intree": intree,
+    "testbed": testbed,
+    "dual_trunk": dual_trunk,
+    "fattree": lambda **kwargs: fattree(FatTreeSpec(**kwargs)),
+}
+
+CDFS: dict[str, Callable] = {
+    "websearch": websearch,
+    "fbhadoop": fbhadoop,
+}
+
+
+def build_topology(spec: ScenarioSpec) -> Topology:
+    """Instantiate the spec's topology (cheap: no simulator involved)."""
+    try:
+        factory = TOPOLOGIES[spec.topology]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGIES))
+        raise ValueError(
+            f"unknown topology {spec.topology!r}; known: {known}"
+        ) from None
+    return factory(**spec.topology_params)
+
+
+def workload_cdf(workload: dict):
+    cdf = CDFS[workload["cdf"]]()
+    return cdf.scaled(workload.get("size_scale", 1.0))
+
+
+# -- payload builders -------------------------------------------------------------
+
+def _fct_payload(result: RunResult) -> list[dict]:
+    return [
+        {
+            "flow_id": r.spec.flow_id, "src": r.spec.src, "dst": r.spec.dst,
+            "size": r.spec.size, "start_time": r.spec.start_time,
+            "tag": r.spec.tag, "start": r.start, "finish": r.finish,
+            "ideal": r.ideal,
+        }
+        for r in result.records
+    ]
+
+
+def _queue_payload(result: RunResult) -> dict[str, dict]:
+    if result.sampler is None:
+        return {}
+    return {
+        label: {"times": list(result.sampler.times), "qlens": list(values)}
+        for label, values in result.sampler.samples.items()
+    }
+
+
+def _base_extras(spec: ScenarioSpec, result: RunResult, net) -> dict:
+    tracker = net.metrics.pause_tracker
+    extras: dict = {
+        "n_hosts": net.topology.n_hosts,
+        "header_bytes": net.header,
+        "drops": net.metrics.drop_count,
+        "pause_count": tracker.pause_count(),
+        "pause_total_ns": tracker.total_pause_time(None),
+        "switch_queued_bytes": {
+            str(sw): switch.total_queued_bytes()
+            for sw, switch in net.switches.items()
+        },
+    }
+    if spec.measure.get("pause_intervals"):
+        extras["pause_intervals"] = [
+            [iv.device, iv.port, iv.start, iv.end] for iv in tracker.intervals
+        ]
+        extras["origin_of"] = [
+            [device, port, peer]
+            for (device, port), peer in net.origin_of.items()
+        ]
+    if net.metrics.goodput is not None:
+        extras["goodput"] = {
+            "bin_ns": net.metrics.goodput.bin_ns,
+            "bins": {
+                str(flow_id): {str(idx): n for idx, n in bins.items()}
+                for flow_id, bins in net.metrics.goodput._bins.items()
+            },
+        }
+    return extras
+
+
+def _finish_record(spec: ScenarioSpec, result: RunResult, net,
+                   extras: dict) -> RunRecord:
+    return RunRecord(
+        spec=spec,
+        fct=_fct_payload(result),
+        queues=_queue_payload(result),
+        extras=extras,
+        events_processed=net.sim.events_processed,
+        duration_ns=result.duration,
+        completed=result.completed,
+    )
+
+
+# -- programs ---------------------------------------------------------------------
+
+def _run_load(spec: ScenarioSpec) -> RunRecord:
+    """Poisson background traffic from a size CDF, optional incast bursts.
+
+    workload: ``{"cdf", "size_scale", "load", "n_flows", "incast"?,
+    "deadline_factor"?}``; measure: ``{"sample_interval"?,
+    "pause_intervals"?}``; config: ``NetworkConfig`` overrides
+    (``base_rtt`` required for paper fidelity).
+    """
+    topo = build_topology(spec)
+    workload = spec.workload
+    config = dict(spec.config)
+    base_rtt = config.pop("base_rtt", None)
+    result = load_experiment(
+        topo, spec.cc, workload_cdf(workload),
+        load=workload["load"], n_flows=workload["n_flows"],
+        base_rtt=base_rtt, seed=spec.seed,
+        incast=workload.get("incast"),
+        deadline_factor=workload.get("deadline_factor", 2.5),
+        sample_interval=spec.measure.get("sample_interval"),
+        **config,
+    )
+    net = result.net
+    extras = _base_extras(spec, result, net)
+    return _finish_record(spec, result, net, extras)
+
+
+def _resolve_ports(net, declarations) -> dict | None:
+    """Resolve a declarative port list to live egress ports.
+
+    Each entry is ``[label, "between", a, b]`` (egress of device ``a``
+    toward ``b``) or ``[label, "to_host", h]`` (the switch egress feeding
+    host ``h`` — the usual bottleneck probe).
+    """
+    if declarations is None:
+        return None
+    ports = {}
+    for entry in declarations:
+        label, kind = entry[0], entry[1]
+        if kind == "between":
+            ports[label] = net.port_between(entry[2], entry[3])
+        elif kind == "to_host":
+            host = entry[2]
+            feeder = next(
+                peer for (node, peer) in net.port_map if node == host
+            )
+            ports[label] = net.port_between(feeder, host)
+        else:
+            raise ValueError(f"unknown sample-port kind {kind!r}")
+    return ports
+
+
+def _run_flows(spec: ScenarioSpec) -> RunRecord:
+    """An explicit flow list, optionally with mid-run link events.
+
+    workload: ``{"flows": [[src, dst, size, start?, tag?], ...],
+    "deadline", "events"?: [["fail_link"|"restore_link", t, a, b], ...]}``;
+    measure: ``{"sample_interval"?, "sample_ports"?, "windows"?,
+    "pause_intervals"?}``.
+    """
+    topo = build_topology(spec)
+    config = dict(spec.config)
+    base_rtt = config.pop("base_rtt", None)
+    goodput_bin = config.pop("goodput_bin", None)
+    net = setup_network(
+        topo, spec.cc, base_rtt=base_rtt, goodput_bin=goodput_bin,
+        seed=spec.seed, **config,
+    )
+    workload = spec.workload
+    flow_specs = [
+        net.make_flow(
+            src=entry[0], dst=entry[1], size=entry[2],
+            start_time=entry[3] if len(entry) > 3 else 0.0,
+            tag=entry[4] if len(entry) > 4 else "bg",
+        )
+        for entry in workload["flows"]
+    ]
+
+    link_events: list[dict] = []
+    for event in workload.get("events", ()):
+        kind, at, a, b = event[0], event[1], event[2], event[3]
+        if kind not in ("fail_link", "restore_link"):
+            raise ValueError(f"unknown link event {kind!r}")
+        # Defaults cover runs that finish before the event time: the
+        # entry is always complete, with fired=False marking a no-op.
+        entry = {"type": kind, "time": at, "a": a, "b": b, "fired": False}
+        if kind == "fail_link":
+            entry["packets_lost_down"] = 0
+        link_events.append(entry)
+
+        def fire(entry=entry, kind=kind, a=a, b=b):
+            entry["fired"] = True
+            if kind == "fail_link":
+                entry["_link"] = net.fail_link(a, b)
+            else:
+                net.restore_link(a, b)
+
+        net.sim.at(at, fire)
+
+    result = run_workload(
+        net, flow_specs, deadline=workload["deadline"],
+        sample_interval=spec.measure.get("sample_interval"),
+        sample_ports=_resolve_ports(net, spec.measure.get("sample_ports")),
+    )
+
+    extras = _base_extras(spec, result, net)
+    flow_ids: dict[str, list[int]] = {}
+    for fs in flow_specs:
+        flow_ids.setdefault(fs.tag, []).append(fs.flow_id)
+    extras["flow_ids"] = flow_ids
+    for entry in link_events:
+        link = entry.pop("_link", None)
+        if link is not None:
+            entry["packets_lost_down"] = link.packets_lost_down
+    if link_events:
+        extras["link_events"] = link_events
+    if spec.measure.get("windows"):
+        windows: dict[str, float | None] = {}
+        for fs in flow_specs:
+            flow = net.nics[fs.src].flows.get(fs.flow_id)
+            window = getattr(flow, "window", None) if flow is not None else None
+            windows[str(fs.flow_id)] = window
+        extras["final_windows"] = windows
+    return _finish_record(spec, result, net, extras)
+
+
+def _run_appendix_a1(spec: ScenarioSpec) -> RunRecord:
+    """A.1: sumDi/D/1 queueing approximations vs direct simulation.
+
+    workload: ``{"n_sources", "rho", "threshold", "n_periods"?}``.
+    """
+    from ..analysis.queueing import (
+        PeriodicSourcesQueue,
+        mean_queue_full_load,
+        overflow_probability,
+    )
+
+    w = spec.workload
+    n_sources, rho = w["n_sources"], w["rho"]
+    threshold = w["threshold"]
+    n_periods = w.get("n_periods", 200)
+    sim = PeriodicSourcesQueue(n_sources, rho, seed=spec.seed)
+    extras = {
+        "n_sources": n_sources,
+        "rho": rho,
+        "analytic_mean_full_load": mean_queue_full_load(n_sources),
+        "simulated_mean": sim.mean_queue(n_periods=n_periods),
+        "analytic_tail": overflow_probability(n_sources, rho, threshold),
+        "simulated_tail": sim.tail_probability(threshold, n_periods=n_periods),
+    }
+    return RunRecord(spec=spec, extras=extras, completed=True)
+
+
+def _run_appendix_a2(spec: ScenarioSpec) -> RunRecord:
+    """A.2: the Pareto-convergence Lemma on random rate networks.
+
+    workload: ``{"n_trials"}``; seed drives the random topologies.
+    """
+    import numpy as np
+
+    from ..analysis.convergence import random_network
+
+    n_trials = spec.workload["n_trials"]
+    rng = np.random.default_rng(spec.seed)
+    feasible = monotone = pareto_i = pareto_inf = 0
+    for _ in range(n_trials):
+        net = random_network(
+            n_resources=int(rng.integers(2, 8)),
+            n_paths=int(rng.integers(2, 10)),
+            rng=rng,
+        )
+        r0 = rng.uniform(0.1, 5.0, size=net.n_paths)
+        trajectory = net.iterate(r0, 5 * net.n_resources)
+        if net.is_feasible(trajectory[1]):
+            feasible += 1
+        if all(
+            (trajectory[k + 1] >= trajectory[k] - 1e-9).all()
+            for k in range(1, len(trajectory) - 1)
+        ):
+            monotone += 1
+        if net.is_pareto_optimal(trajectory[net.n_resources], tol=0.01):
+            pareto_i += 1
+        if net.is_pareto_optimal(trajectory[-1]):
+            pareto_inf += 1
+    extras = {
+        "n_trials": n_trials,
+        "feasible_after_one": feasible,
+        "monotone": monotone,
+        "pareto_within_i": pareto_i,
+        "pareto_asymptotic": pareto_inf,
+    }
+    return RunRecord(spec=spec, extras=extras, completed=True)
+
+
+PROGRAMS: dict[str, Callable[[ScenarioSpec], RunRecord]] = {
+    "load": _run_load,
+    "flows": _run_flows,
+    "appendix_a1": _run_appendix_a1,
+    "appendix_a2": _run_appendix_a2,
+}
+
+
+def execute_spec(spec: ScenarioSpec) -> RunRecord:
+    """Run one scenario to completion (the process-pool work unit)."""
+    try:
+        program = PROGRAMS[spec.program]
+    except KeyError:
+        known = ", ".join(sorted(PROGRAMS))
+        raise ValueError(
+            f"unknown program {spec.program!r}; known: {known}"
+        ) from None
+    started = time.perf_counter()
+    record = program(spec)
+    record.wall_time_s = time.perf_counter() - started
+    return record
+
+
+# -- the sweep runner -------------------------------------------------------------
+
+# Infrastructure failures that mean "this environment cannot fork a pool";
+# real execution errors inside a worker are re-raised, never swallowed.
+_POOL_ERRORS = (BrokenProcessPool, OSError, PermissionError, ImportError)
+
+ProgressFn = Callable[[RunRecord, int, int], None]
+
+
+class SweepRunner:
+    """Executes spec lists: cache first, then parallel (or serial) compute.
+
+    * ``jobs`` — worker processes; 1 (default) runs in-process, serially.
+    * ``cache`` — a :class:`RunCache` (or a path); hits skip computation
+      and completed runs are persisted as soon as they finish.
+    * ``progress`` — optional callback ``(record, done, total)``.
+
+    Duplicate specs (same :attr:`~ScenarioSpec.spec_hash`) are computed
+    once and shared.  If the platform refuses to fork a process pool the
+    runner silently degrades to serial execution — results are identical
+    either way because every run is rebuilt from its spec.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: RunCache | str | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = RunCache(cache) if isinstance(cache, str) else cache
+        self.progress = progress
+
+    def run(self, specs: list[ScenarioSpec]) -> list[RunRecord]:
+        """Execute every spec, returning records in input order."""
+        total = len(specs)
+        records: list[RunRecord | None] = [None] * total
+        done = 0
+
+        def notify(record: RunRecord) -> None:
+            nonlocal done
+            done += 1
+            if self.progress is not None:
+                self.progress(record, done, total)
+
+        # Cache pass + dedupe: one computation per distinct spec hash.
+        to_run: dict[str, ScenarioSpec] = {}
+        indices: dict[str, list[int]] = {}
+        for i, spec in enumerate(specs):
+            key = spec.spec_hash
+            if key in indices:
+                indices[key].append(i)
+                continue
+            indices[key] = [i]
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                records[i] = cached
+                notify(cached)
+            else:
+                to_run[key] = spec
+
+        computed: dict[str, RunRecord] = {}
+        if len(to_run) > 1 and self.jobs > 1:
+            computed = self._run_pool(to_run, notify)
+        for key, spec in to_run.items():
+            if key not in computed:               # serial path / pool fallback
+                computed[key] = execute_spec(spec)
+                self._store(computed[key])
+                notify(computed[key])
+
+        # Fan results back out to every index (duplicates keep their own
+        # label/meta via spec reattachment, and get their own progress tick).
+        for key, positions in indices.items():
+            base = records[positions[0]] if records[positions[0]] is not None \
+                else computed[key]
+            for i in positions:
+                if records[i] is None:
+                    records[i] = base if specs[i] is base.spec \
+                        else replace(base, spec=specs[i])
+                    if i != positions[0]:
+                        notify(records[i])
+        return [r for r in records if r is not None]
+
+    def _store(self, record: RunRecord) -> None:
+        if self.cache is not None:
+            self.cache.put(record)
+
+    def _run_pool(
+        self, to_run: dict[str, ScenarioSpec], notify: Callable[[RunRecord], None]
+    ) -> dict[str, RunRecord]:
+        """Parallel execution; returns whatever completed (possibly nothing
+        if the platform cannot spawn a pool — the caller fills the gaps).
+
+        Only pool *infrastructure* failures degrade to the serial path:
+        a pool that won't start, submissions that won't fork, or a pool
+        that dies mid-flight (``BrokenProcessPool``).  Errors raised by a
+        spec's own execution, and cache-write failures, propagate.
+        """
+        computed: dict[str, RunRecord] = {}
+        try:
+            pool = ProcessPoolExecutor(max_workers=self.jobs)
+        except _POOL_ERRORS:
+            return computed
+        with pool:
+            try:
+                futures = {
+                    pool.submit(execute_spec, spec): key
+                    for key, spec in to_run.items()
+                }
+            except _POOL_ERRORS:
+                return computed
+            pending = set(futures)
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    try:
+                        record = future.result()
+                    except BrokenProcessPool:
+                        return computed
+                    computed[futures[future]] = record
+                    self._store(record)
+                    notify(record)
+        return computed

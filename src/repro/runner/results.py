@@ -1,0 +1,249 @@
+"""Run results: serializable records, persistence and the on-disk cache.
+
+A :class:`RunRecord` is everything a figure needs from one scenario run,
+as plain JSON-able data: FCT records, queue-length series, goodput bins,
+pause intervals and assorted counters.  Reconstruction helpers hand back
+the same objects the live network would have produced
+(:class:`~repro.sim.flow.FctRecord`,
+:class:`~repro.metrics.timeseries.GoodputTracker`,
+:class:`~repro.sim.pfc.PauseTracker`), so figure post-processing is
+byte-identical whether a record came from a fresh run, another process,
+or the cache.
+
+:class:`RunCache` is content-addressed on the spec hash: re-running a
+figure skips every already-computed cell.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..metrics.fct import percentile
+from ..metrics.timeseries import GoodputTracker
+from ..sim.flow import FctRecord, FlowSpec
+from ..sim.pfc import PauseInterval, PauseTracker
+from .spec import ScenarioSpec
+
+RECORD_FORMAT = 1
+
+
+@dataclass
+class RunRecord:
+    """One executed scenario: the spec, its results, and run accounting."""
+
+    spec: ScenarioSpec
+    fct: list[dict] = field(default_factory=list)
+    queues: dict[str, dict] = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+    events_processed: int = 0
+    duration_ns: float = 0.0
+    completed: bool = False
+    wall_time_s: float = 0.0
+    cached: bool = False        # set by the cache on a hit; not persisted
+
+    @property
+    def spec_hash(self) -> str:
+        return self.spec.spec_hash
+
+    @property
+    def label(self) -> str:
+        return self.spec.label or self.spec_hash
+
+    # -- reconstruction ---------------------------------------------------------
+
+    def fct_records(self) -> list[FctRecord]:
+        """The run's finished flows as live :class:`FctRecord` objects."""
+        return [
+            FctRecord(
+                spec=FlowSpec(
+                    flow_id=r["flow_id"], src=r["src"], dst=r["dst"],
+                    size=r["size"], start_time=r["start_time"], tag=r["tag"],
+                ),
+                start=r["start"], finish=r["finish"], ideal=r["ideal"],
+            )
+            for r in self.fct
+        ]
+
+    def finish_times(self) -> dict[int, float]:
+        return {r["flow_id"]: r["finish"] for r in self.fct}
+
+    def flow_ids(self, tag: str) -> list[int]:
+        """Flow ids of one workload tag, in spec order."""
+        ids = self.extras.get("flow_ids", {})
+        return list(ids.get(tag, []))
+
+    def goodput(self) -> GoodputTracker | None:
+        """Rebuild the goodput tracker (if the run recorded one)."""
+        data = self.extras.get("goodput")
+        if not data:
+            return None
+        tracker = GoodputTracker(data["bin_ns"])
+        for flow_id, bins in data["bins"].items():
+            tracker._bins[int(flow_id)] = {
+                int(idx): nbytes for idx, nbytes in bins.items()
+            }
+        return tracker
+
+    def pause_tracker(self) -> PauseTracker:
+        """Rebuild a tracker from recorded intervals (requires the
+        ``pause_intervals`` measure flag; otherwise only the summary
+        counters in ``extras`` are available)."""
+        tracker = PauseTracker()
+        for device, port, start, end in self.extras.get("pause_intervals", []):
+            tracker.intervals.append(PauseInterval(device, port, start, end))
+        return tracker
+
+    def final_windows(self) -> dict[int, float | None]:
+        """Per-flow sender window at the end of the run (``windows`` flag)."""
+        return {
+            int(flow_id): window
+            for flow_id, window in self.extras.get("final_windows", {}).items()
+        }
+
+    def switch_queued_bytes(self) -> dict[int, int]:
+        """Bytes still buffered in each switch when the run ended."""
+        return {
+            int(sw): queued
+            for sw, queued in self.extras.get("switch_queued_bytes", {}).items()
+        }
+
+    def link_events(self) -> list[dict]:
+        return list(self.extras.get("link_events", []))
+
+    def origin_map(self) -> dict[tuple[int, int], int]:
+        return {
+            (device, port): peer
+            for device, port, peer in self.extras.get("origin_of", [])
+        }
+
+    def queue_series(self, label: str) -> tuple[list[float], list[int]]:
+        data = self.queues[label]
+        return data["times"], data["qlens"]
+
+    def all_queue_samples(self) -> list[int]:
+        merged: list[int] = []
+        for data in self.queues.values():
+            merged.extend(data["qlens"])
+        return merged
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "format": RECORD_FORMAT,
+            "spec": self.spec.to_json(),
+            "spec_hash": self.spec_hash,
+            "fct": self.fct,
+            "queues": self.queues,
+            "extras": self.extras,
+            "events_processed": self.events_processed,
+            "duration_ns": self.duration_ns,
+            "completed": self.completed,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "RunRecord":
+        return cls(
+            spec=ScenarioSpec.from_json(data["spec"]),
+            fct=data["fct"],
+            queues=data["queues"],
+            extras=data["extras"],
+            events_processed=data["events_processed"],
+            duration_ns=data["duration_ns"],
+            completed=data["completed"],
+            wall_time_s=data["wall_time_s"],
+        )
+
+    def write_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), sort_keys=True))
+        return path
+
+    @classmethod
+    def read_json(cls, path: str | Path) -> "RunRecord":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+
+def write_records_csv(records: Iterable[RunRecord], path: str | Path) -> int:
+    """One summary row per record; returns the row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "spec_hash", "label", "program", "topology", "cc", "seed", "scale",
+            "flows_finished", "completed", "duration_ns", "events_processed",
+            "slowdown_p50", "slowdown_p95", "slowdown_p99", "wall_time_s",
+            "cached",
+        ])
+        for record in records:
+            slowdowns = [
+                (r["finish"] - r["start"]) / r["ideal"]
+                if r["ideal"] > 0 else float("inf")
+                for r in record.fct
+            ]
+            writer.writerow([
+                record.spec_hash, record.spec.label, record.spec.program,
+                record.spec.topology, record.spec.cc.display, record.spec.seed,
+                record.spec.scale, len(record.fct), record.completed,
+                f"{record.duration_ns:.1f}", record.events_processed,
+                f"{percentile(slowdowns, 50):.4f}" if slowdowns else "",
+                f"{percentile(slowdowns, 95):.4f}" if slowdowns else "",
+                f"{percentile(slowdowns, 99):.4f}" if slowdowns else "",
+                f"{record.wall_time_s:.3f}", record.cached,
+            ])
+            count += 1
+    return count
+
+
+class RunCache:
+    """Content-addressed record store: ``<root>/<spec_hash>.json``.
+
+    Two specs that would compute the same thing share one entry; label
+    and metadata changes never invalidate it (they are excluded from the
+    hash — see :meth:`ScenarioSpec.identity`).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        return self.root / f"{spec.spec_hash}.json"
+
+    def get(self, spec: ScenarioSpec) -> RunRecord | None:
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            record = RunRecord.read_json(path)
+        except (json.JSONDecodeError, KeyError):
+            return None             # corrupt entry: treat as a miss
+        record.spec = spec          # keep the caller's label/meta
+        record.cached = True
+        return record
+
+    def put(self, record: RunRecord) -> Path:
+        path = self.path_for(record.spec)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record.to_json(), sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __contains__(self, spec: ScenarioSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    def clear(self) -> int:
+        removed = 0
+        for entry in self.root.glob("*.json"):
+            entry.unlink()
+            removed += 1
+        return removed

@@ -2,7 +2,7 @@
 
 from .base import LinkSpec, Topology
 from .fattree import FatTreeSpec, bench_fattree, fattree, paper_fattree
-from .simple import dumbbell, intree, parking_lot, star
+from .simple import dual_trunk, dumbbell, intree, parking_lot, star
 from .testbed import testbed
 
 __all__ = [
@@ -10,6 +10,7 @@ __all__ = [
     "LinkSpec",
     "Topology",
     "bench_fattree",
+    "dual_trunk",
     "dumbbell",
     "fattree",
     "intree",

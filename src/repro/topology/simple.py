@@ -87,6 +87,29 @@ def parking_lot(
     )
 
 
+def dual_trunk(
+    n_pairs: int = 4,
+    host_rate: str | float = "25Gbps",
+    trunk_rate: str | float = "50Gbps",
+    delay: str | float = "1us",
+) -> Topology:
+    """``n_pairs`` senders in rack A -> ``n_pairs`` receivers in rack B over
+    two parallel trunks (the failover extension's ECMP fixture)."""
+    hrate = parse_bandwidth(host_rate)
+    trate = parse_bandwidth(trunk_rate)
+    d = parse_time(delay)
+    n_hosts = 2 * n_pairs
+    sw_a, sw_b = n_hosts, n_hosts + 1
+    links = [LinkSpec(h, sw_a, hrate, d) for h in range(n_pairs)]
+    links += [LinkSpec(h, sw_b, hrate, d) for h in range(n_pairs, n_hosts)]
+    links.append(LinkSpec(sw_a, sw_b, trate, d))
+    links.append(LinkSpec(sw_a, sw_b, trate, d))
+    return Topology(
+        name=f"dualtrunk{n_pairs}", n_hosts=n_hosts, n_switches=2,
+        links=links, switch_tiers={"tor": [sw_a, sw_b]},
+    )
+
+
 def intree(
     fan_in: int,
     depth: int = 2,

@@ -1,8 +1,12 @@
 """The hpcc-repro command-line interface."""
 
+import json
+from types import SimpleNamespace
+
 import pytest
 
 from repro.cli import EXPERIMENTS, _resolve, main
+from repro.runner import ScenarioSpec
 
 
 class TestResolve:
@@ -37,15 +41,95 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "hpcc" in out and "dcqcn" in out
 
-    def test_run_dispatches(self, capsys, monkeypatch):
+    def test_run_dispatches(self, monkeypatch):
         called = []
-        monkeypatch.setitem(
-            EXPERIMENTS, "fig13", ("stub", lambda: called.append(1))
-        )
+        stub = SimpleNamespace(main=lambda scale: called.append(scale))
+        monkeypatch.setitem(EXPERIMENTS, "fig13", ("stub", stub))
         assert main(["run", "fig13"]) == 0
-        assert called == [1]
+        assert called == ["bench"]
 
-    def test_every_experiment_has_description_and_callable(self):
-        for name, (desc, fn) in EXPERIMENTS.items():
+    def test_run_passes_scale_through(self, monkeypatch):
+        """The documented ``hpcc-repro run fig11 --scale full`` spelling."""
+        called = []
+        stub = SimpleNamespace(main=lambda scale: called.append(scale))
+        monkeypatch.setitem(EXPERIMENTS, "fig11", ("stub", stub))
+        assert main(["run", "fig11", "--scale", "full"]) == 0
+        assert called == ["full"]
+
+    def test_run_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig13", "--scale", "huge"])
+
+    def test_every_experiment_has_description_and_grid(self):
+        for name, (desc, module) in EXPERIMENTS.items():
             assert isinstance(desc, str) and desc
-            assert callable(fn)
+            assert callable(module.main)
+            specs = module.scenarios(scale="bench")
+            assert specs and all(isinstance(s, ScenarioSpec) for s in specs)
+
+
+def _tiny_grid_module():
+    """A stub experiment with two fast real scenarios."""
+    from repro.sim.units import US
+
+    def scenarios(scale="bench", seed=1):
+        base = ScenarioSpec(
+            program="flows",
+            topology="star",
+            topology_params={"n_hosts": 3, "host_rate": "10Gbps"},
+            workload={"flows": [[0, 2, 40_000], [1, 2, 40_000]],
+                      "deadline": 5e6},
+            config={"base_rtt": 9 * US},
+            seed=seed,
+            scale=scale,
+            label="tiny",
+        )
+        return [base, base.replaced(**{"workload.flows": [[0, 2, 80_000]],
+                                       "label": "tiny2"})]
+
+    return SimpleNamespace(scenarios=scenarios, main=lambda scale: None)
+
+
+class TestSweep:
+    def test_sweep_persists_and_caches(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        out = tmp_path / "results"
+        assert main(["sweep", "tiny", "--out", str(out)]) == 0
+        first = capsys.readouterr().out
+        assert "2 scenarios (0 cached)" in first
+        records = sorted(out.glob("*.json"))
+        assert len(records) == 2
+        assert (out / "summary.csv").exists()
+        payload = json.loads(records[0].read_text())
+        assert payload["spec"]["program"] == "flows"
+        assert payload["fct"]
+
+        # Second invocation: every cell comes from the cache.
+        assert main(["sweep", "tiny", "--out", str(out)]) == 0
+        second = capsys.readouterr().out
+        assert "2 scenarios (2 cached)" in second
+
+    def test_sweep_no_cache_recomputes_but_persists(self, tmp_path, capsys,
+                                                    monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        out = tmp_path / "results"
+        assert main(["sweep", "tiny", "--out", str(out), "--no-cache"]) == 0
+        assert "(0 cached)" in capsys.readouterr().out
+        assert len(list(out.glob("*.json"))) == 2
+        assert main(["sweep", "tiny", "--out", str(out), "--no-cache"]) == 0
+        assert "(0 cached)" in capsys.readouterr().out
+
+    def test_sweep_seeds_expand_grid(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        out = tmp_path / "results"
+        assert main(["sweep", "tiny", "--seeds", "1,2", "--out", str(out)]) == 0
+        assert "4 scenarios" in capsys.readouterr().out
+
+    def test_sweep_bad_seeds_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="seeds"):
+            main(["sweep", "fig13", "--seeds", "one,two",
+                  "--out", str(tmp_path)])
+
+    def test_sweep_unknown_experiment_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["sweep", "fig99", "--out", str(tmp_path)])

@@ -108,6 +108,55 @@ class TestCancellation:
         event.cancel()
         assert sim.pending == 1
 
+    def test_pending_counter_matches_brute_force(self):
+        """The O(1) live counter stays exact through mixed
+        schedule/cancel/run sequences (regression for the counter refactor)."""
+        import random
+
+        rng = random.Random(42)
+        sim = Simulator()
+        events = []
+        for step in range(500):
+            action = rng.random()
+            if action < 0.5 or not events:
+                events.append(sim.schedule(rng.uniform(0, 100.0), lambda: None))
+            elif action < 0.8:
+                events.pop(rng.randrange(len(events))).cancel()
+            else:
+                # Double-cancel must be a no-op on the counter.
+                victim = events[rng.randrange(len(events))]
+                victim.cancel()
+                victim.cancel()
+            brute = sum(1 for e in sim._heap if not e.cancelled)
+            assert sim.pending == brute
+        sim.run(until=sim.now + 50.0)
+        brute = sum(1 for e in sim._heap if not e.cancelled)
+        assert sim.pending == brute
+        sim.run()
+        assert sim.pending == 0
+
+    def test_pending_unchanged_by_cancel_inside_own_callback(self):
+        sim = Simulator()
+        holder = {}
+        holder["event"] = sim.schedule(1.0, lambda: holder["event"].cancel())
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+
+    def test_periodic_task_self_cancel_keeps_counter_exact(self):
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            if len(fired) == 3:
+                holder["task"].cancel()
+
+        holder = {"task": PeriodicTask(sim, 10.0, tick)}
+        sim.run()
+        assert len(fired) == 3
+        assert sim.pending == sum(1 for e in sim._heap if not e.cancelled) == 0
+
     def test_peek_time_skips_cancelled(self):
         sim = Simulator()
         event = sim.schedule(1.0, lambda: None)

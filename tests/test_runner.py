@@ -1,0 +1,289 @@
+"""The declarative scenario layer: specs, grids, execution, caching.
+
+Includes the determinism guarantee the sweep runner is built on: the same
+``ScenarioSpec`` produces identical results whether it runs serially,
+in another process, or comes back from the cache.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    CcChoice,
+    RunCache,
+    RunRecord,
+    ScenarioGrid,
+    ScenarioSpec,
+    SweepRunner,
+    axis,
+    build_topology,
+    cc_axis,
+    execute_spec,
+)
+from repro.sim.units import US
+
+
+def tiny_load_spec(**updates) -> ScenarioSpec:
+    spec = ScenarioSpec(
+        program="load",
+        topology="star",
+        topology_params={"n_hosts": 4, "host_rate": "10Gbps"},
+        cc=CcChoice("hpcc"),
+        workload={"cdf": "fbhadoop", "size_scale": 0.1,
+                  "load": 0.2, "n_flows": 15},
+        config={"base_rtt": 9 * US},
+        seed=2,
+        label="tiny",
+    )
+    return spec.replaced(**updates) if updates else spec
+
+
+def tiny_flows_spec(**updates) -> ScenarioSpec:
+    spec = ScenarioSpec(
+        program="flows",
+        topology="star",
+        topology_params={"n_hosts": 3, "host_rate": "10Gbps"},
+        cc=CcChoice("hpcc"),
+        workload={"flows": [[0, 2, 60_000, 0.0, "a"], [1, 2, 60_000, 0.0, "b"]],
+                  "deadline": 5e6},
+        config={"base_rtt": 9 * US, "goodput_bin": 50_000.0},
+        measure={"sample_interval": 10_000.0,
+                 "sample_ports": [["bneck", "to_host", 2]],
+                 "windows": True},
+        label="tiny-flows",
+    )
+    return spec.replaced(**updates) if updates else spec
+
+
+class TestScenarioSpec:
+    def test_hashable_and_eq_by_content(self):
+        a, b = tiny_load_spec(), tiny_load_spec()
+        assert a == b and hash(a) == hash(b)
+        assert a.spec_hash == b.spec_hash
+        c = tiny_load_spec(seed=3)
+        assert c != a and c.spec_hash != a.spec_hash
+        assert len({a, b, c}) == 2
+
+    def test_label_and_meta_do_not_change_identity(self):
+        a = tiny_load_spec()
+        b = tiny_load_spec(label="renamed", **{"meta.case": "30%"})
+        assert a == b and a.spec_hash == b.spec_hash
+
+    def test_json_roundtrip(self):
+        spec = tiny_load_spec(**{"meta.case": "x"})
+        back = ScenarioSpec.from_json(json.loads(json.dumps(spec.to_json())))
+        assert back == spec
+        assert back.label == spec.label and back.meta == spec.meta
+        assert back.cc == spec.cc
+
+    def test_picklable(self):
+        import pickle
+
+        spec = tiny_load_spec()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_replaced_dotted_paths_do_not_mutate(self):
+        spec = tiny_load_spec()
+        derived = spec.replaced(**{"workload.load": 0.5,
+                                   "config.buffer_bytes": 1_000_000})
+        assert spec.workload["load"] == 0.2
+        assert "buffer_bytes" not in spec.config
+        assert derived.workload["load"] == 0.5
+        assert derived.config["buffer_bytes"] == 1_000_000
+
+    def test_replaced_rejects_non_dict_descent(self):
+        with pytest.raises(TypeError):
+            tiny_load_spec(**{"seed.x": 1})
+
+    def test_build_topology_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            build_topology(tiny_load_spec(topology="moebius"))
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(ValueError, match="unknown program"):
+            execute_spec(tiny_load_spec(program="quantum"))
+
+
+class TestScenarioGrid:
+    def test_cartesian_expansion_row_major(self):
+        grid = ScenarioGrid(
+            tiny_load_spec(),
+            axis("workload.load", [0.2, 0.4]),
+            cc_axis([CcChoice("hpcc", label="HPCC"),
+                     CcChoice("dcqcn", label="DCQCN")]),
+        )
+        specs = grid.expand()
+        assert len(specs) == len(grid) == 4
+        assert [s.label for s in specs] == ["HPCC", "DCQCN", "HPCC", "DCQCN"]
+        assert [s.workload["load"] for s in specs] == [0.2, 0.2, 0.4, 0.4]
+        assert len({s.spec_hash for s in specs}) == 4
+
+    def test_coupled_axis_updates_multiple_fields(self):
+        specs = ScenarioGrid(
+            tiny_load_spec(),
+            [{"config.transport": "gbn", "config.pfc_enabled": False,
+              "label": "GBN"}],
+        ).expand()
+        assert specs[0].config["transport"] == "gbn"
+        assert specs[0].config["pfc_enabled"] is False
+        assert specs[0].label == "GBN"
+
+
+class TestExecution:
+    def test_load_program_record(self):
+        record = execute_spec(tiny_load_spec())
+        assert record.fct and record.events_processed > 0
+        assert record.duration_ns > 0
+        assert record.extras["n_hosts"] == 4
+        assert record.wall_time_s > 0
+        # FctRecord reconstruction round-trips the flow spec.
+        fct = record.fct_records()
+        assert all(r.slowdown > 0 and r.fct > 0 for r in fct)
+        assert {r.spec.flow_id for r in fct} == {r["flow_id"] for r in record.fct}
+
+    def test_flows_program_record(self):
+        record = execute_spec(tiny_flows_spec())
+        assert len(record.fct) == 2
+        t, q = record.queue_series("bneck")
+        assert len(t) == len(q) > 0
+        assert record.flow_ids("a") == [1] and record.flow_ids("b") == [2]
+        assert set(record.goodput().flow_ids()) == {1, 2}
+        assert set(record.final_windows()) == {1, 2}
+
+    def test_link_event_after_completion_still_yields_complete_entry(self):
+        """A fail_link scheduled past the last flow's finish never fires;
+        the record must still carry a complete (no-op) event entry."""
+        spec = tiny_flows_spec(
+            **{"workload.events": [["fail_link", 4.9e6, 3, 0]]}
+        )
+        record = execute_spec(spec)
+        [entry] = record.link_events()
+        assert entry["fired"] is False
+        assert entry["packets_lost_down"] == 0
+
+    def test_unknown_link_event_rejected_eagerly(self):
+        spec = tiny_flows_spec(
+            **{"workload.events": [["melt_link", 1.0, 3, 0]]}
+        )
+        with pytest.raises(ValueError, match="unknown link event"):
+            execute_spec(spec)
+
+    def test_worker_execution_error_propagates_from_pool(self):
+        """A broken spec must fail the sweep loudly, not silently degrade."""
+        bad = tiny_flows_spec(topology="moebius")
+        with pytest.raises(ValueError, match="unknown topology"):
+            SweepRunner(jobs=2).run([bad, tiny_flows_spec()])
+
+    def test_record_json_roundtrip_preserves_results(self):
+        record = execute_spec(tiny_flows_spec())
+        back = RunRecord.from_json(json.loads(json.dumps(record.to_json())))
+        assert back.fct == record.fct
+        assert back.queues == record.queues
+        assert back.events_processed == record.events_processed
+        # Reconstructed trackers behave identically.
+        assert back.goodput().total_series() == record.goodput().total_series()
+
+
+class TestRunCache:
+    def test_miss_compute_hit(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = tiny_flows_spec()
+        assert cache.get(spec) is None
+        runner = SweepRunner(cache=cache)
+        [record] = runner.run([spec])
+        assert not record.cached
+        assert spec in cache and len(cache) == 1
+        [again] = SweepRunner(cache=cache).run([spec])
+        assert again.cached
+        assert again.fct == record.fct
+        assert again.events_processed == record.events_processed
+
+    def test_relabelled_spec_hits_same_entry(self, tmp_path):
+        cache = RunCache(tmp_path)
+        SweepRunner(cache=cache).run([tiny_flows_spec()])
+        [hit] = SweepRunner(cache=cache).run(
+            [tiny_flows_spec(label="other-name", **{"meta.case": "x"})]
+        )
+        assert hit.cached
+        assert hit.spec.label == "other-name"     # caller's labelling kept
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = tiny_flows_spec()
+        SweepRunner(cache=cache).run([spec])
+        cache.path_for(spec).write_text("{not json")
+        assert cache.get(spec) is None
+        [record] = SweepRunner(cache=cache).run([spec])
+        assert not record.cached
+
+    def test_clear(self, tmp_path):
+        cache = RunCache(tmp_path)
+        SweepRunner(cache=cache).run([tiny_flows_spec()])
+        assert cache.clear() == 1 and len(cache) == 0
+
+
+class TestSweepRunner:
+    def test_preserves_input_order_and_progress(self):
+        specs = [tiny_flows_spec(), tiny_load_spec(),
+                 tiny_flows_spec(seed=9)]
+        seen = []
+        runner = SweepRunner(progress=lambda r, done, total: seen.append((done, total)))
+        records = runner.run(specs)
+        assert [r.spec.spec_hash for r in records] == [s.spec_hash for s in specs]
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_duplicate_specs_computed_once(self):
+        specs = [tiny_flows_spec(label="a"), tiny_flows_spec(label="b")]
+        runs = []
+        runner = SweepRunner(progress=lambda r, d, t: runs.append(r))
+        records = runner.run(specs)
+        assert len(runs) == 2                      # both notified...
+        assert records[0].fct is records[1].fct    # ...one computation shared
+        assert records[0].spec.label == "a"
+        assert records[1].spec.label == "b"
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+
+class TestDeterminism:
+    """Satellite requirement: the same spec (same seed) run serially and
+    via the process pool yields identical FCT records and
+    ``events_processed``."""
+
+    def grid(self):
+        return ScenarioGrid(
+            tiny_load_spec(),
+            cc_axis([CcChoice("hpcc", label="HPCC"),
+                     CcChoice("dcqcn", label="DCQCN")]),
+            axis("seed", [2, 7]),
+        ).expand()
+
+    def test_serial_rerun_is_identical(self):
+        specs = self.grid()
+        first = SweepRunner().run(specs)
+        second = SweepRunner().run(specs)
+        assert [r.fct for r in first] == [r.fct for r in second]
+        assert [r.events_processed for r in first] == \
+            [r.events_processed for r in second]
+
+    def test_pool_matches_serial(self):
+        specs = self.grid()
+        serial = SweepRunner(jobs=1).run(specs)
+        pooled = SweepRunner(jobs=4).run(specs)
+        assert [r.fct for r in serial] == [r.fct for r in pooled]
+        assert [r.queues for r in serial] == [r.queues for r in pooled]
+        assert [r.extras for r in serial] == [r.extras for r in pooled]
+        assert [r.events_processed for r in serial] == \
+            [r.events_processed for r in pooled]
+
+    def test_cached_record_matches_fresh(self, tmp_path):
+        spec = tiny_load_spec()
+        fresh = execute_spec(spec)
+        cache = RunCache(tmp_path)
+        cache.put(fresh)
+        hit = cache.get(spec)
+        assert hit.fct == fresh.fct
+        assert hit.events_processed == fresh.events_processed
