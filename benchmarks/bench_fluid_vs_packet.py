@@ -1,0 +1,85 @@
+"""Fluid fast path vs packet engine: one Figure-11-style FatTree grid.
+
+The acceptance bar for the fluid backend: the same scenario grid (same
+topology factory, same CC schemes, same seeded flow population) must
+complete at least 10x faster flow-level than packet-level.  The margin
+grows with scenario size — RTT-granularity steps cost
+``O(active flows x path length)`` per RTT regardless of bandwidth or
+packet count — so bench scale is the *hardest* place to clear 10x.
+
+Run standalone for a report::
+
+    PYTHONPATH=src python benchmarks/bench_fluid_vs_packet.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+from repro.experiments import figure11
+from repro.runner import CcChoice, SweepRunner
+
+# A reduced Figure 11 grid (one traffic case, three schemes) keeps the
+# packet side's wall time tolerable while still crossing the FatTree's
+# three tiers with background + incast traffic.
+SCHEMES = (
+    CcChoice("hpcc", label="HPCC"),
+    CcChoice("dcqcn", label="DCQCN"),
+    CcChoice("dctcp", label="DCTCP"),
+)
+CASES = ("30%+incast",)
+
+
+def fat_tree_grid():
+    return figure11.scenarios(scale="bench", cases=CASES, schemes=SCHEMES)
+
+
+def run_comparison() -> dict:
+    specs = fat_tree_grid()
+    started = time.perf_counter()
+    packet_records = SweepRunner().run(specs)
+    packet_s = time.perf_counter() - started
+
+    fluid_specs = [spec.replaced(backend="fluid") for spec in specs]
+    started = time.perf_counter()
+    fluid_records = SweepRunner().run(fluid_specs)
+    fluid_s = time.perf_counter() - started
+
+    return {
+        "n_specs": len(specs),
+        "packet_s": packet_s,
+        "fluid_s": fluid_s,
+        "speedup": packet_s / fluid_s,
+        "packet_flows": [len(r.fct) for r in packet_records],
+        "fluid_flows": [len(r.fct) for r in fluid_records],
+        "packet_events": sum(r.events_processed for r in packet_records),
+        "fluid_steps": sum(r.events_processed for r in fluid_records),
+    }
+
+
+def test_fluid_backend_at_least_10x_faster(benchmark):
+    result = run_once(benchmark, run_comparison)
+    assert result["speedup"] >= 10.0, (
+        f"fluid backend only {result['speedup']:.1f}x faster "
+        f"({result['packet_s']:.2f}s packet vs {result['fluid_s']:.2f}s fluid)"
+    )
+    # Both backends simulated the same seeded workload: within a few
+    # deadline-straggler flows of each other on every grid cell.
+    for packet_n, fluid_n in zip(result["packet_flows"], result["fluid_flows"]):
+        assert abs(packet_n - fluid_n) <= 0.1 * max(packet_n, fluid_n)
+
+
+def main() -> None:
+    result = run_comparison()
+    print(f"Figure-11-style FatTree grid, {result['n_specs']} scenarios "
+          f"({', '.join(c.display for c in SCHEMES)}; {CASES[0]}):")
+    print(f"  packet backend: {result['packet_s']:8.2f}s "
+          f"({result['packet_events']:,} events)")
+    print(f"  fluid backend:  {result['fluid_s']:8.2f}s "
+          f"({result['fluid_steps']:,} RTT steps)")
+    print(f"  speedup:        {result['speedup']:8.1f}x")
+
+
+if __name__ == "__main__":
+    main()

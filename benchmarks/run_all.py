@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Run benchmark workloads once each and emit machine-readable timings.
+
+The pytest-benchmark files under ``benchmarks/`` regenerate paper
+figures and assert their *shape*; this aggregator runs the same
+underlying experiment drivers and records only what a perf trajectory
+needs — name, wall time, parameters — as JSON, so successive PRs can
+diff ``BENCH_*.json`` files instead of eyeballing pytest output.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --json BENCH_all.json
+    PYTHONPATH=src python benchmarks/run_all.py --fastest 2   # CI smoke
+    PYTHONPATH=src python benchmarks/run_all.py --only fig02,fluid_vs_packet
+    PYTHONPATH=src python benchmarks/run_all.py --list
+
+The registry is ordered fastest-first, so ``--fastest N`` doubles as a
+cheap import/API-rot canary for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+
+def _appendix_a1():
+    from repro.experiments.appendix_a import run_a1
+    return run_a1(n_sources=50, rho=0.95)
+
+
+def _appendix_a2():
+    from repro.experiments.appendix_a import run_a2
+    return run_a2(n_trials=50)
+
+
+def _fig06():
+    from repro.experiments.figure06 import run_figure06
+    return run_figure06(scale="bench")
+
+
+def _fig13():
+    from repro.experiments.figure13 import run_figure13
+    return run_figure13(scale="bench")
+
+
+def _fig11_fluid():
+    from repro.experiments import figure11
+    from repro.runner import SweepRunner
+    specs = [
+        spec.replaced(backend="fluid")
+        for spec in figure11.scenarios(scale="bench")
+    ]
+    return SweepRunner().run(specs)
+
+
+def _fig14():
+    from repro.experiments.figure14 import run_figure14
+    return run_figure14(scale="bench")
+
+
+def _fig02():
+    from repro.experiments.figure02 import run_figure02
+    return run_figure02(scale="bench")
+
+
+def _fig03():
+    from repro.experiments.figure03 import run_figure03
+    return run_figure03(scale="bench")
+
+
+def _fig01():
+    from repro.experiments.figure01 import run_figure01
+    return run_figure01(scale="bench")
+
+
+def _fig09():
+    from repro.experiments.figure09 import run_incast, run_long_short
+    return run_long_short(), run_incast()
+
+
+def _fig10():
+    from repro.experiments.figure10 import run_figure10
+    return run_figure10(scale="bench")
+
+
+def _fig12():
+    from repro.experiments.figure12 import run_figure12
+    return run_figure12(scale="bench")
+
+
+def _fig11():
+    from repro.experiments.figure11 import run_figure11
+    return run_figure11(scale="bench")
+
+
+def _failover():
+    from repro.experiments.failover import run_failover
+    return run_failover()
+
+
+def _fluid_vs_packet():
+    from bench_fluid_vs_packet import run_comparison
+    return run_comparison()
+
+
+# name -> (workload, parameter note).  Ordered fastest-first: the first
+# N entries are what CI's benchmark smoke step runs.
+REGISTRY: dict[str, tuple] = {
+    "appendix_a1": (_appendix_a1, {"n_sources": 50, "rho": 0.95}),
+    "appendix_a2": (_appendix_a2, {"n_trials": 50}),
+    "fig06": (_fig06, {"scale": "bench"}),
+    "fig13": (_fig13, {"scale": "bench"}),
+    "fig11_fluid": (_fig11_fluid, {"scale": "bench", "backend": "fluid"}),
+    "fig14": (_fig14, {"scale": "bench"}),
+    "fig02": (_fig02, {"scale": "bench"}),
+    "fig03": (_fig03, {"scale": "bench"}),
+    "fig01": (_fig01, {"scale": "bench"}),
+    "fig09": (_fig09, {"parts": ["long_short", "incast"]}),
+    "fig10": (_fig10, {"scale": "bench"}),
+    "fig12": (_fig12, {"scale": "bench"}),
+    "fig11": (_fig11, {"scale": "bench"}),
+    "failover": (_failover, {}),
+    "fluid_vs_packet": (_fluid_vs_packet, {"grid": "fig11-style"}),
+}
+
+
+def run_benches(names: list[str]) -> list[dict]:
+    results = []
+    for name in names:
+        fn, params = REGISTRY[name]
+        print(f"running {name} ...", file=sys.stderr, flush=True)
+        started = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - started
+        print(f"  {name}: {wall:.2f}s", file=sys.stderr, flush=True)
+        results.append({"name": name, "wall_time_s": wall, "params": params})
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run benchmark workloads once each; emit JSON timings."
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write results as JSON (default: print to stdout)",
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="N1,N2,...",
+        help="comma-separated benchmark names to run",
+    )
+    parser.add_argument(
+        "--fastest", type=int, default=None, metavar="N",
+        help="run only the N cheapest benchmarks (registry order)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list benchmark names and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in REGISTRY:
+            print(name)
+        return 0
+    names = list(REGISTRY)
+    if args.only is not None:
+        names = [part.strip() for part in args.only.split(",") if part.strip()]
+        unknown = [n for n in names if n not in REGISTRY]
+        if unknown:
+            known = ", ".join(REGISTRY)
+            print(f"unknown benchmarks {unknown}; known: {known}",
+                  file=sys.stderr)
+            return 1
+    if args.fastest is not None:
+        names = names[: max(1, args.fastest)]
+
+    payload = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": run_benches(names),
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {len(payload['results'])} results to {args.json}",
+              file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

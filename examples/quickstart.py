@@ -54,6 +54,24 @@ def main() -> None:
           f"peak: {sampler.max() / 1000:.1f}KB, "
           f"drops: {net.metrics.drop_count}")
 
+    # 6. The same scenario on the flow-level fluid backend: no packets,
+    #    RTT-granularity steps, the same HPCC control law — use it
+    #    (`ScenarioSpec(backend="fluid")` / `hpcc-repro sweep --backend
+    #    fluid`) when sweeping scenarios too big for packet simulation.
+    from repro import FluidEngine
+    from repro.sim.flow import FlowSpec
+
+    engine = FluidEngine(topology, cc_name="hpcc", base_rtt=9 * US)
+    engine.add_flows([FlowSpec(1, 0, 3, 1_000_000, 0.0),
+                      FlowSpec(2, 1, 3, 1_000_000, 0.0)])
+    engine.run(deadline=10 * MS)
+    print()
+    for r in sorted(engine.fct_records, key=lambda r: r.spec.flow_id):
+        print(f"fluid backend: flow {r.spec.flow_id} "
+              f"FCT {r.fct / US:.1f}us (slowdown {r.slowdown:.2f}) "
+              f"in {engine.steps} RTT steps instead of "
+              f"{net.sim.events_processed:,} packet events")
+
 
 if __name__ == "__main__":
     main()

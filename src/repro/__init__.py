@@ -38,6 +38,7 @@ from .runner import (
     ScenarioSpec,
     SweepRunner,
 )
+from .fluid import FluidEngine
 
 __version__ = "1.0.0"
 
@@ -49,6 +50,7 @@ __all__ = [
     "Dctcp",
     "EcnPolicy",
     "FlowSpec",
+    "FluidEngine",
     "Hpcc",
     "Metrics",
     "Network",

@@ -5,8 +5,12 @@ Examples::
     hpcc-repro list
     hpcc-repro run fig13
     hpcc-repro run fig11 --scale full
+    hpcc-repro run fig11 --backend fluid
     hpcc-repro sweep fig10 fig11 --jobs 4 --out results/
     hpcc-repro sweep fig11 --seeds 1,2,3 --jobs 8
+    hpcc-repro sweep fig11 --backend fluid --scale full
+    hpcc-repro cache stats --dir results/
+    hpcc-repro cache clear --dir results/
     hpcc-repro schemes
 
 ``sweep`` expands each experiment's declared scenario grid
@@ -14,6 +18,11 @@ Examples::
 ``RunRecord`` JSON per scenario (content-addressed by spec hash) plus a
 ``summary.csv`` under ``--out``.  Re-running the same sweep hits the
 cache and recomputes nothing; ``--no-cache`` forces fresh runs.
+Progress ticks per completed scenario on stderr (``--quiet`` silences
+them).  ``--backend fluid`` runs every scenario on the flow-level fluid
+engine instead of the packet simulator — hash-distinct, so packet and
+fluid records coexist in one cache; ``cache stats``/``cache clear``
+inspect and prune that directory.
 """
 
 from __future__ import annotations
@@ -98,6 +107,23 @@ def _parse_seeds(text: str | None) -> list[int] | None:
         raise SystemExit(f"bad --seeds value {text!r}; expected e.g. 1,2,3")
 
 
+def _progress_ticker(args):
+    """The sweep's stderr ticker: one ``[done/total]`` line per finished
+    scenario (stderr so ``--out``-style stdout redirects stay clean);
+    ``--quiet`` disables it."""
+    if getattr(args, "quiet", False):
+        return None
+
+    def progress(record, done, total):
+        status = "cache" if record.cached else f"{record.wall_time_s:.2f}s"
+        print(
+            f"[{done}/{total}] {record.label}  ({status})",
+            file=sys.stderr, flush=True,
+        )
+
+    return progress
+
+
 def _cmd_sweep(args) -> int:
     from .runner import RunCache, SweepRunner, write_records_csv
 
@@ -113,6 +139,8 @@ def _cmd_sweep(args) -> int:
     if not specs:
         print("nothing to run")
         return 1
+    if args.backend != "packet":
+        specs = [spec.replaced(backend=args.backend) for spec in specs]
 
     out = Path(args.out)
     try:
@@ -121,13 +149,16 @@ def _cmd_sweep(args) -> int:
         raise SystemExit(f"cannot create --out directory {out}: {exc}")
     cache = None if args.no_cache else RunCache(out)
 
-    def progress(record, done, total):
-        status = "cache" if record.cached else f"{record.wall_time_s:.2f}s"
-        print(f"[{done}/{total}] {record.label}  ({status})", flush=True)
-
     started = time.perf_counter()
-    runner = SweepRunner(jobs=args.jobs, cache=cache, progress=progress)
-    records = runner.run(specs)
+    runner = SweepRunner(
+        jobs=args.jobs, cache=cache, progress=_progress_ticker(args)
+    )
+    try:
+        records = runner.run(specs)
+    except ValueError as exc:
+        # Scenario-level input errors (fluid-unsupported events/schemes,
+        # unknown topologies) exit CLI-style, not as a traceback.
+        raise SystemExit(f"error: {exc}")
     elapsed = time.perf_counter() - started
 
     if cache is None:                       # still persist the records
@@ -139,6 +170,68 @@ def _cmd_sweep(args) -> int:
         f"{len(records)} scenarios ({hits} cached) in {elapsed:.2f}s "
         f"with --jobs {args.jobs} -> {out}"
     )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    key = _resolve(args.experiment)
+    module = EXPERIMENTS[key][1]
+    if args.backend == "packet":
+        module.main(scale=args.scale)
+        return 0
+    # Fluid backend: run the experiment's declared grid on the fluid
+    # engine and print a backend-neutral summary (the packet ``main``
+    # tables read packet-only telemetry).
+    from .metrics.fct import percentile, slowdowns
+    from .metrics.reporter import format_table
+    from .runner import SweepRunner
+
+    specs = [
+        spec.replaced(backend=args.backend)
+        for spec in module.scenarios(scale=args.scale)
+    ]
+    try:
+        records = SweepRunner(progress=_progress_ticker(args)).run(specs)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    rows = []
+    for spec, record in zip(specs, records):
+        slows = slowdowns(record.fct_records())
+        rows.append((
+            spec.label or spec.spec_hash,
+            len(record.fct),
+            f"{percentile(slows, 50):.2f}" if slows else "-",
+            f"{percentile(slows, 95):.2f}" if slows else "-",
+            f"{record.wall_time_s:.2f}",
+        ))
+    print(format_table(
+        ["scenario", "flows", "p50 slowdown", "p95 slowdown", "wall (s)"],
+        rows, title=f"{key} on the fluid backend ({args.scale} scale)",
+    ))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .runner import RunCache
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        print(f"no cache directory at {root}")
+        return 1
+    cache = RunCache(root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached records from {root}")
+        return 0
+    stats = cache.stats()
+    print(
+        f"{root}: {stats['entries']} records, "
+        f"{stats['total_bytes'] / 1_000_000:.2f}MB"
+    )
+    for (backend, program), count in sorted(stats["by_kind"].items()):
+        print(f"  {backend:8s} {program:12s} {count}")
+    if stats["corrupt"]:
+        print(f"  ({stats['corrupt']} unreadable entries)")
     return 0
 
 
@@ -158,6 +251,15 @@ def main(argv: list[str] | None = None) -> int:
         "--scale", choices=("bench", "full"), default="bench",
         help="bench = shrunk for Python speed (default); full = paper sizes",
     )
+    run.add_argument(
+        "--backend", choices=("packet", "fluid"), default="packet",
+        help="execution engine: packet-level simulation (default) or the "
+             "flow-level fluid fast path",
+    )
+    run.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-scenario progress ticker (fluid backend)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run experiment grids in parallel, with caching"
@@ -168,6 +270,10 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument(
         "--scale", choices=("bench", "full"), default="bench",
         help="scenario scale (default bench)",
+    )
+    sweep.add_argument(
+        "--backend", choices=("packet", "fluid"), default="packet",
+        help="execution engine for every scenario in the sweep",
     )
     sweep.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
@@ -186,6 +292,22 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true",
         help="recompute every scenario even if a record exists in --out",
     )
+    sweep.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-scenario stderr progress ticker",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune a sweep's RunCache directory"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "clear"),
+        help="stats = entry counts and sizes; clear = delete every record",
+    )
+    cache.add_argument(
+        "--dir", default="sweep-results", metavar="DIR",
+        help="cache directory (a sweep's --out; default sweep-results/)",
+    )
 
     args = parser.parse_args(argv)
 
@@ -198,11 +320,11 @@ def main(argv: list[str] | None = None) -> int:
             print(scheme)
         return 0
     if args.command == "run":
-        key = _resolve(args.experiment)
-        EXPERIMENTS[key][1].main(scale=args.scale)
-        return 0
+        return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     parser.print_help()
     return 1
 

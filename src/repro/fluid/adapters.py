@@ -1,0 +1,242 @@
+"""Per-scheme rate-update adapters: fluid signals in, ``core/`` laws out.
+
+The fluid engine does not reimplement any congestion-control law.  Each
+adapter owns a *real* algorithm instance from ``repro.core`` (the same
+classes the packet NIC installs) and, once per RTT-granularity step,
+synthesizes the event that algorithm reacts to in the packet world:
+
+* **INT family** (HPCC and its ablation variants) — a synthetic ACK whose
+  ``IntHop`` stack is filled from the fluid links' ``qlen``/``tx_bytes``
+  registers, so ``MeasureInflight``/``ComputeWind`` run verbatim;
+* **CNP family** (DCQCN, DCQCN+win) — the NP's CNP stream derived from
+  the analytic ECN marking probability, plus the RP's increase/alpha
+  timers advanced in fluid time;
+* **RTT family** (TIMELY, TIMELY+win) — an ACK echoing a timestamp
+  ``now - rtt`` where ``rtt`` is the base RTT plus the path's queueing
+  delay;
+* **ECN family** (DCTCP) — two cumulative ACKs splitting the step's
+  delivered bytes into marked and unmarked fractions.
+
+The algorithms mutate a :class:`FlowProxy` exactly as they would a live
+flow; the engine reads back ``rate``/``window`` and turns them into the
+next step's fluid sending rate.
+"""
+
+from __future__ import annotations
+
+from ..core.base import CcAlgorithm, CcEnv
+from ..core.registry import SchemeInfo, get_scheme
+from ..core.windowed import WindowedCc
+from ..sim.packet import IntHop, Packet, PacketType
+
+
+class FluidClock:
+    """The ``env.sim`` stand-in: algorithms only read ``now`` off it.
+
+    (The packet schemes also schedule :class:`PeriodicTask` timers in
+    ``install`` — adapters never call ``install``; they replay the timers
+    themselves in fluid time, so a bare clock is all the env needs.)
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+class FlowProxy:
+    """The ``flow`` object the CC algorithms mutate."""
+
+    __slots__ = ("rate", "window", "snd_nxt", "done")
+
+    def __init__(self) -> None:
+        self.rate = 0.0
+        self.window: float | None = None
+        self.snd_nxt = 0.0
+        self.done = False
+
+
+class StepSignals:
+    """Everything one flow's adapter needs from one fluid step."""
+
+    __slots__ = ("hops", "rtt", "mark_prob", "delivered", "now", "dt")
+
+    def __init__(
+        self,
+        hops: list[IntHop],
+        rtt: float,
+        mark_prob: float,
+        delivered: float,
+        now: float,
+        dt: float,
+    ) -> None:
+        self.hops = hops                # per switch-egress hop telemetry
+        self.rtt = rtt                  # base + queueing, ns
+        self.mark_prob = mark_prob      # per-packet ECN mark probability
+        self.delivered = delivered      # wire bytes delivered this step
+        self.now = now
+        self.dt = dt
+
+
+class _SentBytes:
+    """Stands in for a data packet in ``on_packet_sent`` (byte counters)."""
+
+    __slots__ = ("wire_size",)
+
+    def __init__(self, wire_size: float) -> None:
+        self.wire_size = wire_size
+
+
+def _ack(now: float) -> Packet:
+    return Packet(PacketType.ACK, flow_id=0, src=0, dst=0)
+
+
+class RateAdapter:
+    """Base adapter: owns one live CC algorithm and its windowed-ness."""
+
+    def __init__(self, env: CcEnv, algo: CcAlgorithm) -> None:
+        self.env = env
+        self.algo = algo
+        self.inner = algo.inner if isinstance(algo, WindowedCc) else algo
+
+    def install(self, proxy: FlowProxy) -> None:
+        """Line-rate start without touching the packet ``install`` hooks
+        (which would schedule simulator timers the fluid world replays
+        itself)."""
+        proxy.rate = self.env.line_rate
+        proxy.window = (
+            self.env.bdp if isinstance(self.algo, WindowedCc) else None
+        )
+
+    def update(self, proxy: FlowProxy, sig: StepSignals) -> None:
+        raise NotImplementedError
+
+
+class IntAdapter(RateAdapter):
+    """HPCC and variants: per-RTT synthetic ACK with an analytic INT stack."""
+
+    def install(self, proxy: FlowProxy) -> None:
+        proxy.rate = self.env.line_rate
+        proxy.window = self.env.bdp             # Winit = B_nic x T
+
+    def update(self, proxy: FlowProxy, sig: StepSignals) -> None:
+        # Advancing snd_nxt before the ACK makes every step a Wc-update
+        # step (ack.seq > last_update_seq): one reaction per RTT, which
+        # is exactly the reference-window cadence of Algorithm 1.
+        proxy.snd_nxt += max(1.0, sig.delivered)
+        ack = _ack(sig.now)
+        ack.seq = proxy.snd_nxt
+        ack.int_hops = sig.hops
+        self.algo.on_ack(proxy, ack, sig.now)
+
+
+class CnpAdapter(RateAdapter):
+    """DCQCN (+win): analytic CNP stream plus timers replayed in fluid time."""
+
+    def __init__(self, env: CcEnv, algo: CcAlgorithm) -> None:
+        super().__init__(env, algo)
+        self._cnp_credit = 0.0
+        self._inc_elapsed = 0.0
+        self._alpha_elapsed = 0.0
+
+    def install(self, proxy: FlowProxy) -> None:
+        super().install(proxy)
+        proxy.rate = self.inner.rc
+
+    def update(self, proxy: FlowProxy, sig: StepSignals) -> None:
+        inner = self.inner
+        # NP: at most one CNP per Td window; a window yields a CNP when
+        # at least one of its packets is marked, so the expected CNP
+        # count over dt is (dt/Td) x P[>=1 mark among the window's pkts].
+        if sig.mark_prob > 0.0 and sig.delivered > 0.0:
+            pkts_per_td = (
+                (sig.delivered / sig.dt) * inner.td / self.env.packet_wire_size
+            )
+            p_window = 1.0 - (1.0 - sig.mark_prob) ** max(pkts_per_td, 0.0)
+            self._cnp_credit += (sig.dt / inner.td) * p_window
+            while self._cnp_credit >= 1.0:
+                self._cnp_credit -= 1.0
+                self.algo.on_cnp(proxy, sig.now)
+                self._inc_elapsed = 0.0         # on_cnp resets the Ti timer
+        # RP byte counter: one aggregate "packet" carrying the step's bytes.
+        if sig.delivered > 0.0:
+            self.algo.on_packet_sent(proxy, _SentBytes(sig.delivered), sig.now)
+        # RP rate-increase timer (period Ti).
+        self._inc_elapsed += sig.dt
+        while self._inc_elapsed >= inner.ti:
+            self._inc_elapsed -= inner.ti
+            inner._on_increase_timer(proxy)
+        # Alpha decay timer.
+        self._alpha_elapsed += sig.dt
+        while self._alpha_elapsed >= inner.alpha_timer:
+            self._alpha_elapsed -= inner.alpha_timer
+            inner._on_alpha_timer()
+
+
+class RttAdapter(RateAdapter):
+    """TIMELY (+win): ACKs echoing the fluid path's analytic RTT."""
+
+    def update(self, proxy: FlowProxy, sig: StepSignals) -> None:
+        ack = _ack(sig.now)
+        ack.ts_tx = sig.now - sig.rtt
+        self.algo.on_ack(proxy, ack, sig.now)
+
+
+class EcnAdapter(RateAdapter):
+    """DCTCP: cumulative ACKs carrying the analytic marked-byte fraction."""
+
+    def __init__(self, env: CcEnv, algo: CcAlgorithm) -> None:
+        super().__init__(env, algo)
+        self._acked = 0.0
+
+    def install(self, proxy: FlowProxy) -> None:
+        proxy.rate = self.env.line_rate
+        proxy.window = self.env.bdp             # slow start removed (S5.1)
+
+    def update(self, proxy: FlowProxy, sig: StepSignals) -> None:
+        delivered = max(1.0, sig.delivered)
+        marked = sig.mark_prob * delivered
+        proxy.snd_nxt += delivered
+        if marked > 0.0:
+            ack = _ack(sig.now)
+            ack.ack_seq = self._acked + marked
+            ack.ecn = True
+            self.algo.on_ack(proxy, ack, sig.now)
+        ack = _ack(sig.now)
+        ack.ack_seq = self._acked + delivered
+        self.algo.on_ack(proxy, ack, sig.now)
+        self._acked += delivered
+
+
+# Scheme name -> adapter class.  Every scheme the paper's figures sweep
+# has a fluid adapter; newly registered schemes must add one explicitly
+# (there is no safe generic fallback for unknown dynamics).
+ADAPTER_FAMILIES: dict[str, type[RateAdapter]] = {
+    "hpcc": IntAdapter,
+    "hpcc-perack": IntAdapter,
+    "hpcc-perrtt": IntAdapter,
+    "hpcc-rxrate": IntAdapter,
+    "dcqcn": CnpAdapter,
+    "dcqcn+win": CnpAdapter,
+    "timely": RttAdapter,
+    "timely+win": RttAdapter,
+    "dctcp": EcnAdapter,
+}
+
+
+def adapter_for(scheme: SchemeInfo, env: CcEnv, params: dict) -> RateAdapter:
+    """Build one flow's adapter around a fresh algorithm instance."""
+    try:
+        family = ADAPTER_FAMILIES[scheme.name]
+    except KeyError:
+        known = ", ".join(sorted(ADAPTER_FAMILIES))
+        raise ValueError(
+            f"scheme {scheme.name!r} has no fluid adapter; known: {known}"
+        ) from None
+    return family(env, scheme.make(env, params))
+
+
+def fluid_supported(name: str) -> bool:
+    """Whether a registered scheme can run on the fluid backend."""
+    get_scheme(name)                    # raise on unknown schemes
+    return name in ADAPTER_FAMILIES

@@ -1,0 +1,352 @@
+"""The fluid fast path: flow-level simulation in RTT-granularity steps.
+
+Where the packet engine processes one event per packet/ACK/credit, the
+:class:`FluidEngine` advances the whole network one RTT at a time:
+
+1. every active flow requests its CC-controlled rate (window-limited
+   schemes request ``min(rate, W/T)``);
+2. requested rates aggregate into per-link arrivals; oversubscribed
+   links throttle proportionally, and the throttle cascades along each
+   flow's path (an upstream bottleneck shields downstream links);
+3. link queues integrate ``(arrival - capacity) x dt``, and the
+   cumulative ``tx/rx`` byte registers advance — the same quantities an
+   INT switch reports;
+4. flows deliver ``achieved_rate x dt`` bytes and complete mid-step by
+   interpolation;
+5. each surviving flow's adapter replays one RTT of its scheme's packet
+   events (synthetic INT ACK, CNP stream, RTT echo, ECN marks) against
+   the *real* ``core/`` algorithm, producing next step's rate.
+
+Cost per step is ``O(sum of active path lengths)`` — independent of
+bandwidth, flow size and packet count, which is what buys the orders of
+magnitude on Figure-11-sized fabrics.  The trade-offs (no PFC, no
+per-packet loss/retransmission, smoothed sub-RTT transients) are listed
+in README's "Simulation backends".
+"""
+
+from __future__ import annotations
+
+from ..core.base import CcEnv
+from ..core.registry import get_scheme
+from ..sim.ecn import EcnConfig
+from ..sim.flow import FctRecord, FlowSpec
+from ..sim.packet import ACK_SIZE, BASE_HEADER, INT_OVERHEAD, IntHop
+from ..sim.units import MB
+from ..topology.base import Topology
+from .adapters import FluidClock, FlowProxy, RateAdapter, StepSignals, adapter_for
+from .state import FluidGraph, FluidPath
+
+_EPS = 1e-9
+
+
+class FluidFlow:
+    """One flow's fluid state: route, remaining bytes, CC adapter."""
+
+    __slots__ = (
+        "spec", "path", "proxy", "adapter", "line_rate", "ideal",
+        "remaining", "req", "achieved",
+    )
+
+    def __init__(
+        self,
+        spec: FlowSpec,
+        path: FluidPath,
+        proxy: FlowProxy,
+        adapter: RateAdapter,
+        line_rate: float,
+        ideal: float,
+        wire_bytes: float,
+    ) -> None:
+        self.spec = spec
+        self.path = path
+        self.proxy = proxy
+        self.adapter = adapter
+        self.line_rate = line_rate
+        self.ideal = ideal              # uncontended FCT, ns
+        self.remaining = wire_bytes     # wire bytes still to deliver
+        self.req = 0.0                  # requested rate this step
+        self.achieved = 0.0             # post-throttle rate this step
+
+
+class FluidEngine:
+    """Flow-level simulation of one topology + CC scheme.
+
+    Mirrors the :class:`~repro.network.Network` surface where it makes
+    sense: ``add_flows`` then ``run(deadline)``; results land in
+    ``fct_records`` (live :class:`FctRecord` objects, same as the packet
+    path's metrics hub would produce).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        cc_name: str = "hpcc",
+        cc_params: dict | None = None,
+        base_rtt: float | None = None,
+        mtu: int = 1000,
+        buffer_bytes: float = 32 * MB,
+        step: float | None = None,
+        sample_interval: float | None = None,
+    ) -> None:
+        self.topology = topology
+        self.scheme = get_scheme(cc_name)
+        self.cc_params = dict(cc_params or {})
+        self.mtu = mtu
+        self.header = BASE_HEADER + (INT_OVERHEAD if self.scheme.needs_int else 0)
+        self.wire_factor = (mtu + self.header) / mtu
+        self.base_rtt = (
+            base_rtt
+            if base_rtt is not None
+            else 1.05 * topology.base_rtt_estimate(mtu + self.header)
+        )
+        #: Step length: one base RTT by default — the cadence at which
+        #: every scheme in the paper reacts to feedback anyway.
+        self.step = step if step is not None else self.base_rtt
+        if self.step <= 0:
+            raise ValueError(f"step must be positive, got {self.step}")
+        self.graph = FluidGraph(topology, float(buffer_bytes))
+        self.clock = FluidClock()
+        self.now = 0.0
+        self.steps = 0
+        self.flow_steps = 0             # sum of active flows over steps
+        self.completed = False
+        self.fct_records: list[FctRecord] = []
+
+        self._starts: list[FluidFlow] = []      # sorted by start_time
+        self._next_idx = 0
+        self._active: list[FluidFlow] = []
+        self._sorted = True
+
+        ecn_policy = self.scheme.default_ecn(self.cc_params)
+        self._ecn_policy = ecn_policy
+        self._ecn_configs: dict[int, EcnConfig] = {}
+
+        self.sample_interval = sample_interval
+        self._last_sample = -float("inf")
+        self._sample_links = (
+            self.graph.switch_egress_links() if sample_interval is not None else []
+        )
+        self.queue_samples: dict[str, dict[str, list[float]]] = {
+            link.label: {"times": [], "qlens": []} for link in self._sample_links
+        }
+
+    # -- flow admission ----------------------------------------------------------
+
+    def add_flow(self, spec: FlowSpec) -> None:
+        line_rate = self.topology.host_rate(spec.src)
+        path = self.graph.path(
+            spec.flow_id, spec.src, spec.dst,
+            mtu_wire=self.mtu + self.header, ack_size=ACK_SIZE,
+        )
+        env = CcEnv(
+            sim=self.clock, line_rate=line_rate, base_rtt=self.base_rtt,
+            mtu=self.mtu, header=self.header,
+        )
+        adapter = adapter_for(self.scheme, env, self.cc_params)
+        proxy = FlowProxy()
+        adapter.install(proxy)
+        bottleneck = min(line_rate, self.topology.host_rate(spec.dst))
+        self._starts.append(FluidFlow(
+            spec, path, proxy, adapter, line_rate,
+            ideal=spec.size * self.wire_factor / bottleneck + path.base_rtt,
+            wire_bytes=spec.size * self.wire_factor,
+        ))
+        self._sorted = False
+
+    def add_flows(self, specs) -> None:
+        for spec in specs:
+            self.add_flow(spec)
+
+    # -- the step loop -----------------------------------------------------------
+
+    def run(self, deadline: float) -> bool:
+        """Advance until every flow finished or ``deadline`` (ns) hits.
+
+        Returns True when all flows completed.  Steps are ``self.step``
+        long, shortened to land exactly on the next flow arrival so
+        start times are honoured precisely.
+        """
+        if not self._sorted:
+            self._starts.sort(key=lambda f: (f.spec.start_time, f.spec.flow_id))
+            self._sorted = True
+        starts = self._starts
+        while self._active or self._next_idx < len(starts):
+            if not self._active:
+                nxt = starts[self._next_idx].spec.start_time
+                if nxt >= deadline:
+                    break
+                if nxt > self.now:
+                    self.now = nxt              # idle-period fast-forward
+            if self.now >= deadline - _EPS:
+                break
+            while (
+                self._next_idx < len(starts)
+                and starts[self._next_idx].spec.start_time <= self.now + _EPS
+            ):
+                self._active.append(starts[self._next_idx])
+                self._next_idx += 1
+            dt = self.step
+            if self._next_idx < len(starts):
+                dt = min(dt, starts[self._next_idx].spec.start_time - self.now)
+            dt = min(dt, deadline - self.now)
+            if dt <= _EPS:
+                dt = _EPS
+            self._advance(dt)
+        self.completed = not self._active and self._next_idx >= len(starts)
+        return self.completed
+
+    def _advance(self, dt: float) -> None:
+        active = self._active
+        # 1. requested rates (window-limited schemes pace at W/T).
+        for f in active:
+            r = f.proxy.rate
+            w = f.proxy.window
+            if w is not None:
+                paced = w / self.base_rtt
+                if paced < r:
+                    r = paced
+            if r > f.line_rate:
+                r = f.line_rate
+            f.req = r
+        # 2. per-link offered arrivals -> proportional throttle factors.
+        touched: dict[int, object] = {}
+        for f in active:
+            for link in f.path.links:
+                key = id(link)
+                if key not in touched:
+                    touched[key] = link
+                    link.arrival = 0.0
+                    link.throttled = 0.0
+                link.arrival += f.req
+        for link in touched.values():
+            link.scale = (
+                1.0 if link.arrival <= link.capacity
+                else link.capacity / link.arrival
+            )
+        # 3. cascade the throttle along each path (upstream bottlenecks
+        #    shield downstream links) and pin each flow's achieved rate.
+        for f in active:
+            s = 1.0
+            req = f.req
+            for link in f.path.links:
+                link.throttled += req * s
+                if link.scale < s:
+                    s = link.scale
+            f.achieved = req * s
+        # 4. integrate link state.  Only switch egress queues: a host's
+        #    own uplink is paced at the source (excess was throttled in
+        #    step 2/3), so it never queues or drops — matching the
+        #    packet NIC, which contributes no INT hop either.
+        for link in touched.values():
+            inflow = link.throttled * dt
+            tx = link.queue + inflow
+            cap = link.capacity * dt
+            if tx > cap:
+                tx = cap
+            link.tx_bytes += tx
+            link.rx_bytes += inflow
+            if not link.is_switch_egress:
+                continue
+            q = link.queue + inflow - tx
+            if q > link.buffer_bytes:
+                link.dropped_bytes += q - link.buffer_bytes
+                q = link.buffer_bytes
+            link.queue = q if q > _EPS else 0.0
+        # 5. deliver bytes; complete by interpolation; update CC.
+        start_t = self.now
+        self.now = start_t + dt
+        self.clock.now = self.now
+        survivors: list[FluidFlow] = []
+        for f in active:
+            delivered = f.achieved * dt
+            if delivered >= f.remaining - 1e-6:
+                t_send = f.remaining / f.achieved if f.achieved > 0 else dt
+                finish = (
+                    start_t + t_send
+                    + f.path.base_rtt + f.path.queue_delay()
+                )
+                f.remaining = 0.0
+                f.proxy.done = True
+                self.fct_records.append(FctRecord(
+                    spec=f.spec, start=f.spec.start_time, finish=finish,
+                    ideal=f.ideal,
+                ))
+            else:
+                f.remaining -= delivered
+                survivors.append(f)
+        self._active = survivors
+        for f in survivors:
+            f.adapter.update(f.proxy, self._signals(f, dt))
+        self.steps += 1
+        self.flow_steps += len(active)
+        if (
+            self.sample_interval is not None
+            and self.now - self._last_sample >= self.sample_interval
+        ):
+            self._last_sample = self.now
+            for link in self._sample_links:
+                series = self.queue_samples[link.label]
+                series["times"].append(self.now)
+                series["qlens"].append(link.queue)
+
+    # -- per-flow feedback -------------------------------------------------------
+
+    def _signals(self, f: FluidFlow, dt: float) -> StepSignals:
+        delivered = f.achieved * dt
+        hops: list[IntHop] = []
+        if self.scheme.needs_int:
+            hops = [
+                IntHop(
+                    bandwidth=link.capacity, ts=self.now,
+                    tx_bytes=link.tx_bytes, qlen=link.queue,
+                    rx_bytes=link.rx_bytes,
+                )
+                for link in f.path.int_links
+            ]
+        mark_prob = 0.0
+        if self._ecn_policy is not None:
+            clear = 1.0
+            for link in f.path.int_links:
+                key = id(link)
+                config = self._ecn_configs.get(key)
+                if config is None:
+                    config = self._ecn_policy.for_rate(link.capacity)
+                    self._ecn_configs[key] = config
+                p = _marking_probability(config, link.queue)
+                if p > 0.0:
+                    clear *= 1.0 - p
+            mark_prob = 1.0 - clear
+        rtt = f.path.base_rtt + f.path.queue_delay()
+        return StepSignals(
+            hops=hops, rtt=rtt, mark_prob=mark_prob,
+            delivered=delivered, now=self.now, dt=dt,
+        )
+
+    # -- results -----------------------------------------------------------------
+
+    def ideal_fct(self, spec: FlowSpec) -> float:
+        """Uncontended FCT, the packet path's formula: line-rate transmit
+        plus the pair's base RTT (store-and-forward out, ACK back).
+        Admitted flows carry this precomputed as ``FluidFlow.ideal``."""
+        rate = min(
+            self.topology.host_rate(spec.src), self.topology.host_rate(spec.dst)
+        )
+        path = self.graph.path(
+            spec.flow_id, spec.src, spec.dst,
+            mtu_wire=self.mtu + self.header, ack_size=ACK_SIZE,
+        )
+        return spec.size * self.wire_factor / rate + path.base_rtt
+
+    def dropped_bytes(self) -> float:
+        return sum(l.dropped_bytes for l in self.graph.links.values())
+
+    def switch_queued_bytes(self) -> dict[int, float]:
+        return self.graph.total_queued_bytes()
+
+
+def _marking_probability(config: EcnConfig, qlen: float) -> float:
+    if qlen <= config.kmin:
+        return 0.0
+    if qlen >= config.kmax:
+        return 1.0
+    return config.pmax * (qlen - config.kmin) / (config.kmax - config.kmin)

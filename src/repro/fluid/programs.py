@@ -1,0 +1,152 @@
+"""Fluid-backend scenario programs: the same specs, a different engine.
+
+These mirror the ``load`` and ``flows`` programs of
+``repro.runner.execute`` but run on :class:`FluidEngine`.  Everything
+upstream (topology factory, workload CDF, Poisson/incast flow
+generation) and downstream (the :class:`RunRecord` payload shape) is
+shared with the packet path, so figure post-processing — slowdown
+buckets, queue series, summary CSVs — works unchanged on fluid records.
+
+What fluid cannot express is rejected or zeroed, never faked:
+
+* mid-run link events (failover) raise — rerouting live fluid rates is
+  out of scope for this backend;
+* PFC pause telemetry reports zero (the model is lossless and
+  pause-free by construction);
+* ``NetworkConfig`` knobs with no fluid meaning (``transport``,
+  ``pfc_enabled``, ...) are recorded under ``extras["fluid_ignored_config"]``
+  so a record always says what it did not model.
+"""
+
+from __future__ import annotations
+
+from ..runner.execute import build_topology, workload_cdf
+from ..runner.harness import generate_load_flows
+from ..runner.results import RunRecord
+from ..runner.spec import ScenarioSpec
+from ..sim.flow import FlowSpec
+from ..sim.units import MB
+from ..topology.base import Topology
+from .engine import FluidEngine
+
+
+def _make_engine(
+    topology: Topology, spec: ScenarioSpec
+) -> tuple[FluidEngine, list[str]]:
+    config = dict(spec.config)
+    engine = FluidEngine(
+        topology,
+        cc_name=spec.cc.name,
+        cc_params=spec.cc.params,
+        base_rtt=config.pop("base_rtt", None),
+        mtu=config.pop("mtu", 1000),
+        buffer_bytes=config.pop("buffer_bytes", 32 * MB),
+        step=config.pop("fluid_step", None),
+        sample_interval=spec.measure.get("sample_interval"),
+    )
+    return engine, sorted(config)       # leftovers have no fluid meaning
+
+
+def _record(
+    spec: ScenarioSpec,
+    engine: FluidEngine,
+    completed: bool,
+    ignored_config: list[str],
+) -> RunRecord:
+    packet_wire = engine.mtu + engine.header
+    extras: dict = {
+        "n_hosts": engine.topology.n_hosts,
+        "header_bytes": engine.header,
+        "drops": int(engine.dropped_bytes() / packet_wire),
+        "pause_count": 0,
+        "pause_total_ns": 0.0,
+        "switch_queued_bytes": {
+            str(sw): int(q) for sw, q in engine.switch_queued_bytes().items()
+        },
+        "fluid_steps": engine.steps,
+        "fluid_flow_steps": engine.flow_steps,
+    }
+    if ignored_config:
+        extras["fluid_ignored_config"] = ignored_config
+    return RunRecord(
+        spec=spec,
+        fct=[
+            {
+                "flow_id": r.spec.flow_id, "src": r.spec.src, "dst": r.spec.dst,
+                "size": r.spec.size, "start_time": r.spec.start_time,
+                "tag": r.spec.tag, "start": r.start, "finish": r.finish,
+                "ideal": r.ideal,
+            }
+            for r in engine.fct_records
+        ],
+        queues={
+            label: {"times": list(s["times"]), "qlens": list(s["qlens"])}
+            for label, s in engine.queue_samples.items()
+        },
+        extras=extras,
+        events_processed=engine.steps,
+        duration_ns=engine.now,
+        completed=completed,
+    )
+
+
+def _run_load_fluid(spec: ScenarioSpec) -> RunRecord:
+    """Fluid twin of the packet ``load`` program.
+
+    The flow population (Poisson background + incast bursts) is generated
+    by the *same* code with the same seed, so a packet and a fluid run of
+    one spec simulate the identical offered workload.
+    """
+    topology = build_topology(spec)
+    engine, ignored = _make_engine(topology, spec)
+    workload = spec.workload
+    flows, duration = generate_load_flows(
+        topology, workload_cdf(workload),
+        load=workload["load"], n_flows=workload["n_flows"],
+        seed=spec.seed, wire_overhead=engine.wire_factor,
+        incast=workload.get("incast"),
+    )
+    engine.add_flows(flows)
+    completed = engine.run(
+        deadline=duration * workload.get("deadline_factor", 2.5)
+    )
+    return _record(spec, engine, completed, ignored)
+
+
+def _run_flows_fluid(spec: ScenarioSpec) -> RunRecord:
+    """Fluid twin of the packet ``flows`` program (no link events)."""
+    if spec.workload.get("events"):
+        raise ValueError(
+            "link events are not supported on the fluid backend; "
+            "run failover scenarios with backend='packet'"
+        )
+    topology = build_topology(spec)
+    engine, ignored = _make_engine(topology, spec)
+    flow_specs = [
+        FlowSpec(
+            flow_id=i, src=entry[0], dst=entry[1], size=entry[2],
+            start_time=entry[3] if len(entry) > 3 else 0.0,
+            tag=entry[4] if len(entry) > 4 else "bg",
+        )
+        for i, entry in enumerate(spec.workload["flows"], start=1)
+    ]
+    engine.add_flows(flow_specs)
+    completed = engine.run(deadline=spec.workload["deadline"])
+    record = _record(spec, engine, completed, ignored)
+    flow_ids: dict[str, list[int]] = {}
+    for fs in flow_specs:
+        flow_ids.setdefault(fs.tag, []).append(fs.flow_id)
+    record.extras["flow_ids"] = flow_ids
+    if spec.measure.get("windows"):
+        record.extras["final_windows"] = {
+            str(f.spec.flow_id): f.proxy.window for f in engine._starts
+        }
+    return record
+
+
+#: Program name -> fluid implementation.  The analytic appendix programs
+#: are backend-independent; ``execute_spec`` reuses the packet entries.
+FLUID_PROGRAMS = {
+    "load": _run_load_fluid,
+    "flows": _run_flows_fluid,
+}

@@ -1,0 +1,160 @@
+"""Fluid network state: directed links, flow paths, the routed graph.
+
+The fluid backend abandons packets entirely.  A :class:`FluidLink` is a
+directed edge carrying an *aggregate byte rate*; its egress queue is a
+real number integrated forward in time (``q += (arrival - capacity) x
+dt``), and its cumulative ``tx_bytes``/``rx_bytes`` counters are exactly
+the registers an INT-capable switch would expose — which is how the HPCC
+adapter computes Eqn (2)'s ``qlen``/``txRate`` inputs analytically
+instead of reading them off packet telemetry.
+
+Paths are fixed per flow, chosen with the same deterministic
+ECMP-by-hash discipline as the packet simulator: at every switch the
+next hop is drawn from the neighbours one BFS hop closer to the
+destination, keyed by ``(flow_id, src, dst, node)``.  Parallel links
+between the same node pair are aggregated into one fluid link with the
+summed capacity — fluid rates have no notion of per-member hashing.
+"""
+
+from __future__ import annotations
+
+from ..sim.routing import bfs_distances, ecmp_hash
+from ..topology.base import Topology
+
+
+class FluidLink:
+    """One directed edge of the fluid network.
+
+    ``queue`` only ever grows on switch egress (``is_switch_egress``);
+    a host's own uplink is paced at the source, so oversubscription
+    there is resolved by rate throttling, not queueing — mirroring the
+    packet NIC, which never contributes INT hops either.
+    """
+
+    __slots__ = (
+        "a", "b", "capacity", "delay", "is_switch_egress", "buffer_bytes",
+        "queue", "tx_bytes", "rx_bytes", "dropped_bytes",
+        "arrival", "throttled", "scale",
+    )
+
+    def __init__(
+        self,
+        a: int,
+        b: int,
+        capacity: float,
+        delay: float,
+        is_switch_egress: bool,
+        buffer_bytes: float,
+    ) -> None:
+        self.a = a
+        self.b = b
+        self.capacity = capacity        # bytes/ns
+        self.delay = delay              # propagation, ns
+        self.is_switch_egress = is_switch_egress
+        self.buffer_bytes = buffer_bytes
+        self.queue = 0.0                # bytes
+        self.tx_bytes = 0.0             # cumulative bytes emitted
+        self.rx_bytes = 0.0             # cumulative bytes offered
+        self.dropped_bytes = 0.0        # fluid lost to buffer overflow
+        # Per-step scratch registers (owned by the engine's step loop).
+        self.arrival = 0.0
+        self.throttled = 0.0
+        self.scale = 1.0
+
+    @property
+    def label(self) -> str:
+        return f"sw{self.a}->{self.b}"
+
+    def queue_delay(self) -> float:
+        return self.queue / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FluidLink({self.a}->{self.b} cap={self.capacity:.3f}B/ns "
+            f"q={self.queue:.0f})"
+        )
+
+
+class FluidPath:
+    """A flow's fixed route: the links it loads, plus latency summaries."""
+
+    __slots__ = ("links", "int_links", "base_rtt", "mtu_latency")
+
+    def __init__(self, links: list[FluidLink], mtu_wire: int, ack_size: int) -> None:
+        self.links = links
+        # INT telemetry comes from switch egress ports only, exactly as
+        # in the packet simulator (hosts do not append hops).
+        self.int_links = [l for l in links if l.is_switch_egress]
+        # Uncontended round trip: full-MTU store-and-forward out, an
+        # ACK-sized frame back — the ``Network.pair_base_rtt`` formula.
+        forward = sum(l.delay + mtu_wire / l.capacity for l in links)
+        backward = sum(l.delay + ack_size / l.capacity for l in links)
+        self.base_rtt = forward + backward
+        self.mtu_latency = forward
+
+    def queue_delay(self) -> float:
+        return sum(l.queue / l.capacity for l in self.links)
+
+
+class FluidGraph:
+    """The routed fluid network built from a :class:`Topology`."""
+
+    def __init__(self, topology: Topology, buffer_bytes: float) -> None:
+        self.topology = topology
+        self.links: dict[tuple[int, int], FluidLink] = {}
+        for spec in topology.links:
+            for a, b in ((spec.a, spec.b), (spec.b, spec.a)):
+                existing = self.links.get((a, b))
+                if existing is not None:
+                    existing.capacity += spec.rate     # parallel links pool
+                else:
+                    self.links[(a, b)] = FluidLink(
+                        a, b, spec.rate, spec.delay,
+                        is_switch_egress=not topology.is_host(a),
+                        buffer_bytes=buffer_bytes,
+                    )
+        self._adjacency = topology.adjacency()
+        self._dist_to: dict[int, dict[int, int]] = {}
+
+    def _distances(self, dst: int) -> dict[int, int]:
+        dist = self._dist_to.get(dst)
+        if dist is None:
+            dist = bfs_distances(self.topology, dst)
+            self._dist_to[dst] = dist
+        return dist
+
+    def path(self, flow_id: int, src: int, dst: int,
+             mtu_wire: int, ack_size: int) -> FluidPath:
+        """The flow's ECMP route as a list of fluid links."""
+        dist = self._distances(dst)
+        if src not in dist:
+            raise ValueError(f"no route from {src} to {dst}")
+        links: list[FluidLink] = []
+        node = src
+        while node != dst:
+            candidates = sorted(
+                peer for peer, _ in self._adjacency[node]
+                if dist.get(peer, -1) == dist[node] - 1
+            )
+            if not candidates:
+                raise ValueError(f"no route from {src} to {dst} at {node}")
+            if len(candidates) == 1:
+                peer = candidates[0]
+            else:
+                peer = candidates[
+                    ecmp_hash(flow_id, src, dst, node) % len(candidates)
+                ]
+            links.append(self.links[(node, peer)])
+            node = peer
+        return FluidPath(links, mtu_wire, ack_size)
+
+    def switch_egress_links(self) -> list[FluidLink]:
+        return [l for l in self.links.values() if l.is_switch_egress]
+
+    def total_queued_bytes(self) -> dict[int, float]:
+        """Bytes queued per switch (mirrors ``switch_queued_bytes``)."""
+        queued: dict[int, float] = {}
+        for link in self.links.values():
+            if link.is_switch_egress and link.queue > 0:
+                queued[link.a] = queued.get(link.a, 0.0) + link.queue
+        return queued

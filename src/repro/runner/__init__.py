@@ -22,9 +22,16 @@ from .execute import (
     execute_spec,
     workload_cdf,
 )
-from .harness import RunResult, load_experiment, run_workload, setup_network
+from .harness import (
+    RunResult,
+    generate_load_flows,
+    load_experiment,
+    run_workload,
+    setup_network,
+)
 from .results import RunCache, RunRecord, write_records_csv
 from .spec import (
+    BACKENDS,
     CcChoice,
     ScenarioGrid,
     ScenarioSpec,
@@ -34,6 +41,7 @@ from .spec import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CDFS",
     "CcChoice",
     "PROGRAMS",
@@ -48,6 +56,7 @@ __all__ = [
     "build_topology",
     "cc_axis",
     "execute_spec",
+    "generate_load_flows",
     "workload_cdf",
     "load_experiment",
     "run_workload",

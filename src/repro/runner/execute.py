@@ -333,15 +333,30 @@ PROGRAMS: dict[str, Callable[[ScenarioSpec], RunRecord]] = {
 }
 
 
-def execute_spec(spec: ScenarioSpec) -> RunRecord:
-    """Run one scenario to completion (the process-pool work unit)."""
-    try:
-        program = PROGRAMS[spec.program]
-    except KeyError:
+def _resolve_program(spec: ScenarioSpec) -> Callable[[ScenarioSpec], RunRecord]:
+    """The implementation of ``spec.program`` on ``spec.backend``.
+
+    The fluid backend overrides the network programs (``load``/``flows``)
+    with ``repro.fluid`` twins; the analytic appendix programs never
+    touch the packet engine, so both backends share them.  Imported
+    lazily to keep ``repro.runner`` importable without ``repro.fluid``
+    (and vice versa).
+    """
+    if spec.program not in PROGRAMS:
         known = ", ".join(sorted(PROGRAMS))
         raise ValueError(
             f"unknown program {spec.program!r}; known: {known}"
-        ) from None
+        )
+    if spec.backend == "fluid":
+        from ..fluid.programs import FLUID_PROGRAMS
+
+        return FLUID_PROGRAMS.get(spec.program, PROGRAMS[spec.program])
+    return PROGRAMS[spec.program]
+
+
+def execute_spec(spec: ScenarioSpec) -> RunRecord:
+    """Run one scenario to completion (the process-pool work unit)."""
+    program = _resolve_program(spec)
     started = time.perf_counter()
     record = program(spec)
     record.wall_time_s = time.perf_counter() - started

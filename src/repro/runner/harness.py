@@ -76,6 +76,46 @@ def run_workload(
     )
 
 
+def generate_load_flows(
+    topology: Topology,
+    cdf,
+    load: float,
+    n_flows: int,
+    seed: int,
+    wire_overhead: float,
+    incast: dict | None = None,
+) -> tuple[list[FlowSpec], float]:
+    """The load-program workload: Poisson background + optional incasts.
+
+    Returns ``(flow specs, workload duration)``.  Both execution backends
+    call this with the same arguments, so a packet and a fluid run of one
+    scenario offer the *identical* flow population — which is what makes
+    cross-backend validation of goodput shares meaningful.
+    """
+    from ..workloads.generator import poisson_flows
+    from ..workloads.incast import incast_events, incast_period_for_load
+
+    rates = {h: topology.host_rate(h) for h in topology.hosts}
+    total_capacity = sum(rates.values())
+    flow_rate = load * total_capacity / (cdf.mean() * wire_overhead)  # flows/ns
+    duration = n_flows / flow_rate
+    specs = poisson_flows(
+        list(topology.hosts), rates, cdf, load, duration,
+        seed=seed, wire_overhead=wire_overhead,
+    )
+    if incast is not None:
+        period = incast_period_for_load(
+            incast["fan_in"], incast["flow_size"], incast["load"], total_capacity
+        )
+        n_events = max(1, int(duration / period))
+        specs += incast_events(
+            list(topology.hosts), incast["fan_in"], incast["flow_size"],
+            n_events, period, seed=seed + 13,
+            start_offset=period / 2,
+        )
+    return specs, duration
+
+
 def load_experiment(
     topology: Topology,
     cc: CcChoice,
@@ -95,29 +135,12 @@ def load_experiment(
     adds synchronized bursts (keys: fan_in, flow_size, load).  The run gets
     ``deadline_factor`` times the workload duration to drain.
     """
-    from ..workloads.generator import poisson_flows
-    from ..workloads.incast import incast_events, incast_period_for_load
-
     net = setup_network(topology, cc, base_rtt=base_rtt, seed=seed, **config_kwargs)
-    rates = {h: topology.host_rate(h) for h in topology.hosts}
-    total_capacity = sum(rates.values())
     wire = (net.config.mtu + net.header) / net.config.mtu
-    flow_rate = load * total_capacity / (cdf.mean() * wire)     # flows per ns
-    duration = n_flows / flow_rate
-    specs = poisson_flows(
-        list(topology.hosts), rates, cdf, load, duration,
-        seed=seed, wire_overhead=wire,
+    specs, duration = generate_load_flows(
+        topology, cdf, load=load, n_flows=n_flows,
+        seed=seed, wire_overhead=wire, incast=incast,
     )
-    if incast is not None:
-        period = incast_period_for_load(
-            incast["fan_in"], incast["flow_size"], incast["load"], total_capacity
-        )
-        n_events = max(1, int(duration / period))
-        specs += incast_events(
-            list(topology.hosts), incast["fan_in"], incast["flow_size"],
-            n_events, period, seed=seed + 13,
-            start_offset=period / 2,
-        )
     return run_workload(
         net, specs, deadline=duration * deadline_factor,
         sample_interval=sample_interval,

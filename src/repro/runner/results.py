@@ -247,3 +247,27 @@ class RunCache:
             entry.unlink()
             removed += 1
         return removed
+
+    def stats(self) -> dict:
+        """Cache accounting: entry/byte totals plus a (backend, program)
+        breakdown — what ``hpcc-repro cache stats`` prints."""
+        entries = 0
+        total_bytes = 0
+        corrupt = 0
+        by_kind: dict[tuple[str, str], int] = {}
+        for path in self.root.glob("*.json"):
+            entries += 1
+            total_bytes += path.stat().st_size
+            try:
+                spec = json.loads(path.read_text()).get("spec", {})
+            except (json.JSONDecodeError, OSError):
+                corrupt += 1
+                continue
+            key = (spec.get("backend", "packet"), spec.get("program", "?"))
+            by_kind[key] = by_kind.get(key, 0) + 1
+        return {
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "by_kind": by_kind,
+            "corrupt": corrupt,
+        }

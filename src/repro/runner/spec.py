@@ -53,11 +53,15 @@ class CcChoice:
 
 # Fields that determine what a run computes.  ``label`` and ``meta`` are
 # presentation/grouping only: two specs differing only there produce the
-# same results, share a cache entry and compare equal.
+# same results, share a cache entry and compare equal.  ``backend`` IS
+# identity: a packet and a fluid run of the same scenario compute
+# different things and must never share a cache entry.
 _IDENTITY_FIELDS = (
     "program", "topology", "topology_params", "cc",
-    "workload", "config", "measure", "seed", "scale",
+    "workload", "config", "measure", "seed", "scale", "backend",
 )
+
+BACKENDS = ("packet", "fluid")
 
 
 @dataclass(frozen=True, eq=False)
@@ -77,6 +81,10 @@ class ScenarioSpec:
     overrides (``base_rtt``, ``buffer_bytes``, ``transport``, ...);
     ``measure`` declares what to record (queue sampling, pause intervals,
     final windows); ``meta`` carries consumer-side grouping keys.
+
+    ``backend`` selects the execution engine: ``"packet"`` (the
+    discrete-event simulator) or ``"fluid"`` (the flow-level fast path in
+    ``repro.fluid``).  It is part of the spec's identity hash.
     """
 
     program: str
@@ -88,8 +96,16 @@ class ScenarioSpec:
     measure: dict = field(default_factory=dict)
     seed: int = 1
     scale: str = "bench"
+    backend: str = "packet"
     label: str = ""
     meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            known = ", ".join(BACKENDS)
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: {known}"
+            )
 
     # -- identity --------------------------------------------------------------
 

@@ -133,3 +133,72 @@ class TestSweep:
     def test_sweep_unknown_experiment_exits(self, tmp_path):
         with pytest.raises(SystemExit, match="unknown experiment"):
             main(["sweep", "fig99", "--out", str(tmp_path)])
+
+    def test_sweep_progress_ticks_on_stderr(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        assert main(["sweep", "tiny", "--out", str(tmp_path / "r")]) == 0
+        captured = capsys.readouterr()
+        assert "[1/2]" in captured.err and "[2/2]" in captured.err
+        assert "[1/2]" not in captured.out          # summary only on stdout
+
+    def test_sweep_quiet_suppresses_ticker(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        assert main(["sweep", "tiny", "--quiet",
+                     "--out", str(tmp_path / "r")]) == 0
+        captured = capsys.readouterr()
+        assert "[1/2]" not in captured.err
+        assert "2 scenarios" in captured.out
+
+    def test_sweep_backend_fluid(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        out = tmp_path / "results"
+        assert main(["sweep", "tiny", "--backend", "fluid",
+                     "--out", str(out)]) == 0
+        assert "2 scenarios (0 cached)" in capsys.readouterr().out
+        payloads = [json.loads(p.read_text()) for p in out.glob("*.json")]
+        assert all(p["spec"]["backend"] == "fluid" for p in payloads)
+        # Fluid and packet sweeps of the same grid coexist in one cache.
+        assert main(["sweep", "tiny", "--out", str(out)]) == 0
+        assert "2 scenarios (0 cached)" in capsys.readouterr().out
+        assert len(list(out.glob("*.json"))) == 4
+
+
+class TestRunBackend:
+    def test_run_fluid_prints_summary(self, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        assert main(["run", "tiny", "--backend", "fluid", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "fluid backend" in out
+        assert "tiny" in out and "tiny2" in out
+
+    def test_run_packet_still_dispatches_to_main(self, monkeypatch):
+        called = []
+        stub = SimpleNamespace(main=lambda scale: called.append(scale))
+        monkeypatch.setitem(EXPERIMENTS, "fig13", ("stub", stub))
+        assert main(["run", "fig13", "--backend", "packet"]) == 0
+        assert called == ["bench"]
+
+
+class TestCache:
+    def test_stats_and_clear(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        out = tmp_path / "results"
+        assert main(["sweep", "tiny", "--quiet", "--out", str(out)]) == 0
+        assert main(["sweep", "tiny", "--backend", "fluid", "--quiet",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--dir", str(out)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "4 records" in stats_out
+        assert "packet" in stats_out and "fluid" in stats_out
+
+        assert main(["cache", "clear", "--dir", str(out)]) == 0
+        assert "removed 4" in capsys.readouterr().out
+        assert not list(out.glob("*.json"))
+
+    def test_missing_directory_fails(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--dir", str(tmp_path / "nope")]) == 1
+        assert "no cache directory" in capsys.readouterr().out

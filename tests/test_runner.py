@@ -96,6 +96,28 @@ class TestScenarioSpec:
         with pytest.raises(TypeError):
             tiny_load_spec(**{"seed.x": 1})
 
+    def test_backend_is_identity(self):
+        """Packet and fluid runs of one scenario must never share a hash."""
+        packet = tiny_load_spec()
+        fluid = tiny_load_spec(backend="fluid")
+        assert packet.backend == "packet"
+        assert packet != fluid
+        assert packet.spec_hash != fluid.spec_hash
+
+    def test_backend_json_roundtrip_and_legacy_default(self):
+        spec = tiny_load_spec(backend="fluid")
+        payload = spec.to_json()
+        assert payload["backend"] == "fluid"
+        assert ScenarioSpec.from_json(payload) == spec
+        # Records persisted before the backend axis existed load as packet.
+        legacy = tiny_load_spec().to_json()
+        del legacy["backend"]
+        assert ScenarioSpec.from_json(legacy).backend == "packet"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            tiny_load_spec(backend="quantum")
+
     def test_build_topology_unknown_name(self):
         with pytest.raises(ValueError, match="unknown topology"):
             build_topology(tiny_load_spec(topology="moebius"))
@@ -184,6 +206,17 @@ class TestExecution:
         # Reconstructed trackers behave identically.
         assert back.goodput().total_series() == record.goodput().total_series()
 
+    def test_record_json_roundtrip_carries_backend(self):
+        """Round-trip must preserve the backend on both execution paths."""
+        for backend in ("packet", "fluid"):
+            record = execute_spec(tiny_flows_spec(backend=backend))
+            payload = json.loads(json.dumps(record.to_json()))
+            assert payload["spec"]["backend"] == backend
+            back = RunRecord.from_json(payload)
+            assert back.spec.backend == backend
+            assert back.spec == record.spec
+            assert back.fct == record.fct
+
 
 class TestRunCache:
     def test_miss_compute_hit(self, tmp_path):
@@ -221,6 +254,36 @@ class TestRunCache:
         cache = RunCache(tmp_path)
         SweepRunner(cache=cache).run([tiny_flows_spec()])
         assert cache.clear() == 1 and len(cache) == 0
+
+    def test_backends_cached_separately(self, tmp_path):
+        """A fluid run must never satisfy a packet lookup or vice versa."""
+        cache = RunCache(tmp_path)
+        packet, fluid = tiny_flows_spec(), tiny_flows_spec(backend="fluid")
+        [packet_record] = SweepRunner(cache=cache).run([packet])
+        assert cache.get(fluid) is None            # no cross-backend hit
+        [fluid_record] = SweepRunner(cache=cache).run([fluid])
+        assert not fluid_record.cached
+        assert len(cache) == 2
+        # Both entries hit independently afterwards.
+        assert cache.get(packet).cached and cache.get(fluid).cached
+        assert cache.get(packet).spec.backend == "packet"
+        assert cache.get(fluid).spec.backend == "fluid"
+
+    def test_stats_breaks_down_by_backend(self, tmp_path):
+        cache = RunCache(tmp_path)
+        SweepRunner(cache=cache).run(
+            [tiny_flows_spec(), tiny_flows_spec(backend="fluid"),
+             tiny_load_spec()]
+        )
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] > 0
+        assert stats["corrupt"] == 0
+        assert stats["by_kind"] == {
+            ("packet", "flows"): 1,
+            ("fluid", "flows"): 1,
+            ("packet", "load"): 1,
+        }
 
 
 class TestSweepRunner:
