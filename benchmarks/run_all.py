@@ -14,8 +14,9 @@ Usage::
     PYTHONPATH=src python benchmarks/run_all.py --only fig02,fluid_vs_packet
     PYTHONPATH=src python benchmarks/run_all.py --list
 
-The registry is ordered fastest-first, so ``--fastest N`` doubles as a
-cheap import/API-rot canary for CI.
+The registry pins the substrate-throughput microbench first and orders
+the experiments cheapest-first after it, so ``--fastest N`` doubles as a
+cheap import/API-rot + engine-throughput canary for CI.
 """
 
 from __future__ import annotations
@@ -25,6 +26,23 @@ import json
 import platform
 import sys
 import time
+
+
+def _engine_events():
+    """Raw event-loop throughput (the substrate number every packet-level
+    experiment divides by).  Mirrors bench_engine.py's chain workload."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+
+    def chain(remaining):
+        if remaining:
+            sim.schedule(1.0, chain, remaining - 1)
+
+    chain(200_000)
+    sim.run()
+    assert sim.events_processed == 200_000
+    return sim.events_processed
 
 
 def _appendix_a1():
@@ -107,9 +125,11 @@ def _fluid_vs_packet():
     return run_comparison()
 
 
-# name -> (workload, parameter note).  Ordered fastest-first: the first
-# N entries are what CI's benchmark smoke step runs.
+# name -> (workload, parameter note).  Ordered cheapest-first — except
+# engine_events, pinned to the front so CI's `--fastest N` smoke always
+# tracks raw substrate throughput alongside the cheapest experiment.
 REGISTRY: dict[str, tuple] = {
+    "engine_events": (_engine_events, {"events": 200_000}),
     "appendix_a1": (_appendix_a1, {"n_sources": 50, "rho": 0.95}),
     "appendix_a2": (_appendix_a2, {"n_trials": 50}),
     "fig06": (_fig06, {"scale": "bench"}),
@@ -160,7 +180,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list benchmark names and exit"
     )
+    parser.add_argument(
+        "--note", action="append", default=[], metavar="KEY=VALUE",
+        help="annotate the JSON payload (repeatable); used to record "
+             "before/after numbers alongside a PR's snapshot",
+    )
     args = parser.parse_args(argv)
+
+    notes = {}
+    for item in args.note:
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"bad --note {item!r}; expected KEY=VALUE", file=sys.stderr)
+            return 1
+        notes[key] = value
 
     if args.list:
         for name in REGISTRY:
@@ -183,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
         "platform": platform.platform(),
         "results": run_benches(names),
     }
+    if notes:
+        payload["notes"] = notes
     text = json.dumps(payload, indent=2, sort_keys=True)
     if args.json:
         with open(args.json, "w") as handle:

@@ -174,6 +174,12 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if args.profile:
+        return _profiled(args)
+    return _run_experiment(args)
+
+
+def _run_experiment(args) -> int:
     key = _resolve(args.experiment)
     module = EXPERIMENTS[key][1]
     if args.backend == "packet":
@@ -209,6 +215,30 @@ def _cmd_run(args) -> int:
         rows, title=f"{key} on the fluid backend ({args.scale} scale)",
     ))
     return 0
+
+
+def _profiled(args) -> int:
+    """Run the experiment under cProfile; print the top cumulative table.
+
+    This is the profiling recipe behind the engine's perf work (see
+    README "Performance"): `hpcc-repro run fig11 --profile` answers
+    "where do the cycles go" without any harness editing.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = _run_experiment(args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print(f"\n--- cProfile: top {args.profile_limit} by cumulative time ---",
+              file=sys.stderr)
+        stats.print_stats(args.profile_limit)
+    return status
 
 
 def _cmd_cache(args) -> int:
@@ -259,6 +289,14 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument(
         "--quiet", action="store_true",
         help="suppress the per-scenario progress ticker (fluid backend)",
+    )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the hottest functions to stderr",
+    )
+    run.add_argument(
+        "--profile-limit", type=_positive_int, default=25, metavar="N",
+        help="rows in the --profile table (default 25)",
     )
 
     sweep = sub.add_parser(

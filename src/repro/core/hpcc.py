@@ -118,4 +118,18 @@ class Hpcc(CcAlgorithm):
             flow.rate = self.clamp_rate(flow.window / self.env.base_rtt)
         if update_wc:
             self.last_update_seq = flow.snd_nxt
-        self.last_hops = [h.copy() for h in ack.int_hops]
+        self._remember_hops(ack.int_hops)
+
+    def _remember_hops(self, hops: list[IntHop]) -> None:
+        """Snapshot L (Algorithm 1) without allocating in steady state.
+
+        The ACK's hop records are recycled by the NIC right after this
+        callback returns, so the snapshot must be a copy — but the
+        previous snapshot's records can be overwritten in place once the
+        path length is stable."""
+        last = self.last_hops
+        if last is not None and len(last) == len(hops):
+            for mine, fresh in zip(last, hops):
+                mine.copy_from(fresh)
+        else:
+            self.last_hops = [h.copy() for h in hops]

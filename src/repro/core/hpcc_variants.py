@@ -30,7 +30,7 @@ class HpccPerAck(Hpcc):
             w = self.compute_wind(u, update_wc=True)
             flow.window = self.clamp_window(w)
             flow.rate = self.clamp_rate(flow.window / self.env.base_rtt)
-        self.last_hops = [h.copy() for h in ack.int_hops]
+        self._remember_hops(ack.int_hops)
 
 
 class HpccPerRtt(Hpcc):
@@ -47,7 +47,7 @@ class HpccPerRtt(Hpcc):
             flow.rate = self.clamp_rate(flow.window / self.env.base_rtt)
         if update:
             self.last_update_seq = flow.snd_nxt
-        self.last_hops = [h.copy() for h in ack.int_hops]
+        self._remember_hops(ack.int_hops)
 
 
 class HpccRxRate(Hpcc):

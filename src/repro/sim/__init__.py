@@ -2,7 +2,7 @@
 
 from .buffer import BufferConfig, SharedBuffer
 from .ecn import EcnConfig, EcnMarker, EcnPolicy
-from .engine import Event, PeriodicTask, SimulationError, Simulator
+from .engine import PeriodicTask, SimulationError, Simulator, Timer
 from .flow import FctRecord, FlowSpec, FlowTable
 from .link import Link
 from .nic import HostNic, NicConfig
@@ -18,7 +18,6 @@ __all__ = [
     "EcnMarker",
     "EcnPolicy",
     "EgressPort",
-    "Event",
     "FctRecord",
     "FlowSpec",
     "FlowTable",
@@ -39,4 +38,5 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Switch",
+    "Timer",
 ]

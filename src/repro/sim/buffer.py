@@ -44,10 +44,15 @@ class SharedBuffer:
         self._egress: dict[int, int] = defaultdict(int)
         self.drops = 0
         self.peak_used = 0
+        # BufferConfig is frozen: snapshot what the per-packet path reads.
+        self._total = config.total_bytes
+        self._lossy = config.lossy
+        self._alpha = config.dynamic_alpha
 
     @property
     def free_bytes(self) -> int:
-        return max(0, self.config.total_bytes - self.used)
+        free = self._total - self.used
+        return free if free > 0 else 0
 
     def ingress_usage(self, in_port: int, priority: int = 0) -> int:
         return self._ingress[(in_port, priority)]
@@ -57,13 +62,13 @@ class SharedBuffer:
 
     def egress_limit(self) -> float:
         """Dynamic-threshold cap for any one egress queue (lossy mode)."""
-        return self.config.dynamic_alpha * self.free_bytes
+        return self._alpha * self.free_bytes
 
     def admits(self, out_port: int, size: int) -> bool:
         """Would a packet of ``size`` bytes bound for ``out_port`` be accepted?"""
-        if self.used + size > self.config.total_bytes:
+        if self.used + size > self._total:
             return False
-        if self.config.lossy and self._egress[out_port] + size > self.egress_limit():
+        if self._lossy and self._egress[out_port] + size > self.egress_limit():
             return False
         return True
 

@@ -1,55 +1,40 @@
 """Discrete-event simulation engine.
 
 This is the substrate the whole reproduction runs on, playing the role ns-3
-plays in the paper.  It is a classic calendar queue built on ``heapq``:
+plays in the paper.  It is a calendar queue built on ``heapq``, tuned so the
+hot loop never executes Python-level comparison or wrapper code:
 
-* time is a float in nanoseconds (``repro.sim.units``),
-* ties are broken by a monotonically increasing sequence number so runs are
-  deterministic,
-* cancellation is done by flagging the event, which the pop loop skips.
+* a scheduled event is a plain 4-slot list ``[time, seq, fn, args]`` — heap
+  sift comparisons resolve on the ``(float, int)`` prefix entirely in C
+  (``seq`` is unique, so ``fn`` is never compared),
+* time is a float in nanoseconds (``repro.sim.units``); ties are broken by
+  the monotonically increasing ``seq`` so runs are deterministic,
+* cancellation tombstones the entry in place (``entry[2] = None``) via
+  :meth:`Simulator.cancel`; the pop loop skips tombstones.
+
+The entry list doubles as the cancellation handle: ``schedule``/``at``
+return it, and ``sim.cancel(entry)`` is a no-op when the event already ran
+or was already cancelled.
+
+Event-count contract
+--------------------
+``events_processed`` counts *logical* simulation events: callbacks
+delivered to simulation code.  Internal bookkeeping wakeups (a
+:class:`Timer` deferring itself to a pushed-back deadline) and
+optimization artifacts (an egress port fusing away a serialize-done
+callback nobody listens to) are compensated so the counter is invariant
+to those optimizations.  The golden determinism fixtures pin this counter
+across engine rewrites, so treat it as ABI.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 
 class SimulationError(RuntimeError):
     """Raised on misuse of the simulator (e.g. scheduling in the past)."""
-
-
-class Event:
-    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
-
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
-
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
-        self._sim: "Simulator | None" = None
-
-    def cancel(self) -> None:
-        """Mark the event so the run loop will skip it."""
-        if self.cancelled:
-            return
-        self.cancelled = True
-        sim = self._sim
-        self._sim = None
-        if sim is not None:
-            sim._live -= 1
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<Event t={self.time:.1f} seq={self.seq} {state} {self.fn}>"
 
 
 class Simulator:
@@ -64,30 +49,51 @@ class Simulator:
     ['b', 'a']
     """
 
+    __slots__ = ("now", "_heap", "_seq", "_stopped", "_live", "events_processed")
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[list] = []
         self._seq: int = 0
         self._stopped: bool = False
         self._live: int = 0
         self.events_processed: int = 0
 
-    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now."""
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> list:
+        """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now.
+
+        Returns the heap entry, which doubles as a handle for
+        :meth:`cancel`.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.at(self.now + delay, fn, *args)
+        self._seq = seq = self._seq + 1
+        entry = [self.now + delay, seq, fn, args]
+        self._live += 1
+        heappush(self._heap, entry)
+        return entry
 
-    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> list:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
         if time < self.now:
             raise SimulationError(f"cannot schedule at {time} before now={self.now}")
-        self._seq += 1
-        event = Event(time, self._seq, fn, args)
-        event._sim = self
+        self._seq = seq = self._seq + 1
+        entry = [time, seq, fn, args]
         self._live += 1
-        heapq.heappush(self._heap, event)
-        return event
+        heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, entry: list) -> None:
+        """Tombstone a scheduled entry; no-op if it already ran/cancelled."""
+        if entry[2] is not None:
+            entry[2] = None
+            entry[3] = None          # drop arg references early
+            self._live -= 1
+
+    @staticmethod
+    def is_scheduled(entry: list | None) -> bool:
+        """True when the entry is still queued (not run, not cancelled)."""
+        return entry is not None and entry[2] is not None
 
     def stop(self) -> None:
         """Make :meth:`run` return after the current event."""
@@ -105,9 +111,9 @@ class Simulator:
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if the queue is drained."""
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        while heap and heap[0][2] is None:
+            heappop(heap)
+        return heap[0][0] if heap else None
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Process events in time order.
@@ -115,30 +121,156 @@ class Simulator:
         Stops when the queue drains, when the next event is later than
         ``until`` (the clock is then advanced to ``until``), after
         ``max_events`` events, or when :meth:`stop` is called.
+
+        The hot loops accumulate ``events_processed`` and the live count
+        in locals and flush them on exit, so reading those attributes from
+        *inside* a callback sees values that can lag by the events this
+        ``run`` call already dispatched.  Nothing in the simulation reads
+        them mid-run; read them between ``run`` calls.
         """
         self._stopped = False
         heap = self._heap
-        processed = 0
-        while heap and not self._stopped:
-            event = heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            if until is not None and event.time > until:
-                heapq.heappush(heap, event)
+        pop = heappop
+        if max_events is not None:
+            # Rare path (tests/debugging): exact per-event accounting.
+            processed = 0
+            while heap and not self._stopped:
+                entry = pop(heap)
+                fn = entry[2]
+                if fn is None:
+                    continue
+                if until is not None and entry[0] > until:
+                    heappush(heap, entry)
+                    self.now = until
+                    return
+                entry[2] = None
+                self._live -= 1
+                self.now = entry[0]
+                self.events_processed += 1
+                fn(*entry[3])
+                processed += 1
+                if processed >= max_events:
+                    return
+            if until is not None and self.now < until:
                 self.now = until
-                return
-            # The event leaves the live set before it runs, so a cancel()
-            # from inside its own callback is a no-op on the counter.
-            self._live -= 1
-            event._sim = None
-            self.now = event.time
-            event.fn(*event.args)
-            processed += 1
-            self.events_processed += 1
-            if max_events is not None and processed >= max_events:
-                return
-        if until is not None and self.now < until:
-            self.now = until
+            return
+        # Hot loops: minimal per-event work.  A callback's entry is
+        # consumed before it runs, so a cancel() from inside it is a
+        # no-op on the live counter; the compensating +-1 adjustments
+        # (Timer deferrals, fused port completions) hit the attributes
+        # directly and commute with the deferred flush.
+        done = 0
+        try:
+            if until is None:
+                while heap:
+                    entry = pop(heap)
+                    fn = entry[2]
+                    if fn is None:
+                        continue
+                    entry[2] = None
+                    done += 1
+                    self.now = entry[0]
+                    fn(*entry[3])
+                    if self._stopped:
+                        return
+            else:
+                while heap:
+                    entry = pop(heap)
+                    fn = entry[2]
+                    if fn is None:
+                        continue
+                    if entry[0] > until:
+                        heappush(heap, entry)
+                        self.now = until
+                        return
+                    entry[2] = None
+                    done += 1
+                    self.now = entry[0]
+                    fn(*entry[3])
+                    if self._stopped:
+                        break
+                if self.now < until:
+                    self.now = until
+        finally:
+            self._live -= done
+            self.events_processed += done
+
+
+class Timer:
+    """A re-armable deadline timer with lazy rescheduling.
+
+    Built for the NIC's RTO pattern: re-armed on every ACK, almost always
+    pushed *later*, and it almost never actually fires.  The eager
+    implementation (cancel + reschedule per ACK) floods the calendar queue
+    with tombstones — ~40k dead entries per 125k live in the 7-flow star
+    profile.  Here re-arming to a later deadline is a single attribute
+    write: the already-scheduled wakeup defers itself when it fires early.
+
+    Deferral wakeups are engine bookkeeping, not simulation events, so
+    they are compensated out of ``events_processed`` (see the event-count
+    contract in the module docstring): a timer contributes exactly one
+    processed event per actual firing, the same as an eagerly managed
+    event, and in the same tick.
+    """
+
+    __slots__ = ("_sim", "_fn", "_args", "_deadline", "_entry")
+
+    def __init__(self, sim: Simulator, fn: Callable[..., Any], *args: Any) -> None:
+        self._sim = sim
+        self._fn = fn
+        self._args = args
+        self._deadline: float | None = None
+        self._entry: list | None = None
+
+    @property
+    def armed(self) -> bool:
+        return self._deadline is not None
+
+    @property
+    def deadline(self) -> float | None:
+        return self._deadline
+
+    def arm(self, delay: float) -> None:
+        """(Re-)arm to fire ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.arm_at(self._sim.now + delay)
+
+    def arm_at(self, time: float) -> None:
+        """(Re-)arm to fire at absolute time ``time``."""
+        sim = self._sim
+        if time < sim.now:
+            raise SimulationError(f"cannot arm at {time} before now={sim.now}")
+        self._deadline = time
+        entry = self._entry
+        if entry is not None and entry[2] is not None:
+            if entry[0] <= time:
+                return           # pending wakeup will defer to the new deadline
+            sim.cancel(entry)    # re-armed earlier: must wake sooner (rare)
+        self._entry = sim.at(time, self._service)
+
+    def cancel(self) -> None:
+        """Disarm.  Tombstones the pending wakeup so a drained run does not
+        keep processing no-op service events."""
+        self._deadline = None
+        entry = self._entry
+        if entry is not None:
+            self._sim.cancel(entry)
+            self._entry = None
+
+    def _service(self) -> None:
+        sim = self._sim
+        self._entry = None
+        deadline = self._deadline
+        if deadline is None or deadline > sim.now:
+            # Deferred (or disarmed after the wakeup was popped): internal
+            # bookkeeping, not a delivered simulation event.
+            sim.events_processed -= 1
+            if deadline is not None:
+                self._entry = sim.at(deadline, self._service)
+            return
+        self._deadline = None
+        self._fn(*self._args)
 
 
 class PeriodicTask:
@@ -146,6 +278,9 @@ class PeriodicTask:
 
     Used for metric sampling and CC timers (e.g. DCQCN's rate-increase
     timer).  The callback may call :meth:`cancel` from inside itself.
+    :meth:`reset` (DCQCN re-starts the increase timer on every CNP) uses
+    the same lazy-deferral trick as :class:`Timer`, so resetting is O(1)
+    and leaves no tombstone behind.
     """
 
     def __init__(
@@ -164,25 +299,51 @@ class PeriodicTask:
         self.args = args
         self._cancelled = False
         delay = interval if start_delay is None else start_delay
-        self._event = sim.schedule(delay, self._fire)
+        self._deadline = sim.now + delay
+        self._entry = sim.schedule(delay, self._fire)
 
     def _fire(self) -> None:
+        sim = self.sim
+        self._entry = None
         if self._cancelled:
+            return
+        if self._deadline > sim.now:
+            # A reset() pushed the next firing later: defer silently (see
+            # the event-count contract in the module docstring).
+            sim.events_processed -= 1
+            self._entry = sim.at(self._deadline, self._fire)
             return
         self.fn(*self.args)
         if not self._cancelled:
-            self._event = self.sim.schedule(self.interval, self._fire)
+            self._deadline = sim.now + self.interval
+            self._entry = sim.schedule(self.interval, self._fire)
 
     def cancel(self) -> None:
         self._cancelled = True
-        self._event.cancel()
+        entry = self._entry
+        if entry is not None:
+            self.sim.cancel(entry)
+            self._entry = None
 
     def reset(self, interval: float | None = None) -> None:
-        """Restart the period from now, optionally with a new interval."""
+        """Restart the period from now, optionally with a new interval.
+
+        Raises :class:`SimulationError` on a cancelled task: silently
+        resurrecting a cancelled timer (the old behaviour) let a late
+        ``reset`` — e.g. a CNP racing a flow teardown — bring a dead
+        flow's timer back to life.  Callers that want restart-after-cancel
+        semantics should build a fresh task instead.
+        """
+        if self._cancelled:
+            raise SimulationError("reset() on a cancelled PeriodicTask")
         if interval is not None:
             if interval <= 0:
                 raise SimulationError(f"non-positive interval {interval}")
             self.interval = interval
-        self._event.cancel()
-        self._cancelled = False
-        self._event = self.sim.schedule(self.interval, self._fire)
+        self._deadline = deadline = self.sim.now + self.interval
+        entry = self._entry
+        if entry is not None and entry[2] is not None:
+            if entry[0] <= deadline:
+                return           # pending firing will defer itself
+            self.sim.cancel(entry)
+        self._entry = self.sim.schedule(self.interval, self._fire)

@@ -18,9 +18,17 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..core.base import CcAlgorithm
-from .engine import Event, Simulator
+from .engine import Simulator, Timer
 from .flow import FlowSpec
-from .packet import Packet, PacketType, make_ack, make_cnp, make_data_packet
+from .packet import (
+    Packet,
+    PacketType,
+    make_ack,
+    make_cnp,
+    make_data_packet,
+    recycle_hops,
+    recycle_packet,
+)
 from .queues import EgressPort
 from .transport import make_receiver, make_sender
 
@@ -44,7 +52,7 @@ class SenderFlow:
 
     __slots__ = (
         "spec", "cc", "window", "rate", "next_pace", "sender",
-        "done", "fct_recorded", "rto_event", "cc_state", "first_sent",
+        "done", "fct_recorded", "rto_timer", "cc_state", "first_sent",
     )
 
     def __init__(self, spec: FlowSpec, cc: CcAlgorithm, sender) -> None:
@@ -56,7 +64,7 @@ class SenderFlow:
         self.sender = sender
         self.done = False
         self.fct_recorded = False
-        self.rto_event: Event | None = None
+        self.rto_timer: Timer | None = None
         self.cc_state = None      # algorithm-private per-flow state
         self.first_sent: float | None = None
 
@@ -114,7 +122,7 @@ class HostNic:
         self.flows: dict[int, SenderFlow] = {}
         self.recv_flows: dict[int, ReceiverFlow] = {}
         self._active: deque[SenderFlow] = deque()
-        self._wake: Event | None = None
+        self._wake: list | None = None      # scheduled pacing wakeup entry
 
     # -- flow lifecycle -----------------------------------------------------------
 
@@ -133,17 +141,17 @@ class HostNic:
             cap = self.config.irn_window
             flow.window = cap if flow.window is None else min(flow.window, cap)
         flow.next_pace = self.sim.now
+        flow.rto_timer = Timer(self.sim, self._on_rto, flow)
         self.flows[spec.flow_id] = flow
         self._active.append(flow)
-        self._arm_rto(flow)
+        flow.rto_timer.arm(self.config.rto)
         self._maybe_pump()
         return flow
 
     def _complete_flow(self, flow: SenderFlow) -> None:
         flow.done = True
-        if flow.rto_event is not None:
-            flow.rto_event.cancel()
-            flow.rto_event = None
+        if flow.rto_timer is not None:
+            flow.rto_timer.cancel()
         flow.cc.on_flow_done(flow, self.sim.now)
         if not flow.fct_recorded:
             flow.fct_recorded = True
@@ -163,21 +171,24 @@ class HostNic:
             self._pump()
 
     def _pump(self) -> None:
-        if self._wake is not None:
-            self._wake.cancel()
+        sim = self.sim
+        wake = self._wake
+        if wake is not None:
+            sim.cancel(wake)
             self._wake = None
         port = self.port
         if not port.idle or port.paused:
             return
-        now = self.sim.now
+        now = sim.now
         active = self._active
+        mtu = self.config.mtu
         earliest: float | None = None
         for _ in range(len(active)):
             flow = active[0]
             active.rotate(-1)
             if flow.done:
                 continue
-            nxt = flow.sender.peek_next(self.config.mtu)
+            nxt = flow.sender.peek_next(mtu)
             if nxt is None:
                 continue
             seq, payload = nxt
@@ -190,7 +201,7 @@ class HostNic:
             self._send_data(flow, seq, payload, now)
             return
         if earliest is not None:
-            self._wake = self.sim.at(earliest, self._pump)
+            self._wake = sim.at(earliest, self._pump)
 
     def _send_data(self, flow: SenderFlow, seq: int, payload: int, now: float) -> None:
         pkt = make_data_packet(
@@ -216,11 +227,13 @@ class HostNic:
             self._on_ack(pkt)
         elif ptype is PacketType.CNP:
             flow = self.flows.get(pkt.flow_id)
+            recycle_packet(pkt)
             if flow is not None and not flow.done:
                 flow.cc.on_cnp(flow, self.sim.now)
                 self._maybe_pump()
         elif ptype is PacketType.PAUSE or ptype is PacketType.RESUME:
             self._on_pfc(pkt)
+            recycle_packet(pkt)
 
     def _on_data(self, pkt: Packet) -> None:
         rf = self.recv_flows.get(pkt.flow_id)
@@ -244,10 +257,15 @@ class HostNic:
             if now - rf.last_cnp >= interval:
                 rf.last_cnp = now
                 self.port.enqueue(make_cnp(pkt.flow_id, self.node_id, pkt.src))
+        # The data packet is fully consumed (its INT stack moved onto the
+        # ACK in make_ack): return it to the freelist.
+        recycle_packet(pkt)
 
     def _on_ack(self, pkt: Packet) -> None:
         flow = self.flows.get(pkt.flow_id)
         if flow is None or flow.done:
+            recycle_hops(pkt)
+            recycle_packet(pkt)
             return
         now = self.sim.now
         newly = flow.sender.on_ack(pkt.ack_seq)
@@ -263,6 +281,10 @@ class HostNic:
         else:
             if newly:
                 self._arm_rto(flow)
+        # CC algorithms copy any INT state they keep (see core/hpcc.py), so
+        # the ACK and its hop records are dead here: recycle both.
+        recycle_hops(pkt)
+        recycle_packet(pkt)
         self._maybe_pump()
 
     def _on_pfc(self, pkt: Packet) -> None:
@@ -278,9 +300,10 @@ class HostNic:
     # -- timers --------------------------------------------------------------------
 
     def _arm_rto(self, flow: SenderFlow) -> None:
-        if flow.rto_event is not None:
-            flow.rto_event.cancel()
-        flow.rto_event = self.sim.schedule(self.config.rto, self._on_rto, flow)
+        # Re-arming a Timer that is already pending is O(1) (lazy deferral):
+        # the per-ACK cancel-and-reschedule pattern no longer floods the
+        # calendar queue with tombstones.
+        flow.rto_timer.arm(self.config.rto)
 
     def _on_rto(self, flow: SenderFlow) -> None:
         if flow.done:
@@ -288,5 +311,5 @@ class HostNic:
         if not flow.sender.complete:
             flow.sender.on_timeout(self.sim.now)
             flow.cc.on_timeout(flow, self.sim.now)
-        self._arm_rto(flow)
+        flow.rto_timer.arm(self.config.rto)
         self._maybe_pump()

@@ -4,10 +4,26 @@ Mirrors Figure 7 of the paper: each data packet carries an INT stack; each
 switch appends one :class:`IntHop` when the packet is emitted from its egress
 port, recording the port bandwidth ``B``, a timestamp ``ts``, the cumulative
 transmitted bytes ``tx_bytes``, and the instantaneous queue length ``qlen``.
-The receiver copies the stack onto the ACK so the sender sees per-hop load.
+The receiver moves the stack onto the ACK so the sender sees per-hop load.
 
 ``rx_bytes`` (cumulative bytes *enqueued* at the port) is an extension used
 only by the HPCC-rxRate design-choice variant (Figure 6).
+
+Allocation discipline
+---------------------
+Steady-state forwarding allocates (almost) nothing: consumed packets and
+hop records go back to module-level freelists (:func:`recycle_packet`,
+:func:`recycle_hops`, drawn from by the ``make_*`` factories and
+:func:`new_hop`), and :func:`make_ack` *moves* the INT stack from the data
+packet to the ACK instead of copying it.  The ownership rules:
+
+* a packet handed to ``EgressPort.enqueue`` belongs to the network until
+  the consuming device's ``receive`` runs; the consumer recycles it,
+* ``ack.int_hops`` (and the hop records in it) die when the sender-side
+  NIC finishes its CC callbacks — CC algorithms must copy any INT state
+  they keep across ACKs (``core/hpcc.py`` does),
+* test code that builds packets directly via :class:`Packet` and never
+  recycles them opts out of pooling entirely.
 """
 
 from __future__ import annotations
@@ -57,6 +73,14 @@ class IntHop:
     def copy(self) -> "IntHop":
         return IntHop(self.bandwidth, self.ts, self.tx_bytes, self.qlen, self.rx_bytes)
 
+    def copy_from(self, other: "IntHop") -> None:
+        """Overwrite this record in place (allocation-free snapshotting)."""
+        self.bandwidth = other.bandwidth
+        self.ts = other.ts
+        self.tx_bytes = other.tx_bytes
+        self.qlen = other.qlen
+        self.rx_bytes = other.rx_bytes
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"IntHop(B={self.bandwidth:.3f}B/ns ts={self.ts:.0f} "
@@ -68,8 +92,10 @@ class Packet:
     """A simulated packet.
 
     ``seq`` is a byte offset (RoCE-style), ``payload`` the number of payload
-    bytes, and ``wire_size`` the bytes that occupy links.  ``ack_seq`` is the
-    cumulative acknowledgement carried by ACK/NACK packets.
+    bytes, and ``wire_size`` the bytes that occupy links (``payload +
+    header``, materialized at construction — links and buffers read it a
+    handful of times per hop).  ``ack_seq`` is the cumulative
+    acknowledgement carried by ACK/NACK packets.
     """
 
     __slots__ = (
@@ -80,6 +106,7 @@ class Packet:
         "seq",
         "payload",
         "header",
+        "wire_size",
         "ecn",
         "int_hops",
         "ack_seq",
@@ -108,6 +135,7 @@ class Packet:
         self.seq = seq
         self.payload = payload
         self.header = header
+        self.wire_size = payload + header
         self.ecn = False
         self.int_hops: Optional[list[IntHop]] = None
         self.ack_seq = 0
@@ -116,10 +144,6 @@ class Packet:
         self.pause_priority = 0     # which priority a PAUSE/RESUME targets
         self.hop_count = 0
         self._ingress_ref = None    # (switch-local) ingress accounting token
-
-    @property
-    def wire_size(self) -> int:
-        return self.payload + self.header
 
     def add_int_hop(self, hop: IntHop) -> None:
         if self.int_hops is None:
@@ -134,6 +158,91 @@ class Packet:
         )
 
 
+# -- freelists ----------------------------------------------------------------
+
+_packet_pool: list[Packet] = []
+_hop_pool: list[IntHop] = []
+_PACKET_POOL_CAP = 8192
+_HOP_POOL_CAP = 16384
+
+
+def recycle_packet(pkt: Packet) -> None:
+    """Return a consumed packet to the freelist.
+
+    Callers must be the packet's final owner (see the ownership rules in
+    the module docstring).  A still-populated INT stack is dropped rather
+    than recycled — use :func:`recycle_hops` first when the hop records
+    are known dead too.
+    """
+    if len(_packet_pool) >= _PACKET_POOL_CAP:
+        return
+    hops = pkt.int_hops
+    if hops:                       # non-empty stack: hop ownership unknown
+        pkt.int_hops = None
+    pkt._ingress_ref = None
+    _packet_pool.append(pkt)
+
+
+def recycle_hops(pkt: Packet) -> None:
+    """Return a packet's dead INT hop records to the freelist."""
+    hops = pkt.int_hops
+    if hops:
+        if len(_hop_pool) < _HOP_POOL_CAP:
+            _hop_pool.extend(hops)
+        hops.clear()
+
+
+def new_hop(
+    bandwidth: float, ts: float, tx_bytes: int, qlen: int, rx_bytes: int = 0
+) -> IntHop:
+    """Pool-aware :class:`IntHop` constructor (the switch emission path)."""
+    pool = _hop_pool
+    if pool:
+        hop = pool.pop()
+        hop.bandwidth = bandwidth
+        hop.ts = ts
+        hop.tx_bytes = tx_bytes
+        hop.qlen = qlen
+        hop.rx_bytes = rx_bytes
+        return hop
+    return IntHop(bandwidth, ts, tx_bytes, qlen, rx_bytes)
+
+
+def _new_packet(
+    ptype: PacketType,
+    flow_id: int,
+    src: int,
+    dst: int,
+    seq: int,
+    payload: int,
+    header: int,
+) -> Packet:
+    """Pool-aware packet constructor: every field is (re)initialized."""
+    pool = _packet_pool
+    if not pool:
+        return Packet(
+            ptype, flow_id, src, dst, seq=seq, payload=payload, header=header
+        )
+    pkt = pool.pop()
+    pkt.ptype = ptype
+    pkt.flow_id = flow_id
+    pkt.src = src
+    pkt.dst = dst
+    pkt.seq = seq
+    pkt.payload = payload
+    pkt.header = header
+    pkt.wire_size = payload + header
+    pkt.ecn = False
+    pkt.ack_seq = 0
+    pkt.ts_tx = 0.0
+    pkt.priority = 0
+    pkt.pause_priority = 0
+    pkt.hop_count = 0
+    # int_hops is None or an empty (cleared) list from the previous life;
+    # _ingress_ref was cleared at recycle time.
+    return pkt
+
+
 def make_data_packet(
     flow_id: int,
     src: int,
@@ -145,9 +254,12 @@ def make_data_packet(
 ) -> Packet:
     """Build a data packet, reserving INT header space when INT is on."""
     header = BASE_HEADER + (INT_OVERHEAD if int_enabled else 0)
-    pkt = Packet(PacketType.DATA, flow_id, src, dst, seq=seq, payload=payload, header=header)
+    pkt = _new_packet(PacketType.DATA, flow_id, src, dst, seq, payload, header)
     if int_enabled:
-        pkt.int_hops = []
+        if pkt.int_hops is None:
+            pkt.int_hops = []
+    else:
+        pkt.int_hops = None
     pkt.ts_tx = now
     return pkt
 
@@ -155,28 +267,36 @@ def make_data_packet(
 def make_ack(data: Packet, ack_seq: int, now: float, nack: bool = False) -> Packet:
     """Build the ACK (or NACK) for a received data packet.
 
-    Copies the INT stack and the ECN mark back to the sender, and echoes the
-    sender timestamp for RTT measurement.
+    *Moves* the INT stack (the data packet is dead once its ACK exists)
+    and copies the ECN mark back to the sender, and echoes the sender
+    timestamp for RTT measurement.
     """
     ptype = PacketType.NACK if nack else PacketType.ACK
-    header = ACK_SIZE + (INT_OVERHEAD if data.int_hops is not None else 0)
-    ack = Packet(ptype, data.flow_id, data.dst, data.src, seq=data.seq, header=header)
+    hops = data.int_hops
+    header = ACK_SIZE + (INT_OVERHEAD if hops is not None else 0)
+    ack = _new_packet(ptype, data.flow_id, data.dst, data.src, data.seq, 0, header)
     ack.ack_seq = ack_seq
     ack.ecn = data.ecn
     ack.ts_tx = data.ts_tx
-    if data.int_hops is not None:
-        ack.int_hops = [h.copy() for h in data.int_hops]
+    if hops is not None:
+        ack.int_hops = hops
+        data.int_hops = None
+    else:
+        ack.int_hops = None        # a pooled packet may carry an empty list
     return ack
 
 
 def make_cnp(flow_id: int, src: int, dst: int) -> Packet:
     """Build a DCQCN congestion-notification packet (receiver -> sender)."""
-    return Packet(PacketType.CNP, flow_id, src, dst, header=CNP_SIZE)
+    pkt = _new_packet(PacketType.CNP, flow_id, src, dst, 0, 0, CNP_SIZE)
+    pkt.int_hops = None
+    return pkt
 
 
 def make_pause(priority: int, pause: bool) -> Packet:
     """Build a link-local PFC pause/resume frame."""
     ptype = PacketType.PAUSE if pause else PacketType.RESUME
-    pkt = Packet(ptype, flow_id=-1, src=-1, dst=-1, header=PFC_FRAME_SIZE)
+    pkt = _new_packet(ptype, -1, -1, -1, 0, 0, PFC_FRAME_SIZE)
+    pkt.int_hops = None
     pkt.pause_priority = priority
     return pkt

@@ -99,17 +99,23 @@ class PfcController:
         self.config = config
         self.tracker = tracker
         self._pausing: set[tuple[int, int]] = set()
+        # PfcConfig is frozen: snapshot the knobs the per-packet path reads
+        # (on_ingress_change runs twice per forwarded packet).
+        self._enabled = config.enabled
+        self._alpha = config.dynamic_alpha
+        self._xon_fraction = config.xon_fraction
 
     def xoff_threshold(self) -> float:
         """Current XOFF threshold in bytes (depends on free buffer)."""
         free = self.switch.buffer.free_bytes
-        return self.config.dynamic_alpha * free
+        return self._alpha * free
 
     def on_ingress_change(self, in_port: int, priority: int) -> None:
-        if not self.config.enabled:
+        if not self._enabled:
             return
-        usage = self.switch.buffer.ingress_usage(in_port, priority)
-        threshold = self.xoff_threshold()
+        buffer = self.switch.buffer
+        usage = buffer.ingress_usage(in_port, priority)
+        threshold = self._alpha * buffer.free_bytes
         key = (in_port, priority)
         if key not in self._pausing:
             if usage > threshold:
@@ -118,7 +124,7 @@ class PfcController:
                 if self.tracker is not None:
                     self.tracker.pause_frames_sent += 1
         else:
-            if usage < threshold * self.config.xon_fraction:
+            if usage < threshold * self._xon_fraction:
                 self._pausing.discard(key)
                 self.switch.send_pause(in_port, priority, pause=False)
                 if self.tracker is not None:

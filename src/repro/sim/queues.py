@@ -9,6 +9,33 @@ The port keeps the counters INT exposes (Figure 7): cumulative transmitted
 bytes (``tx_bytes``) and instantaneous queue length (``qlen_bytes``), plus
 the cumulative *enqueued* bytes (``rx_bytes``) used by the HPCC-rxRate
 design-choice variant.
+
+Fused transmission path
+-----------------------
+Serialization start is the only synchronous step: the packet is dequeued,
+INT-stamped (``on_emit``) and its arrival at the peer scheduled in one go
+(``Link.transmit`` folds serialization + propagation into a single event).
+The serialize-done callback is scheduled only when someone needs it — the
+port has an ``on_idle`` listener (host NICs pump on it) or more traffic is
+already queued.  A switch port forwarding into an empty queue therefore
+costs one scheduled event per packet, not two; ``busy`` is tracked as a
+``_busy_until`` timestamp instead of a flag.  Fused-away completions are
+still counted in ``events_processed`` (see the engine's event-count
+contract), so the counter — and with it the golden determinism fixtures —
+is invariant to this optimization.
+
+Two caveats of the fused design:
+
+* the fused credit is booked at serialization *start*, so on a run
+  truncated mid-serialization (a deadline with incomplete flows)
+  ``events_processed`` can lead the canonical count by up to one per
+  mid-serialization fused port.  FCT records and event ordering are
+  unaffected; runs that complete (everything the golden fixtures pin)
+  match exactly;
+* fusion assumes ``on_idle`` listeners are wired at construction time.
+  Attaching ``on_idle`` to a port that already carried traffic is
+  unsupported: an in-flight fused serialization would end without the
+  completion callback the new listener expects.
 """
 
 from __future__ import annotations
@@ -41,7 +68,8 @@ class EgressPort:
         self.link = None                      # set when wired
         self._queue: deque[Packet] = deque()
         self._control: deque[Packet] = deque()
-        self._busy = False
+        self._busy_until = 0.0                # serializing while now < this
+        self._done_event: list | None = None  # completion wakeup, if needed
         self.paused = False
         self.qlen_bytes = 0
         self.tx_bytes = 0                     # cumulative emitted wire bytes
@@ -56,7 +84,13 @@ class EgressPort:
 
     @property
     def busy(self) -> bool:
-        return self._busy
+        """True while a packet is being serialized.
+
+        With a fused completion the port frees exactly at ``_busy_until``;
+        with a scheduled completion it stays busy until that event runs
+        (matters only for same-timestamp ordering).
+        """
+        return self._done_event is not None or self.sim.now < self._busy_until
 
     @property
     def queue_len_packets(self) -> int:
@@ -65,7 +99,13 @@ class EgressPort:
     @property
     def idle(self) -> bool:
         """True when nothing is being serialized and no data is queued."""
-        return not self._busy and not self._queue and not self._control
+        # `not busy` inlined: this property is on the NIC pump's hot path.
+        return (
+            not self._queue
+            and not self._control
+            and self._done_event is None
+            and self.sim.now >= self._busy_until
+        )
 
     def serialization_time(self, wire_size: int) -> float:
         return wire_size / self.rate
@@ -75,14 +115,28 @@ class EgressPort:
     def enqueue(self, pkt: Packet) -> None:
         """Queue a data-plane packet (data, ACK, NACK, CNP)."""
         self._queue.append(pkt)
-        self.qlen_bytes += pkt.wire_size
-        self.rx_bytes += pkt.wire_size
-        self._kick()
+        size = pkt.wire_size
+        self.qlen_bytes += size
+        self.rx_bytes += size
+        if self._done_event is None:
+            self._unfuse_or_kick()
 
     def enqueue_control(self, pkt: Packet) -> None:
         """Queue a link-local control frame (PFC); bypasses pause."""
         self._control.append(pkt)
-        self._kick()
+        if self._done_event is None:
+            self._unfuse_or_kick()
+
+    def _unfuse_or_kick(self) -> None:
+        """New work arrived with no completion wakeup scheduled: either the
+        current (fused) serialization needs a real completion after all, or
+        the port is free and can start serializing now."""
+        sim = self.sim
+        if sim.now < self._busy_until:
+            self._done_event = sim.at(self._busy_until, self._tx_done)
+            sim.events_processed -= 1     # hand the fused credit back
+        else:
+            self._kick()
 
     # -- pause / resume ------------------------------------------------------
 
@@ -98,7 +152,7 @@ class EgressPort:
                 self.total_paused += now - self._pause_started
                 self._pause_started = None
             self._kick()
-            if self.idle and self.on_idle is not None:
+            if self.on_idle is not None and self.idle:
                 self.on_idle(self)
 
     def paused_time(self, now: float) -> float:
@@ -111,7 +165,8 @@ class EgressPort:
     # -- transmission --------------------------------------------------------
 
     def _kick(self) -> None:
-        if self._busy:
+        sim = self.sim
+        if self._done_event is not None or sim.now < self._busy_until:
             return
         if self._control:
             pkt = self._control.popleft()
@@ -120,17 +175,33 @@ class EgressPort:
             self.qlen_bytes -= pkt.wire_size
         else:
             return
-        self._busy = True
-        self.tx_bytes += pkt.wire_size
+        size = pkt.wire_size
+        self.tx_bytes += size
         self.packets_emitted += 1
+        ser = size / self.rate
+        # Mark busy and credit the logical serialize-done *before* the
+        # on_emit hook: the hook can re-enter the enqueue paths (a switch
+        # releasing buffer may emit a PFC frame, in the hairpin case out
+        # of this very port), and those must see the port busy and may
+        # legitimately un-fuse the completion (refunding this credit).
+        self._busy_until = sim.now + ser
+        sim.events_processed += 1
         if self.on_emit is not None:
             self.on_emit(pkt, self)
-        self.sim.schedule(self.serialization_time(pkt.wire_size), self._tx_done, pkt)
+        link = self.link
+        if link is not None:
+            link.transmit(pkt, self, ser)
+        if self._done_event is None and (
+            self.on_idle is not None or self._queue or self._control
+        ):
+            # Someone needs the serialize-done callback after all: make it
+            # a real event and hand the fused credit back (the firing will
+            # count it).
+            self._done_event = sim.at(self._busy_until, self._tx_done)
+            sim.events_processed -= 1
 
-    def _tx_done(self, pkt: Packet) -> None:
-        self._busy = False
-        if self.link is not None:
-            self.link.deliver(pkt, self)
+    def _tx_done(self) -> None:
+        self._done_event = None
         self._kick()
-        if self.idle and self.on_idle is not None:
+        if self.on_idle is not None and self.idle:
             self.on_idle(self)

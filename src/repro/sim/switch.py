@@ -13,7 +13,14 @@ from __future__ import annotations
 from .buffer import BufferConfig, SharedBuffer
 from .ecn import EcnMarker, EcnPolicy
 from .engine import Simulator
-from .packet import IntHop, Packet, PacketType, make_pause
+from .packet import (
+    Packet,
+    PacketType,
+    make_pause,
+    new_hop,
+    recycle_hops,
+    recycle_packet,
+)
 from .pfc import PauseTracker, PfcConfig, PfcController
 from .queues import EgressPort
 from .routing import ecmp_select
@@ -43,6 +50,7 @@ class Switch:
         self.metrics = metrics
         self.ports: dict[int, EgressPort] = {}
         self.port_peer: dict[int, int] = {}
+        self._peer_port: dict[int, int] = {}  # peer -> first port, built at wiring
         # dst host -> tuple of candidate egress ports (ECMP group)
         self.routing_table: dict[int, tuple[int, ...]] = {}
         self._ecn_policy = ecn_policy
@@ -59,6 +67,7 @@ class Switch:
         )
         self.ports[port_id] = port
         self.port_peer[port_id] = peer
+        self._peer_port.setdefault(peer, port_id)
         if self._ecn_policy is not None:
             self._markers[port_id] = EcnMarker(
                 self._ecn_policy.for_rate(rate),
@@ -72,8 +81,10 @@ class Switch:
     # -- data path -------------------------------------------------------------
 
     def receive(self, pkt: Packet, in_port: int) -> None:
-        if pkt.ptype is PacketType.PAUSE or pkt.ptype is PacketType.RESUME:
+        ptype = pkt.ptype
+        if ptype is PacketType.PAUSE or ptype is PacketType.RESUME:
             self._handle_pfc_frame(pkt, in_port)
+            recycle_packet(pkt)
             return
         ports = self.routing_table.get(pkt.dst)
         if not ports:
@@ -82,6 +93,8 @@ class Switch:
             self.no_route_drops += 1
             if self.metrics is not None:
                 self.metrics.record_drop(pkt, self.node_id)
+            recycle_hops(pkt)
+            recycle_packet(pkt)
             return
         out_id = ecmp_select(ports, pkt.flow_id, pkt.src, pkt.dst)
         size = pkt.wire_size
@@ -90,14 +103,15 @@ class Switch:
             self.drops += 1
             if self.metrics is not None:
                 self.metrics.record_drop(pkt, self.node_id)
+            recycle_hops(pkt)
+            recycle_packet(pkt)
             return
         pkt._ingress_ref = (in_port, out_id, prio, size)
         out = self.ports[out_id]
-        marker = self._markers.get(out_id)
         if (
-            marker is not None
-            and pkt.ptype is PacketType.DATA
+            ptype is PacketType.DATA
             and not pkt.ecn
+            and (marker := self._markers.get(out_id)) is not None
             and marker.should_mark(out.qlen_bytes)
         ):
             pkt.ecn = True
@@ -106,20 +120,18 @@ class Switch:
 
     def _on_emit(self, pkt: Packet, port: EgressPort) -> None:
         """Emission hook: stamp INT, release buffer, re-check PFC."""
-        if (
-            self.int_enabled
-            and pkt.ptype is PacketType.DATA
-            and pkt.int_hops is not None
-        ):
-            pkt.add_int_hop(
-                IntHop(
-                    bandwidth=port.rate,
-                    ts=self.sim.now,
-                    tx_bytes=port.tx_bytes,
-                    qlen=port.qlen_bytes,
-                    rx_bytes=port.rx_bytes,
+        hops = pkt.int_hops
+        if hops is not None and self.int_enabled and pkt.ptype is PacketType.DATA:
+            hops.append(
+                new_hop(
+                    port.rate,
+                    self.sim.now,
+                    port.tx_bytes,
+                    port.qlen_bytes,
+                    port.rx_bytes,
                 )
             )
+            pkt.hop_count += 1
         ref = pkt._ingress_ref
         if ref is not None:
             in_port, out_port, prio, size = ref
@@ -147,11 +159,15 @@ class Switch:
     # -- introspection ----------------------------------------------------------
 
     def port_to(self, peer: int) -> EgressPort:
-        """The first egress port attached to ``peer`` (convenience)."""
-        for port_id, p in self.port_peer.items():
-            if p == peer:
-                return self.ports[port_id]
-        raise LookupError(f"switch {self.node_id} has no port to {peer}")
+        """The first egress port attached to ``peer`` (convenience).
+
+        O(1): served from a peer->port index built at wiring time —
+        samplers call this for every labelled port on every run setup.
+        """
+        port_id = self._peer_port.get(peer)
+        if port_id is None:
+            raise LookupError(f"switch {self.node_id} has no port to {peer}")
+        return self.ports[port_id]
 
     def total_queued_bytes(self) -> int:
         return sum(port.qlen_bytes for port in self.ports.values())

@@ -1,0 +1,85 @@
+"""Golden determinism fixtures for the packet engine.
+
+One small congestive scenario per CC scheme, run under a fixed seed, with
+``events_processed`` and a digest of the FCT records pinned to values
+captured on the pre-refactor engine.  Any engine change that alters event
+*ordering* or timer semantics — not just timing bugs, but accidental
+reorderings from heap or timer refactors — fails these loudly.
+
+The DCQCN scenario intentionally includes an RTO firing (flow 1 stalls
+behind CNP-driven rate cuts and recovers via timeout), so retransmission-
+timer refactors are covered, not just the happy path.
+
+``events_processed`` counts *logical* simulation events — the canonical
+serialize-done / propagate / deliver event structure — which the engine
+guarantees is invariant to internal optimizations (event fusion, lazy
+timer re-arming).  That is what makes these values stable across engine
+implementations.  The guarantee is exact for runs that complete (all
+golden scenarios do); a run truncated mid-serialization by a deadline may
+lead the canonical count by the ports still serializing (see
+``sim/queues.py``).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.network import Network, NetworkConfig
+from repro.sim.units import MS, US
+from repro.topology import star
+
+# cc_name -> (events_processed, sha256 of FCT records).
+# Captured on the seed tuple-heap-free engine (PR 2 tip); see the digest
+# helper below for the exact digest input format.
+GOLDEN = {
+    "hpcc": (19632, "5686e6ce3972315d03a3a28f0b9631a063d37b722290bc0faa65101d9dcf6a0f"),
+    "dcqcn": (18105, "12a45cde9f85e722f4eb89bbbccc3cf67673e0878cd72d7acca5d7b6a89e5fa3"),
+    "timely": (17980, "21ede42fa0d70b8fbada2eea0d56708b5d4f7c50891c28d9c2ea8a3a5b994a0e"),
+    "dctcp": (17603, "7c9a9a6916b8bfa648a8fb883fb6a97a91be2c0b37a897c0bf47484269cc6dc9"),
+}
+
+
+def fct_digest(records) -> str:
+    """Full-precision digest of (flow, start, finish) for every FCT record."""
+    recs = sorted(records, key=lambda r: r.spec.flow_id)
+    text = ";".join(f"{r.spec.flow_id}:{r.start!r}:{r.finish!r}" for r in recs)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def golden_run(cc_name: str):
+    """3 staggered flows incast into host 3 of a 100Gbps star."""
+    net = Network(
+        star(4, host_rate="100Gbps"),
+        NetworkConfig(cc_name=cc_name, base_rtt=9 * US, seed=3),
+    )
+    net.add_flow(net.make_flow(0, 3, 1_000_000, start_time=1_000.0))
+    net.add_flow(net.make_flow(1, 3, 700_000, start_time=1_003.0))
+    net.add_flow(net.make_flow(2, 3, 500_000, start_time=1_007.0))
+    done = net.run_until_done(deadline=5 * MS)
+    assert done, f"{cc_name} golden scenario did not finish"
+    return net
+
+
+@pytest.mark.parametrize("cc_name", sorted(GOLDEN))
+def test_golden_determinism(cc_name):
+    expected_events, expected_digest = GOLDEN[cc_name]
+    net = golden_run(cc_name)
+    assert net.sim.events_processed == expected_events, (
+        f"{cc_name}: events_processed changed "
+        f"({net.sim.events_processed} vs golden {expected_events}) — "
+        "the engine refactor altered event structure or ordering"
+    )
+    assert fct_digest(net.metrics.fct_records) == expected_digest, (
+        f"{cc_name}: FCT records diverged from the golden capture — "
+        "the engine refactor is not bit-identical"
+    )
+
+
+def test_golden_run_is_repeatable():
+    """Same-process re-runs are bit-identical (no hidden global state)."""
+    first = golden_run("hpcc")
+    second = golden_run("hpcc")
+    assert first.sim.events_processed == second.sim.events_processed
+    assert fct_digest(first.metrics.fct_records) == fct_digest(
+        second.metrics.fct_records
+    )

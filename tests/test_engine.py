@@ -1,9 +1,14 @@
-"""The discrete-event engine: ordering, cancellation, periodic tasks."""
+"""The discrete-event engine: ordering, cancellation, timers, periodic tasks."""
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.engine import PeriodicTask, SimulationError, Simulator
+from repro.sim.engine import PeriodicTask, SimulationError, Simulator, Timer
+
+
+def live_heap_count(sim):
+    """Brute-force count of non-tombstoned heap entries."""
+    return sum(1 for entry in sim._heap if entry[2] is not None)
 
 
 class TestScheduling:
@@ -83,6 +88,17 @@ class TestScheduling:
         sim.run()
         assert out == [1]
 
+    def test_stop_in_plain_run(self):
+        """stop() also exits the fast-path loop (no until/max_events)."""
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, lambda: (out.append(1), sim.stop()))
+        sim.schedule(2.0, out.append, 2)
+        sim.run()
+        assert out == [1]
+        sim.run()
+        assert out == [1, 2]
+
     def test_events_processed_counter(self):
         sim = Simulator()
         for i in range(4):
@@ -97,7 +113,7 @@ class TestCancellation:
         out = []
         event = sim.schedule(1.0, out.append, "cancelled")
         sim.schedule(2.0, out.append, "kept")
-        event.cancel()
+        sim.cancel(event)
         sim.run()
         assert out == ["kept"]
 
@@ -105,8 +121,23 @@ class TestCancellation:
         sim = Simulator()
         event = sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
-        event.cancel()
+        sim.cancel(event)
         assert sim.pending == 1
+
+    def test_cancel_after_run_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.cancel(event)          # already consumed: no-op
+        assert sim.pending == 0
+
+    def test_is_scheduled(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        assert Simulator.is_scheduled(event)
+        sim.cancel(event)
+        assert not Simulator.is_scheduled(event)
+        assert not Simulator.is_scheduled(None)
 
     def test_pending_counter_matches_brute_force(self):
         """The O(1) live counter stays exact through mixed
@@ -121,24 +152,22 @@ class TestCancellation:
             if action < 0.5 or not events:
                 events.append(sim.schedule(rng.uniform(0, 100.0), lambda: None))
             elif action < 0.8:
-                events.pop(rng.randrange(len(events))).cancel()
+                sim.cancel(events.pop(rng.randrange(len(events))))
             else:
                 # Double-cancel must be a no-op on the counter.
                 victim = events[rng.randrange(len(events))]
-                victim.cancel()
-                victim.cancel()
-            brute = sum(1 for e in sim._heap if not e.cancelled)
-            assert sim.pending == brute
+                sim.cancel(victim)
+                sim.cancel(victim)
+            assert sim.pending == live_heap_count(sim)
         sim.run(until=sim.now + 50.0)
-        brute = sum(1 for e in sim._heap if not e.cancelled)
-        assert sim.pending == brute
+        assert sim.pending == live_heap_count(sim)
         sim.run()
         assert sim.pending == 0
 
     def test_pending_unchanged_by_cancel_inside_own_callback(self):
         sim = Simulator()
         holder = {}
-        holder["event"] = sim.schedule(1.0, lambda: holder["event"].cancel())
+        holder["event"] = sim.schedule(1.0, lambda: sim.cancel(holder["event"]))
         sim.schedule(2.0, lambda: None)
         sim.run()
         assert sim.pending == 0
@@ -155,17 +184,114 @@ class TestCancellation:
         holder = {"task": PeriodicTask(sim, 10.0, tick)}
         sim.run()
         assert len(fired) == 3
-        assert sim.pending == sum(1 for e in sim._heap if not e.cancelled) == 0
+        assert sim.pending == live_heap_count(sim) == 0
 
     def test_peek_time_skips_cancelled(self):
         sim = Simulator()
         event = sim.schedule(1.0, lambda: None)
         sim.schedule(5.0, lambda: None)
-        event.cancel()
+        sim.cancel(event)
         assert sim.peek_time() == 5.0
 
     def test_peek_time_empty(self):
         assert Simulator().peek_time() is None
+
+
+class TestTimer:
+    def test_fires_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(10.0)
+        sim.run()
+        assert fired == [10.0]
+        assert not timer.armed
+
+    def test_rearm_later_defers(self):
+        """Pushing the deadline back reschedules lazily — the firing still
+        happens exactly at the final deadline."""
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(10.0)
+        sim.schedule(5.0, timer.arm, 10.0)      # deadline becomes 15.0
+        sim.run()
+        assert fired == [15.0]
+
+    def test_rearm_is_tombstone_free(self):
+        """The per-ACK re-arm pattern leaves no dead heap entries."""
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.arm(100.0)
+        for t in range(1, 50):
+            sim.at(float(t), timer.arm, 100.0)
+        sim.run(until=60.0)
+        assert len(sim._heap) <= 2              # the wakeup (+ maybe a defer)
+
+    def test_rearm_earlier_fires_earlier(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(100.0)
+        sim.schedule(5.0, timer.arm, 10.0)      # deadline becomes 15.0
+        sim.run()
+        assert fired == [15.0]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(10.0)
+        sim.schedule(5.0, timer.cancel)
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0
+
+    def test_events_processed_counts_one_per_firing(self):
+        """Deferral wakeups are engine bookkeeping: a timer re-armed N
+        times still contributes exactly 1 to events_processed, the same
+        as the eager cancel-and-reschedule implementation."""
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.arm(10.0)
+        for t in (3.0, 6.0, 9.0):
+            sim.at(t, timer.arm, 10.0)          # three re-arms, final deadline 19
+        sim.run()
+        assert fired == [19.0]
+        assert sim.events_processed == 3 + 1    # the 3 re-arm events + 1 firing
+
+    def test_cancelled_timer_counts_zero(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        timer.arm(10.0)
+        sim.at(5.0, timer.cancel)
+        sim.run()
+        assert sim.events_processed == 1        # just the cancelling event
+
+    def test_arm_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        timer = Timer(sim, lambda: None)
+        with pytest.raises(SimulationError):
+            timer.arm_at(5.0)
+        with pytest.raises(SimulationError):
+            timer.arm(-1.0)
+
+    def test_rearm_from_inside_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.arm(10.0)
+
+        timer = Timer(sim, cb)
+        timer.arm(10.0)
+        sim.run()
+        assert fired == [10.0, 20.0, 30.0]
 
 
 class TestPeriodicTask:
@@ -192,6 +318,46 @@ class TestPeriodicTask:
         sim.run(until=20.0)
         assert fired == [15.0]
 
+    def test_reset_with_new_interval(self):
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, 10.0, lambda: fired.append(sim.now))
+        sim.schedule(5.0, task.reset, 20.0)
+        sim.run(until=50.0)
+        assert fired == [25.0, 45.0]
+
+    def test_reset_leaves_no_tombstones(self):
+        """DCQCN resets its increase timer on every CNP: resets must not
+        flood the heap with dead entries."""
+        sim = Simulator()
+        task = PeriodicTask(sim, 100.0, lambda: None)
+        for t in range(1, 50):
+            sim.at(float(t), task.reset)
+        sim.run(until=60.0)
+        assert len(sim._heap) <= 2
+
+    def test_reset_event_count_matches_eager_semantics(self):
+        """A reset task fires once at the deferred time; deferral wakeups
+        are compensated out of events_processed."""
+        sim = Simulator()
+        fired = []
+        task = PeriodicTask(sim, 10.0, lambda: fired.append(sim.now))
+        sim.at(5.0, task.reset)
+        sim.run(until=16.0)
+        assert fired == [15.0]
+        assert sim.events_processed == 2        # the reset event + one firing
+
+    def test_reset_cancelled_task_raises(self):
+        """reset() must not resurrect a cancelled task (a late CNP racing a
+        flow teardown would otherwise revive a dead flow's timer)."""
+        sim = Simulator()
+        task = PeriodicTask(sim, 10.0, lambda: None)
+        task.cancel()
+        with pytest.raises(SimulationError):
+            task.reset()
+        sim.run(until=50.0)
+        assert sim.events_processed == 0
+
     def test_start_delay(self):
         sim = Simulator()
         fired = []
@@ -202,6 +368,11 @@ class TestPeriodicTask:
     def test_non_positive_interval_rejected(self):
         with pytest.raises(SimulationError):
             PeriodicTask(Simulator(), 0.0, lambda: None)
+
+    def test_reset_non_positive_interval_rejected(self):
+        task = PeriodicTask(Simulator(), 10.0, lambda: None)
+        with pytest.raises(SimulationError):
+            task.reset(0.0)
 
     def test_cancel_from_inside_callback(self):
         sim = Simulator()

@@ -53,7 +53,7 @@ class TestFailLink:
         # Push a packet into the dead link directly.
         from repro.sim.packet import Packet, PacketType
         pkt = Packet(PacketType.DATA, 1, 0, 2, payload=100)
-        link.deliver(pkt, link.port_a)
+        link.transmit(pkt, link.port_a, ser_delay=8.0)
         assert link.packets_lost_down == 1
 
 

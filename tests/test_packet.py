@@ -55,13 +55,18 @@ class TestAck:
         assert ack.seq == 2000        # per-packet echo (HPCC's ack.seq)
         assert ack.ack_seq == 3000    # cumulative
 
-    def test_int_stack_copied_not_aliased(self):
+    def test_int_stack_moved_to_ack(self):
+        # The data packet is dead once its ACK exists, so make_ack *moves*
+        # the INT stack (allocation-lean path) instead of copying it.
         data = self._data()
         ack = make_ack(data, ack_seq=3000, now=20.0)
         assert ack.int_hops[0].tx_bytes == 12345
         assert ack.int_hops[0].rx_bytes == 999
-        ack.int_hops[0].tx_bytes = 1
-        assert data.int_hops[0].tx_bytes == 12345
+        assert data.int_hops is None
+
+    def test_no_int_stack_means_none_on_ack(self):
+        ack = make_ack(self._data(int_enabled=False), ack_seq=3000, now=20.0)
+        assert ack.int_hops is None
 
     def test_ecn_echo(self):
         data = self._data()

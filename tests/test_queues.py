@@ -8,13 +8,18 @@ from repro.sim.queues import EgressPort
 
 
 class Sink:
-    """Stands in for a Link: records (packet, time) deliveries."""
+    """Stands in for a zero-propagation Link: records (packet, time)
+    deliveries at serialization end (``transmit`` is called at
+    serialization start with the serialization delay)."""
 
     def __init__(self, sim):
         self.sim = sim
         self.delivered = []
 
-    def deliver(self, pkt, from_port):
+    def transmit(self, pkt, from_port, ser_delay):
+        self.sim.schedule(ser_delay, self._arrive, pkt)
+
+    def _arrive(self, pkt):
         self.delivered.append((pkt, self.sim.now))
 
 
