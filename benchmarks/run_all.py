@@ -55,6 +55,21 @@ def _appendix_a2():
     return run_a2(n_trials=50)
 
 
+def _dynamics_failover():
+    """Dynamics smoke: the FatTree failure sweep and the dual-trunk
+    failover, both on the fluid backend (the packet-vs-fluid comparison
+    with the >=10x assertion lives in bench_dynamics_failover.py)."""
+    from repro.experiments.failover import run_failover
+    from repro.experiments.linkfail import run_linkfail
+    from repro.runner import CcChoice
+
+    schemes = (CcChoice("hpcc", label="HPCC"),)
+    return (
+        run_linkfail(schemes=schemes, backend="fluid"),
+        run_failover(schemes=schemes, backend="fluid"),
+    )
+
+
 def _fig06():
     from repro.experiments.figure06 import run_figure06
     return run_figure06(scale="bench")
@@ -131,6 +146,9 @@ def _fluid_vs_packet():
 REGISTRY: dict[str, tuple] = {
     "engine_events": (_engine_events, {"events": 200_000}),
     "appendix_a1": (_appendix_a1, {"n_sources": 50, "rho": 0.95}),
+    "dynamics_failover": (_dynamics_failover,
+                          {"backend": "fluid", "scenarios": ["linkfail",
+                                                             "failover"]}),
     "appendix_a2": (_appendix_a2, {"n_trials": 50}),
     "fig06": (_fig06, {"scale": "bench"}),
     "fig13": (_fig13, {"scale": "bench"}),

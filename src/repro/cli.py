@@ -46,6 +46,8 @@ from .experiments import (
     figure12,
     figure13,
     figure14,
+    flapping,
+    linkfail,
 )
 
 # name -> (description, module). Modules expose main(scale=...) and
@@ -65,6 +67,10 @@ EXPERIMENTS = {
                  appendix_a),
     "failover": ("extension: CC behaviour across a link failure",
                  failover),
+    "linkfail": ("extension: FatTree link-failure sweep (dynamics "
+                 "timelines, fluid-first)", linkfail),
+    "flapping": ("extension: flapping-trunk oscillation study "
+                 "(HPCC vs DCQCN)", flapping),
 }
 
 _ALIASES = {

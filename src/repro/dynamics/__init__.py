@@ -1,0 +1,54 @@
+"""Network dynamics: declarative fault injection and reconvergence.
+
+The subsystem has three layers:
+
+* **timeline DSL** (:mod:`repro.dynamics.events`) — typed mid-run events
+  (``fail_link``, ``restore_link``, ``degrade_link``, ``flap_link``,
+  ``inject_burst``) composed into a :class:`Timeline`: pure data, JSON
+  round-trip, the hash-distinct ``dynamics`` field of a
+  :class:`~repro.runner.spec.ScenarioSpec`, sweepable via
+  :func:`dynamics_axis`;
+* **packet driver** (:mod:`repro.dynamics.packet`) — schedules events on
+  the discrete-event simulator; link state changes hit the data plane
+  immediately, routing reconverges after the timeline's
+  ``detection_delay`` through the scoped incremental recompute in
+  :class:`repro.sim.routing.RoutingState`;
+* **fluid driver** (:mod:`repro.dynamics.fluid`) — the same primitives
+  at flow level: pooled capacities move at event boundaries and paths
+  recompute at detection time, so failover scenarios run at fluid speed.
+
+Both drivers emit the same accounting shape into
+``RunRecord.extras["link_events"]`` (fired flags, symmetric
+``packets_lost_down`` on fail *and* restore, reroute counts, detection
+timestamps), so post-processing is backend-neutral.
+"""
+
+from .events import (
+    EVENT_TYPES,
+    DegradeLink,
+    DynEvent,
+    FailLink,
+    FlapLink,
+    InjectBurst,
+    RestoreLink,
+    Timeline,
+    burst_flow_specs,
+    dynamics_axis,
+)
+from .fluid import FluidDynamicsDriver
+from .packet import PacketDynamicsDriver
+
+__all__ = [
+    "EVENT_TYPES",
+    "DegradeLink",
+    "DynEvent",
+    "FailLink",
+    "FlapLink",
+    "FluidDynamicsDriver",
+    "InjectBurst",
+    "PacketDynamicsDriver",
+    "RestoreLink",
+    "Timeline",
+    "burst_flow_specs",
+    "dynamics_axis",
+]

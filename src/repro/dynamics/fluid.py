@@ -1,0 +1,141 @@
+"""Fluid-backend dynamics driver: timelines onto a :class:`FluidEngine`.
+
+The fluid twin of :class:`~repro.dynamics.packet.PacketDynamicsDriver`,
+interpreting the same primitives with the same two-phase semantics:
+
+* at the event instant the *data plane* changes — a failed member's
+  capacity leaves the pooled fluid link (its share of queued fluid is
+  flushed to drops, the in-flight-casualty estimate), a restored member
+  pools back in, a degradation rescales rate/delay;
+* ``detection_delay`` later the *control plane* reconverges — every
+  in-flight and pending flow's path is recomputed over the alive graph
+  (``FluidEngine.reconverge``), which is also when parked flows re-admit.
+
+Accounting entries mirror the packet driver's shape so
+``RunRecord.link_events()`` is backend-neutral: ``packets_lost_down``
+is the flushed fluid expressed in wire-packet equivalents, and
+``reroutes`` counts flows whose path changed (the packet side counts
+changed ECMP groups — both are "how much traffic moved", per backend).
+"""
+
+from __future__ import annotations
+
+from .events import DegradeLink, FailLink, RestoreLink, Timeline
+
+__all__ = ["FluidDynamicsDriver"]
+
+
+class FluidDynamicsDriver:
+    """Installs one timeline onto a :class:`~repro.fluid.engine.FluidEngine`."""
+
+    def __init__(
+        self,
+        engine,
+        timeline: Timeline,
+        burst_entries: list[dict] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.timeline = timeline
+        self.entries: list[dict] = []
+        self._burst_entries = list(burst_entries or ())
+        # (a, b) normalized -> [fail entries with an open outage], oldest first.
+        self._open_outages: dict[tuple[int, int], list[dict]] = {}
+        self._installed = False
+
+    def install(self) -> None:
+        if self._installed:
+            raise RuntimeError("driver already installed")
+        self._installed = True
+        engine = self.engine
+        for _origin, event in self.timeline.primitives():
+            if isinstance(event, FailLink):
+                entry = self._link_entry(event)
+                entry["packets_lost_down"] = 0
+                engine.schedule_event(
+                    event.at, self._firer(self._fire_fail, event, entry)
+                )
+            elif isinstance(event, RestoreLink):
+                entry = self._link_entry(event)
+                entry["packets_lost_down"] = 0
+                engine.schedule_event(
+                    event.at, self._firer(self._fire_restore, event, entry)
+                )
+            elif isinstance(event, DegradeLink):
+                entry = self._link_entry(event)
+                entry["rate_factor"] = event.rate_factor
+                entry["delay_factor"] = event.delay_factor
+                engine.schedule_event(
+                    event.at, self._firer(self._fire_degrade, event, entry)
+                )
+        self.entries.extend(self._burst_entries)
+        self.entries.sort(key=lambda e: e["time"])
+
+    def _link_entry(self, event) -> dict:
+        entry = {
+            "type": event.kind, "time": event.at,
+            "a": event.a, "b": event.b, "fired": False,
+        }
+        self.entries.append(entry)
+        return entry
+
+    @staticmethod
+    def _firer(fn, event, entry):
+        return lambda: fn(event, entry)
+
+    # -- event callbacks ---------------------------------------------------------
+
+    def _pair(self, event) -> tuple[int, int]:
+        return (min(event.a, event.b), max(event.a, event.b))
+
+    def _fire_fail(self, event: FailLink, entry: dict) -> None:
+        entry["fired"] = True
+        flushed = self.engine.fail_link(event.a, event.b)
+        lost = int(flushed / (self.engine.mtu + self.engine.header))
+        entry["packets_lost_down"] = lost
+        self._open_outages.setdefault(self._pair(event), []).append(entry)
+        self._detect(entry)
+
+    def _fire_restore(self, event: RestoreLink, entry: dict) -> None:
+        entry["fired"] = True
+        self.engine.restore_link(event.a, event.b)
+        open_fails = self._open_outages.get(self._pair(event))
+        if open_fails:
+            fail_entry = open_fails.pop(0)
+            entry["packets_lost_down"] = fail_entry["packets_lost_down"]
+        self._detect(entry)
+
+    def _fire_degrade(self, event: DegradeLink, entry: dict) -> None:
+        entry["fired"] = True
+        self.engine.degrade_link(
+            event.a, event.b,
+            rate_factor=event.rate_factor,
+            delay_factor=event.delay_factor,
+        )
+        # No routing change (hop counts are unchanged), but paths cache
+        # per-link latency constants and the ECN configs key off rates:
+        # refresh both at the event boundary.
+        self._reconverge(entry)
+
+    def _detect(self, entry: dict) -> None:
+        delay = self.timeline.detection_delay
+        if delay > 0.0:
+            self.engine.schedule_event(
+                self.engine.now + delay,
+                lambda: self._reconverge(entry),
+            )
+        else:
+            self._reconverge(entry)
+
+    def _reconverge(self, entry: dict) -> None:
+        rerouted = self.engine.reconverge()
+        entry["detected_at"] = self.engine.now
+        entry["reroutes"] = rerouted
+
+    # -- results -----------------------------------------------------------------
+
+    def report(self) -> list[dict]:
+        """The accounting entries, after the run."""
+        now = self.engine.now
+        for entry in self._burst_entries:
+            entry["fired"] = entry["time"] <= now
+        return self.entries

@@ -17,14 +17,27 @@ Where the packet engine processes one event per packet/ACK/credit, the
    events (synthetic INT ACK, CNP stream, RTT echo, ECN marks) against
    the *real* ``core/`` algorithm, producing next step's rate.
 
+Network dynamics run at *event boundaries*: scheduled timeline events
+(link cuts, recoveries, degradations) shorten the step so they fire at
+their exact instant, mutate the live :class:`~repro.fluid.state.FluidGraph`,
+and — once routing "detects" the change — trigger a path recompute for
+every in-flight and pending flow.  Per-link rates re-aggregate from the
+new paths on the very next step.  A flow whose destination became
+unreachable parks (zero rate, CC frozen) until a restore re-routes it,
+mirroring the packet transport blackholing against a cut-off host.
+
 Cost per step is ``O(sum of active path lengths)`` — independent of
 bandwidth, flow size and packet count, which is what buys the orders of
 magnitude on Figure-11-sized fabrics.  The trade-offs (no PFC, no
-per-packet loss/retransmission, smoothed sub-RTT transients) are listed
-in README's "Simulation backends".
+per-packet loss/retransmission, smoothed sub-RTT transients, pooled
+parallel trunks during detection windows) are listed in README's
+"Simulation backends" and "Network dynamics".
 """
 
 from __future__ import annotations
+
+import heapq
+from typing import Callable
 
 from ..core.base import CcEnv
 from ..core.registry import get_scheme
@@ -44,13 +57,13 @@ class FluidFlow:
 
     __slots__ = (
         "spec", "path", "proxy", "adapter", "line_rate", "ideal",
-        "remaining", "req", "achieved",
+        "remaining", "req", "achieved", "topo_version",
     )
 
     def __init__(
         self,
         spec: FlowSpec,
-        path: FluidPath,
+        path: FluidPath | None,
         proxy: FlowProxy,
         adapter: RateAdapter,
         line_rate: float,
@@ -58,7 +71,7 @@ class FluidFlow:
         wire_bytes: float,
     ) -> None:
         self.spec = spec
-        self.path = path
+        self.path = path                # None while parked (no route)
         self.proxy = proxy
         self.adapter = adapter
         self.line_rate = line_rate
@@ -66,6 +79,7 @@ class FluidFlow:
         self.remaining = wire_bytes     # wire bytes still to deliver
         self.req = 0.0                  # requested rate this step
         self.achieved = 0.0             # post-throttle rate this step
+        self.topo_version = 0           # graph version the path was built on
 
 
 class FluidEngine:
@@ -87,6 +101,7 @@ class FluidEngine:
         buffer_bytes: float = 32 * MB,
         step: float | None = None,
         sample_interval: float | None = None,
+        goodput_bin: float | None = None,
     ) -> None:
         self.topology = topology
         self.scheme = get_scheme(cc_name)
@@ -115,7 +130,14 @@ class FluidEngine:
         self._starts: list[FluidFlow] = []      # sorted by start_time
         self._next_idx = 0
         self._active: list[FluidFlow] = []
+        self._parked: list[FluidFlow] = []      # routeless until a restore
         self._sorted = True
+        self._topo_version = 0
+
+        # Min-heap of (time, seq, fn): drivers schedule before the run,
+        # and detection-delay callbacks push more mid-run.
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._event_seq = 0
 
         ecn_policy = self.scheme.default_ecn(self.cc_params)
         self._ecn_policy = ecn_policy
@@ -129,15 +151,14 @@ class FluidEngine:
         self.queue_samples: dict[str, dict[str, list[float]]] = {
             link.label: {"times": [], "qlens": []} for link in self._sample_links
         }
+        self.goodput_bin = goodput_bin
+        self.goodput_bins: dict[int, dict[int, float]] = {}
 
     # -- flow admission ----------------------------------------------------------
 
     def add_flow(self, spec: FlowSpec) -> None:
         line_rate = self.topology.host_rate(spec.src)
-        path = self.graph.path(
-            spec.flow_id, spec.src, spec.dst,
-            mtu_wire=self.mtu + self.header, ack_size=ACK_SIZE,
-        )
+        path = self._route(spec)
         env = CcEnv(
             sim=self.clock, line_rate=line_rate, base_rtt=self.base_rtt,
             mtu=self.mtu, header=self.header,
@@ -146,16 +167,100 @@ class FluidEngine:
         proxy = FlowProxy()
         adapter.install(proxy)
         bottleneck = min(line_rate, self.topology.host_rate(spec.dst))
-        self._starts.append(FluidFlow(
+        flow = FluidFlow(
             spec, path, proxy, adapter, line_rate,
-            ideal=spec.size * self.wire_factor / bottleneck + path.base_rtt,
+            ideal=spec.size * self.wire_factor / bottleneck
+            + (path.base_rtt if path is not None else self.base_rtt),
             wire_bytes=spec.size * self.wire_factor,
-        ))
+        )
+        flow.topo_version = self._topo_version
+        self._starts.append(flow)
         self._sorted = False
 
     def add_flows(self, specs) -> None:
         for spec in specs:
             self.add_flow(spec)
+
+    def _route(self, spec: FlowSpec) -> FluidPath | None:
+        try:
+            return self.graph.path(
+                spec.flow_id, spec.src, spec.dst,
+                mtu_wire=self.mtu + self.header, ack_size=ACK_SIZE,
+            )
+        except ValueError:
+            return None
+
+    # -- network dynamics --------------------------------------------------------
+
+    def schedule_event(self, at: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at simulated time ``at`` (an exact step boundary).
+
+        Events fire in time order (ties in registration order); like the
+        packet path, events beyond the end of the run never fire.
+        Scheduling from inside an event callback is allowed — that is how
+        detection delays work.
+        """
+        heapq.heappush(self._events, (at, self._event_seq, fn))
+        self._event_seq += 1
+
+    def fail_link(self, a: int, b: int) -> float:
+        """Cut one member of the pair; capacity pools down immediately.
+
+        Returns the queued bytes flushed (the in-flight casualty
+        estimate).  Paths are *not* recomputed — call :meth:`reconverge`
+        when routing detects the change.
+        """
+        return self.graph.fail_link(a, b)
+
+    def restore_link(self, a: int, b: int) -> None:
+        self.graph.restore_link(a, b)
+
+    def degrade_link(
+        self, a: int, b: int,
+        rate_factor: float | None = None,
+        delay_factor: float | None = None,
+    ) -> None:
+        self.graph.degrade_link(
+            a, b, rate_factor=rate_factor, delay_factor=delay_factor
+        )
+
+    def reconverge(self) -> int:
+        """Recompute every in-flight and pending flow's path.
+
+        The fluid analogue of routing reconvergence: active flows pick up
+        their post-change ECMP route (deterministic hash, so a restored
+        trunk gets its old flows back), parked flows re-admit if a route
+        reappeared, and newly routeless flows park.  Returns the number
+        of flows whose path changed (the reroute count).
+        """
+        self._topo_version += 1
+        self.graph.invalidate()
+        self._ecn_configs.clear()
+        rerouted = 0
+        still_active: list[FluidFlow] = []
+        parked: list[FluidFlow] = []
+        for flow in self._active:
+            old_links = None if flow.path is None else flow.path.links
+            flow.path = self._route(flow.spec)
+            flow.topo_version = self._topo_version
+            if flow.path is None:
+                parked.append(flow)
+                rerouted += 1
+            else:
+                if old_links is None or flow.path.links != old_links:
+                    rerouted += 1
+                still_active.append(flow)
+        for flow in self._parked:
+            flow.path = self._route(flow.spec)
+            flow.topo_version = self._topo_version
+            if flow.path is None:
+                parked.append(flow)
+            else:
+                rerouted += 1
+                still_active.append(flow)
+        self._active = still_active
+        self._parked = parked
+        return rerouted
 
     # -- the step loop -----------------------------------------------------------
 
@@ -163,36 +268,71 @@ class FluidEngine:
         """Advance until every flow finished or ``deadline`` (ns) hits.
 
         Returns True when all flows completed.  Steps are ``self.step``
-        long, shortened to land exactly on the next flow arrival so
-        start times are honoured precisely.
+        long, shortened to land exactly on the next flow arrival or the
+        next scheduled dynamics event, so both are honoured precisely.
         """
         if not self._sorted:
             self._starts.sort(key=lambda f: (f.spec.start_time, f.spec.flow_id))
             self._sorted = True
         starts = self._starts
-        while self._active or self._next_idx < len(starts):
-            if not self._active:
-                nxt = starts[self._next_idx].spec.start_time
-                if nxt >= deadline:
-                    break
-                if nxt > self.now:
-                    self.now = nxt              # idle-period fast-forward
-            if self.now >= deadline - _EPS:
-                break
+        events = self._events
+        while True:
+            # Fire dynamics events that are due.
+            while events and events[0][0] <= self.now + _EPS:
+                heapq.heappop(events)[2]()
+            # Admit flows that are due (on the current topology).
             while (
                 self._next_idx < len(starts)
                 and starts[self._next_idx].spec.start_time <= self.now + _EPS
             ):
-                self._active.append(starts[self._next_idx])
+                flow = starts[self._next_idx]
                 self._next_idx += 1
+                if flow.topo_version != self._topo_version:
+                    flow.path = self._route(flow.spec)
+                    flow.topo_version = self._topo_version
+                if flow.path is None:
+                    self._parked.append(flow)
+                else:
+                    self._active.append(flow)
+            if self.now >= deadline - _EPS:
+                break
+            next_start = (
+                starts[self._next_idx].spec.start_time
+                if self._next_idx < len(starts) else None
+            )
+            next_event = events[0][0] if events else None
+            if not self._active:
+                if not self._parked and self._next_idx >= len(starts):
+                    # Every flow finished: stop here, leaving later
+                    # timeline events unfired — the packet path's
+                    # run_until_done semantics (fired=False accounting).
+                    break
+                # Idle (or fully parked): fast-forward to whatever can
+                # change the world next; nothing left means we are done
+                # (parked flows with no pending restore can never finish).
+                targets = [t for t in (next_start, next_event) if t is not None]
+                if not targets:
+                    break
+                target = min(targets)
+                if target >= deadline:
+                    break
+                if target > self.now:
+                    self.now = target
+                    self.clock.now = self.now
+                continue
             dt = self.step
-            if self._next_idx < len(starts):
-                dt = min(dt, starts[self._next_idx].spec.start_time - self.now)
+            if next_start is not None:
+                dt = min(dt, next_start - self.now)
+            if next_event is not None:
+                dt = min(dt, next_event - self.now)
             dt = min(dt, deadline - self.now)
             if dt <= _EPS:
                 dt = _EPS
             self._advance(dt)
-        self.completed = not self._active and self._next_idx >= len(starts)
+        self.completed = (
+            not self._active and not self._parked
+            and self._next_idx >= len(starts)
+        )
         return self.completed
 
     def _advance(self, dt: float) -> None:
@@ -256,6 +396,7 @@ class FluidEngine:
         start_t = self.now
         self.now = start_t + dt
         self.clock.now = self.now
+        goodput_bin = self.goodput_bin
         survivors: list[FluidFlow] = []
         for f in active:
             delivered = f.achieved * dt
@@ -265,6 +406,11 @@ class FluidEngine:
                     start_t + t_send
                     + f.path.base_rtt + f.path.queue_delay()
                 )
+                if goodput_bin is not None and f.remaining > 0:
+                    self._record_goodput(
+                        f.spec.flow_id, start_t, start_t + t_send,
+                        f.remaining / self.wire_factor,
+                    )
                 f.remaining = 0.0
                 f.proxy.done = True
                 self.fct_records.append(FctRecord(
@@ -272,6 +418,11 @@ class FluidEngine:
                     ideal=f.ideal,
                 ))
             else:
+                if goodput_bin is not None and delivered > 0:
+                    self._record_goodput(
+                        f.spec.flow_id, start_t, self.now,
+                        delivered / self.wire_factor,
+                    )
                 f.remaining -= delivered
                 survivors.append(f)
         self._active = survivors
@@ -289,12 +440,40 @@ class FluidEngine:
                 series["times"].append(self.now)
                 series["qlens"].append(link.queue)
 
+    # -- goodput -----------------------------------------------------------------
+
+    def _record_goodput(
+        self, flow_id: int, t0: float, t1: float, payload: float
+    ) -> None:
+        """Spread delivered payload bytes uniformly over ``[t0, t1]`` bins.
+
+        The packet path bins bytes at ACK arrival; the fluid path bins at
+        delivery — an offset of one RTT, far below the bin widths the
+        failover analyses use (tens of microseconds).
+        """
+        bin_ns = self.goodput_bin
+        bins = self.goodput_bins.setdefault(flow_id, {})
+        i0 = int(t0 / bin_ns)
+        i1 = int(t1 / bin_ns)
+        if i0 == i1 or t1 <= t0:
+            bins[i0] = bins.get(i0, 0.0) + payload
+            return
+        rate = payload / (t1 - t0)
+        for idx in range(i0, i1 + 1):
+            lo = max(t0, idx * bin_ns)
+            hi = min(t1, (idx + 1) * bin_ns)
+            if hi > lo:
+                bins[idx] = bins.get(idx, 0.0) + rate * (hi - lo)
+
     # -- per-flow feedback -------------------------------------------------------
 
     def _signals(self, f: FluidFlow, dt: float) -> StepSignals:
         delivered = f.achieved * dt
         hops: list[IntHop] = []
         if self.scheme.needs_int:
+            # A capacity-0 link is a cut edge still on this flow's
+            # pre-reconvergence path: no ACKs return from beyond a cut,
+            # so it contributes no telemetry (and no division by zero).
             hops = [
                 IntHop(
                     bandwidth=link.capacity, ts=self.now,
@@ -302,11 +481,14 @@ class FluidEngine:
                     rx_bytes=link.rx_bytes,
                 )
                 for link in f.path.int_links
+                if link.capacity > 0.0
             ]
         mark_prob = 0.0
         if self._ecn_policy is not None:
             clear = 1.0
             for link in f.path.int_links:
+                if link.capacity <= 0.0:
+                    continue
                 key = id(link)
                 config = self._ecn_configs.get(key)
                 if config is None:
@@ -336,6 +518,18 @@ class FluidEngine:
             mtu_wire=self.mtu + self.header, ack_size=ACK_SIZE,
         )
         return spec.size * self.wire_factor / rate + path.base_rtt
+
+    def goodput_payload(self) -> dict | None:
+        """The recorded goodput bins in ``RunRecord.extras`` shape."""
+        if self.goodput_bin is None:
+            return None
+        return {
+            "bin_ns": self.goodput_bin,
+            "bins": {
+                str(flow_id): {str(idx): n for idx, n in bins.items()}
+                for flow_id, bins in self.goodput_bins.items()
+            },
+        }
 
     def dropped_bytes(self) -> float:
         return sum(l.dropped_bytes for l in self.graph.links.values())

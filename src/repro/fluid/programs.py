@@ -3,16 +3,23 @@
 These mirror the ``load`` and ``flows`` programs of
 ``repro.runner.execute`` but run on :class:`FluidEngine`.  Everything
 upstream (topology factory, workload CDF, Poisson/incast flow
-generation) and downstream (the :class:`RunRecord` payload shape) is
-shared with the packet path, so figure post-processing — slowdown
-buckets, queue series, summary CSVs — works unchanged on fluid records.
+generation, the dynamics timeline) and downstream (the
+:class:`RunRecord` payload shape) is shared with the packet path, so
+figure post-processing — slowdown buckets, queue series, goodput
+trajectories, link-event accounting, summary CSVs — works unchanged on
+fluid records.
 
-What fluid cannot express is rejected or zeroed, never faked:
+Network-dynamics timelines run natively: the
+:class:`~repro.dynamics.fluid.FluidDynamicsDriver` applies link events
+at step boundaries and recomputes paths at detection time, so failover
+scenarios execute at fluid speed instead of raising.
 
-* mid-run link events (failover) raise — rerouting live fluid rates is
-  out of scope for this backend;
+What fluid cannot express is zeroed or approximated openly, never faked:
+
 * PFC pause telemetry reports zero (the model is lossless and
   pause-free by construction);
+* a cut link's in-flight casualties are estimated from the flushed
+  queue share (there are no packets to count);
 * ``NetworkConfig`` knobs with no fluid meaning (``transport``,
   ``pfc_enabled``, ...) are recorded under ``extras["fluid_ignored_config"]``
   so a record always says what it did not model.
@@ -20,7 +27,8 @@ What fluid cannot express is rejected or zeroed, never faked:
 
 from __future__ import annotations
 
-from ..runner.execute import build_topology, workload_cdf
+from ..dynamics import FluidDynamicsDriver, burst_flow_specs
+from ..runner.execute import build_topology, spec_timeline, workload_cdf
 from ..runner.harness import generate_load_flows
 from ..runner.results import RunRecord
 from ..runner.spec import ScenarioSpec
@@ -43,8 +51,30 @@ def _make_engine(
         buffer_bytes=config.pop("buffer_bytes", 32 * MB),
         step=config.pop("fluid_step", None),
         sample_interval=spec.measure.get("sample_interval"),
+        goodput_bin=config.pop("goodput_bin", None),
     )
     return engine, sorted(config)       # leftovers have no fluid meaning
+
+
+def _make_driver(
+    engine: FluidEngine, spec: ScenarioSpec, flow_specs: list[FlowSpec]
+) -> tuple[FluidDynamicsDriver | None, list[FlowSpec]]:
+    """Install the spec's dynamics timeline (if any) on the engine.
+
+    Burst flows are materialized with the *same* helper and flow-id
+    sequence as the packet program, so both backends inject the
+    identical population.
+    """
+    timeline = spec_timeline(spec)
+    if not timeline:
+        return None, flow_specs
+    next_id = max((fs.flow_id for fs in flow_specs), default=0) + 1
+    bursts, burst_entries = burst_flow_specs(
+        timeline, engine.topology.hosts, spec.seed, next_id
+    )
+    driver = FluidDynamicsDriver(engine, timeline, burst_entries)
+    driver.install()
+    return driver, flow_specs + bursts
 
 
 def _record(
@@ -52,6 +82,7 @@ def _record(
     engine: FluidEngine,
     completed: bool,
     ignored_config: list[str],
+    driver: FluidDynamicsDriver | None = None,
 ) -> RunRecord:
     packet_wire = engine.mtu + engine.header
     extras: dict = {
@@ -66,6 +97,11 @@ def _record(
         "fluid_steps": engine.steps,
         "fluid_flow_steps": engine.flow_steps,
     }
+    goodput = engine.goodput_payload()
+    if goodput is not None:
+        extras["goodput"] = goodput
+    if driver is not None:
+        extras["link_events"] = driver.report()
     if ignored_config:
         extras["fluid_ignored_config"] = ignored_config
     return RunRecord(
@@ -106,20 +142,23 @@ def _run_load_fluid(spec: ScenarioSpec) -> RunRecord:
         seed=spec.seed, wire_overhead=engine.wire_factor,
         incast=workload.get("incast"),
     )
+    driver, flows = _make_driver(engine, spec, flows)
     engine.add_flows(flows)
     completed = engine.run(
         deadline=duration * workload.get("deadline_factor", 2.5)
     )
-    return _record(spec, engine, completed, ignored)
+    record = _record(spec, engine, completed, ignored, driver)
+    if driver is not None:
+        # The load population is anonymous bg flows, but injected bursts
+        # are selectable by tag — mirror the packet load program.
+        from ..runner.execute import _merge_burst_flow_ids
+
+        _merge_burst_flow_ids(record.extras)
+    return record
 
 
 def _run_flows_fluid(spec: ScenarioSpec) -> RunRecord:
-    """Fluid twin of the packet ``flows`` program (no link events)."""
-    if spec.workload.get("events"):
-        raise ValueError(
-            "link events are not supported on the fluid backend; "
-            "run failover scenarios with backend='packet'"
-        )
+    """Fluid twin of the packet ``flows`` program, dynamics included."""
     topology = build_topology(spec)
     engine, ignored = _make_engine(topology, spec)
     flow_specs = [
@@ -130,9 +169,10 @@ def _run_flows_fluid(spec: ScenarioSpec) -> RunRecord:
         )
         for i, entry in enumerate(spec.workload["flows"], start=1)
     ]
+    driver, flow_specs = _make_driver(engine, spec, flow_specs)
     engine.add_flows(flow_specs)
     completed = engine.run(deadline=spec.workload["deadline"])
-    record = _record(spec, engine, completed, ignored)
+    record = _record(spec, engine, completed, ignored, driver)
     flow_ids: dict[str, list[int]] = {}
     for fs in flow_specs:
         flow_ids.setdefault(fs.tag, []).append(fs.flow_id)

@@ -8,18 +8,40 @@ the registers an INT-capable switch would expose — which is how the HPCC
 adapter computes Eqn (2)'s ``qlen``/``txRate`` inputs analytically
 instead of reading them off packet telemetry.
 
-Paths are fixed per flow, chosen with the same deterministic
-ECMP-by-hash discipline as the packet simulator: at every switch the
-next hop is drawn from the neighbours one BFS hop closer to the
-destination, keyed by ``(flow_id, src, dst, node)``.  Parallel links
-between the same node pair are aggregated into one fluid link with the
-summed capacity — fluid rates have no notion of per-member hashing.
+Paths are chosen with the same deterministic ECMP-by-hash discipline as
+the packet simulator: at every switch the next hop is drawn from the
+neighbours one BFS hop closer to the destination, keyed by ``(flow_id,
+src, dst, node)``.  Parallel links between the same node pair are
+aggregated into one fluid link with the summed capacity — fluid rates
+have no notion of per-member hashing.
+
+The graph is *live*: the network-dynamics subsystem fails, restores and
+degrades individual link members mid-run.  Pooled capacities move, the
+BFS distance cache invalidates, and subsequent :meth:`FluidGraph.path`
+calls route over the alive subgraph only — the fluid analogue of
+routing reconvergence (the engine decides *when* to recompute paths,
+honouring the timeline's detection delay).
 """
 
 from __future__ import annotations
 
-from ..sim.routing import bfs_distances, ecmp_hash
+from collections import deque
+
+from ..sim.routing import ecmp_hash
 from ..topology.base import Topology
+
+__all__ = ["FluidGraph", "FluidLink", "FluidPath"]
+
+
+class _Member:
+    """One physical link of a (possibly parallel) node pair."""
+
+    __slots__ = ("rate", "delay", "up")
+
+    def __init__(self, rate: float, delay: float) -> None:
+        self.rate = rate
+        self.delay = delay
+        self.up = True
 
 
 class FluidLink:
@@ -29,6 +51,10 @@ class FluidLink:
     a host's own uplink is paced at the source, so oversubscription
     there is resolved by rate throttling, not queueing — mirroring the
     packet NIC, which never contributes INT hops either.
+
+    ``capacity`` is the pooled rate of the pair's *up* members; a fully
+    failed edge keeps its object (flows still pointing at it throttle to
+    zero until the engine recomputes their paths) with capacity 0.
     """
 
     __slots__ = (
@@ -48,14 +74,14 @@ class FluidLink:
     ) -> None:
         self.a = a
         self.b = b
-        self.capacity = capacity        # bytes/ns
+        self.capacity = capacity        # bytes/ns (pooled over up members)
         self.delay = delay              # propagation, ns
         self.is_switch_egress = is_switch_egress
         self.buffer_bytes = buffer_bytes
         self.queue = 0.0                # bytes
         self.tx_bytes = 0.0             # cumulative bytes emitted
         self.rx_bytes = 0.0             # cumulative bytes offered
-        self.dropped_bytes = 0.0        # fluid lost to buffer overflow
+        self.dropped_bytes = 0.0        # fluid lost to overflow or link cuts
         # Per-step scratch registers (owned by the engine's step loop).
         self.arrival = 0.0
         self.throttled = 0.0
@@ -66,6 +92,8 @@ class FluidLink:
         return f"sw{self.a}->{self.b}"
 
     def queue_delay(self) -> float:
+        if self.capacity <= 0.0:
+            return 0.0              # dead edge: queue was flushed at the cut
         return self.queue / self.capacity
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -76,7 +104,7 @@ class FluidLink:
 
 
 class FluidPath:
-    """A flow's fixed route: the links it loads, plus latency summaries."""
+    """A flow's route at one instant: the links it loads, plus latency."""
 
     __slots__ = ("links", "int_links", "base_rtt", "mtu_latency")
 
@@ -93,7 +121,7 @@ class FluidPath:
         self.mtu_latency = forward
 
     def queue_delay(self) -> float:
-        return sum(l.queue / l.capacity for l in self.links)
+        return sum(l.queue_delay() for l in self.links)
 
 
 class FluidGraph:
@@ -102,30 +130,140 @@ class FluidGraph:
     def __init__(self, topology: Topology, buffer_bytes: float) -> None:
         self.topology = topology
         self.links: dict[tuple[int, int], FluidLink] = {}
+        # Undirected member lists keyed like ``links`` (both directions
+        # share the list object, so one state flip moves both).
+        self._members: dict[tuple[int, int], list[_Member]] = {}
         for spec in topology.links:
+            member = _Member(spec.rate, spec.delay)
             for a, b in ((spec.a, spec.b), (spec.b, spec.a)):
-                existing = self.links.get((a, b))
+                existing = self._members.get((a, b))
                 if existing is not None:
-                    existing.capacity += spec.rate     # parallel links pool
+                    existing.append(member)
+                    self.links[(a, b)].capacity += spec.rate   # parallel pool
                 else:
+                    self._members[(a, b)] = [member]
                     self.links[(a, b)] = FluidLink(
                         a, b, spec.rate, spec.delay,
                         is_switch_egress=not topology.is_host(a),
                         buffer_bytes=buffer_bytes,
                     )
-        self._adjacency = topology.adjacency()
+        # Fix the duplicated member list: both directions must share one.
+        for spec in topology.links:
+            self._members[(spec.b, spec.a)] = self._members[(spec.a, spec.b)]
+        self._neighbors: dict[int, list[int]] = {
+            n: [] for n in range(topology.n_hosts + topology.n_switches)
+        }
+        for a, b in self.links:
+            self._neighbors[a].append(b)
         self._dist_to: dict[int, dict[int, int]] = {}
+
+    # -- dynamics ----------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop the BFS cache (after any member state change)."""
+        self._dist_to.clear()
+
+    def _refresh_pair(self, a: int, b: int) -> None:
+        members = self._members[(a, b)]
+        capacity = sum(m.rate for m in members if m.up)
+        up = [m for m in members if m.up]
+        delay = up[0].delay if up else self.links[(a, b)].delay
+        for key in ((a, b), (b, a)):
+            link = self.links[key]
+            link.capacity = capacity
+            link.delay = delay
+
+    def _flush_share(self, a: int, b: int, fraction: float) -> float:
+        """Flush ``fraction`` of both directions' queues to drops.
+
+        The fluid analogue of packets already serialized toward a cut
+        fiber: the share of queued fluid attributable to the failed
+        member is lost, not re-queued.
+        """
+        flushed = 0.0
+        for key in ((a, b), (b, a)):
+            link = self.links[key]
+            if link.queue <= 0.0:
+                continue
+            lost = link.queue * fraction
+            link.dropped_bytes += lost
+            link.queue -= lost
+            flushed += lost
+        return flushed
+
+    def fail_link(self, a: int, b: int) -> float:
+        """Cut one up member of the pair; returns the bytes flushed."""
+        members = self._members.get((a, b))
+        if not members:
+            raise LookupError(f"no link between {a} and {b}")
+        old_capacity = self.links[(a, b)].capacity
+        member = next((m for m in members if m.up), None)
+        if member is None:
+            raise LookupError(f"no up link between {a} and {b}")
+        member.up = False
+        flushed = 0.0
+        if old_capacity > 0.0:
+            flushed = self._flush_share(a, b, member.rate / old_capacity)
+        self._refresh_pair(a, b)
+        self.invalidate()
+        return flushed
+
+    def restore_link(self, a: int, b: int) -> None:
+        """Bring the oldest failed member of the pair back up."""
+        members = self._members.get((a, b))
+        if not members:
+            raise LookupError(f"no link between {a} and {b}")
+        member = next((m for m in members if not m.up), None)
+        if member is None:
+            raise LookupError(f"no down link between {a} and {b}")
+        member.up = True
+        self._refresh_pair(a, b)
+        self.invalidate()
+
+    def degrade_link(
+        self,
+        a: int,
+        b: int,
+        rate_factor: float | None = None,
+        delay_factor: float | None = None,
+    ) -> None:
+        """Scale the first up member's rate and/or delay in place."""
+        members = self._members.get((a, b))
+        if not members:
+            raise LookupError(f"no link between {a} and {b}")
+        member = next((m for m in members if m.up), None)
+        if member is None:
+            raise LookupError(f"no up link between {a} and {b}")
+        if rate_factor is not None:
+            member.rate *= rate_factor
+        if delay_factor is not None:
+            member.delay *= delay_factor
+        self._refresh_pair(a, b)
+        self.invalidate()
+
+    # -- routing -----------------------------------------------------------------
+
+    def _alive(self, a: int, b: int) -> bool:
+        return self.links[(a, b)].capacity > 0.0
 
     def _distances(self, dst: int) -> dict[int, int]:
         dist = self._dist_to.get(dst)
         if dist is None:
-            dist = bfs_distances(self.topology, dst)
+            dist = {dst: 0}
+            frontier = deque([dst])
+            while frontier:
+                node = frontier.popleft()
+                d = dist[node] + 1
+                for peer in self._neighbors[node]:
+                    if peer not in dist and self._alive(node, peer):
+                        dist[peer] = d
+                        frontier.append(peer)
             self._dist_to[dst] = dist
         return dist
 
     def path(self, flow_id: int, src: int, dst: int,
              mtu_wire: int, ack_size: int) -> FluidPath:
-        """The flow's ECMP route as a list of fluid links."""
+        """The flow's ECMP route over the links currently up."""
         dist = self._distances(dst)
         if src not in dist:
             raise ValueError(f"no route from {src} to {dst}")
@@ -133,8 +271,8 @@ class FluidGraph:
         node = src
         while node != dst:
             candidates = sorted(
-                peer for peer, _ in self._adjacency[node]
-                if dist.get(peer, -1) == dist[node] - 1
+                peer for peer in self._neighbors[node]
+                if self._alive(node, peer) and dist.get(peer, -1) == dist[node] - 1
             )
             if not candidates:
                 raise ValueError(f"no route from {src} to {dst} at {node}")
@@ -147,6 +285,8 @@ class FluidGraph:
             links.append(self.links[(node, peer)])
             node = peer
         return FluidPath(links, mtu_wire, ack_size)
+
+    # -- introspection -----------------------------------------------------------
 
     def switch_egress_links(self) -> list[FluidLink]:
         return [l for l in self.links.values() if l.is_switch_egress]

@@ -28,7 +28,7 @@ from .sim.link import Link
 from .sim.nic import HostNic, NicConfig
 from .sim.packet import BASE_HEADER, INT_OVERHEAD
 from .sim.pfc import PfcConfig
-from .sim.routing import build_routing_tables
+from .sim.routing import RerouteReport, RoutingState
 from .sim.switch import Switch
 from .sim.units import MB, MS
 
@@ -158,39 +158,23 @@ class Network:
                 )
             )
         self._link_specs = list(topology.links)   # parallel to self.links
-        self._reroute()
+        self.routing = RoutingState(topology, self.port_map)
+        for idx, (spec, link) in enumerate(zip(self._link_specs, self.links)):
+            self.routing.register_link(
+                idx,
+                (spec.a, link.port_a.port_id),
+                (spec.b, link.port_b.port_id),
+            )
+        for sw, table in self.routing.build().items():
+            # The switch installs the live dict: reconvergence updates the
+            # column in place and forwarding sees it immediately.
+            self.switches[sw].install_routes(table)
+        self._link_index = {id(link): i for i, link in enumerate(self.links)}
 
         self._next_flow_id = 0
         self._pair_rtt: dict[tuple[int, int], float] = {}
 
     # -- failure injection ---------------------------------------------------
-
-    def _reroute(self) -> None:
-        """(Re)compute routing over the links currently up.
-
-        Port ids are untouched — only the reachability graph changes, as a
-        routing protocol reconverging after a failure would see it.
-        """
-        from .topology.base import Topology
-
-        alive = []
-        dead_ports: set[tuple[int, int]] = set()
-        for spec, link in zip(self._link_specs, self.links):
-            if link.up:
-                alive.append(spec)
-            else:
-                dead_ports.add((spec.a, link.port_a.port_id))
-                dead_ports.add((spec.b, link.port_b.port_id))
-        view = Topology(
-            name=self.topology.name + "@current",
-            n_hosts=self.topology.n_hosts,
-            n_switches=self.topology.n_switches,
-            links=alive,
-            switch_tiers=self.topology.switch_tiers,
-        )
-        tables = build_routing_tables(view, self.port_map, dead_ports)
-        for sw, table in tables.items():
-            self.switches[sw].install_routes(table)
 
     def _find_link(self, a: int, b: int, up: bool) -> Link:
         for spec, link in zip(self._link_specs, self.links):
@@ -199,24 +183,62 @@ class Network:
         state = "up" if up else "down"
         raise LookupError(f"no {state} link between {a} and {b}")
 
-    def fail_link(self, a: int, b: int) -> Link:
-        """Cut one link between ``a`` and ``b`` and reconverge routing.
+    def fail_link(self, a: int, b: int, reroute: bool = True) -> Link:
+        """Cut one link between ``a`` and ``b``.
 
         In-flight and subsequently transmitted packets on the cut link are
         lost (counted in ``link.packets_lost_down``); transports recover
         them, and CC algorithms see the new path (HPCC resets its per-hop
-        INT state when the hop count changes).
+        INT state when the hop count changes).  With ``reroute=True`` (the
+        default) routing reconverges at the same instant; the dynamics
+        driver passes ``False`` and calls :meth:`reconverge` after its
+        configured detection delay, modelling a routing protocol that
+        notices the failure late.
         """
         link = self._find_link(a, b, up=True)
         link.up = False
-        self._reroute()
+        if reroute:
+            self.reconverge(link)
         return link
 
-    def restore_link(self, a: int, b: int) -> Link:
-        """Bring a failed link back and reconverge routing."""
+    def restore_link(self, a: int, b: int, reroute: bool = True) -> Link:
+        """Bring a failed link back (and, by default, reconverge routing)."""
         link = self._find_link(a, b, up=False)
         link.up = True
-        self._reroute()
+        if reroute:
+            self.reconverge(link)
+        return link
+
+    def reconverge(self, link: Link) -> RerouteReport:
+        """Align the routing view with ``link``'s current up/down state.
+
+        Scoped: only the destination columns the change can affect are
+        recomputed (see :class:`~repro.sim.routing.RoutingState`), and
+        flows whose ECMP group changed rehash from their next packet.
+        Idempotent when the routing view already matches.
+        """
+        return self.routing.set_link_state(self._link_index[id(link)], link.up)
+
+    def degrade_link(
+        self,
+        a: int,
+        b: int,
+        rate_factor: float | None = None,
+        delay_factor: float | None = None,
+    ) -> Link:
+        """Scale an up link's rate and/or propagation delay in place.
+
+        Routing is untouched (hop counts do not change); subsequent
+        serializations use the new rate — INT's per-hop ``bandwidth``
+        field follows it, so HPCC's Eqn (2) sees the degraded capacity on
+        the very next ACK.
+        """
+        link = self._find_link(a, b, up=True)
+        if rate_factor is not None:
+            link.port_a.rate *= rate_factor
+            link.port_b.rate *= rate_factor
+        if delay_factor is not None:
+            link.prop_delay *= delay_factor
         return link
 
     # -- construction helpers ----------------------------------------------------

@@ -17,6 +17,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from typing import Callable
 
+from ..dynamics import PacketDynamicsDriver, Timeline, burst_flow_specs
 from ..topology.base import Topology
 from ..topology.fattree import FatTreeSpec, fattree
 from ..topology.simple import dual_trunk, dumbbell, intree, parking_lot, star
@@ -132,13 +133,27 @@ def _finish_record(spec: ScenarioSpec, result: RunResult, net,
 
 # -- programs ---------------------------------------------------------------------
 
+def spec_timeline(spec: ScenarioSpec) -> Timeline:
+    """The spec's dynamics timeline, legacy ``workload["events"]`` included.
+
+    The legacy list (``[["fail_link"|"restore_link", t, a, b], ...]``) is
+    a deprecation shim over the timeline DSL: old JSON specs keep hashing
+    identically (the ``dynamics`` field stays empty) and keep running
+    identically (a shimmed fail/restore fires as one scheduled callback
+    with immediate reconvergence — the pre-dynamics behaviour, pinned by
+    the golden determinism fixtures).
+    """
+    return Timeline.for_spec(spec.dynamics, spec.workload.get("events"))
+
+
 def _run_load(spec: ScenarioSpec) -> RunRecord:
     """Poisson background traffic from a size CDF, optional incast bursts.
 
     workload: ``{"cdf", "size_scale", "load", "n_flows", "incast"?,
     "deadline_factor"?}``; measure: ``{"sample_interval"?,
     "pause_intervals"?}``; config: ``NetworkConfig`` overrides
-    (``base_rtt`` required for paper fidelity).
+    (``base_rtt`` required for paper fidelity); dynamics: a timeline of
+    mid-run events (see ``repro.dynamics``).
     """
     topo = build_topology(spec)
     workload = spec.workload
@@ -151,11 +166,30 @@ def _run_load(spec: ScenarioSpec) -> RunRecord:
         incast=workload.get("incast"),
         deadline_factor=workload.get("deadline_factor", 2.5),
         sample_interval=spec.measure.get("sample_interval"),
+        timeline=spec_timeline(spec),
         **config,
     )
     net = result.net
     extras = _base_extras(spec, result, net)
+    if result.dynamics is not None:
+        extras["link_events"] = result.dynamics.report()
+        _merge_burst_flow_ids(extras)
     return _finish_record(spec, result, net, extras)
+
+
+def _merge_burst_flow_ids(extras: dict) -> None:
+    """Surface dynamics-injected burst flows under ``extras["flow_ids"]``.
+
+    The load program has no per-tag flow map of its own (the Poisson
+    population is thousands of anonymous ``bg`` flows), but injected
+    bursts are few and analyses select them by tag.
+    """
+    flow_ids: dict[str, list[int]] = extras.get("flow_ids", {})
+    for entry in extras.get("link_events", ()):
+        if entry.get("type") == "inject_burst":
+            flow_ids.setdefault(entry["tag"], []).extend(entry["flow_ids"])
+    if flow_ids:
+        extras["flow_ids"] = flow_ids
 
 
 def _resolve_ports(net, declarations) -> dict | None:
@@ -184,11 +218,12 @@ def _resolve_ports(net, declarations) -> dict | None:
 
 
 def _run_flows(spec: ScenarioSpec) -> RunRecord:
-    """An explicit flow list, optionally with mid-run link events.
+    """An explicit flow list, optionally with mid-run network dynamics.
 
     workload: ``{"flows": [[src, dst, size, start?, tag?], ...],
-    "deadline", "events"?: [["fail_link"|"restore_link", t, a, b], ...]}``;
-    measure: ``{"sample_interval"?, "sample_ports"?, "windows"?,
+    "deadline", "events"?: the legacy fail/restore shim}``; dynamics: a
+    timeline of mid-run events (see ``repro.dynamics``); measure:
+    ``{"sample_interval"?, "sample_ports"?, "windows"?,
     "pause_intervals"?}``.
     """
     topo = build_topology(spec)
@@ -209,26 +244,16 @@ def _run_flows(spec: ScenarioSpec) -> RunRecord:
         for entry in workload["flows"]
     ]
 
-    link_events: list[dict] = []
-    for event in workload.get("events", ()):
-        kind, at, a, b = event[0], event[1], event[2], event[3]
-        if kind not in ("fail_link", "restore_link"):
-            raise ValueError(f"unknown link event {kind!r}")
-        # Defaults cover runs that finish before the event time: the
-        # entry is always complete, with fired=False marking a no-op.
-        entry = {"type": kind, "time": at, "a": a, "b": b, "fired": False}
-        if kind == "fail_link":
-            entry["packets_lost_down"] = 0
-        link_events.append(entry)
-
-        def fire(entry=entry, kind=kind, a=a, b=b):
-            entry["fired"] = True
-            if kind == "fail_link":
-                entry["_link"] = net.fail_link(a, b)
-            else:
-                net.restore_link(a, b)
-
-        net.sim.at(at, fire)
+    driver = None
+    timeline = spec_timeline(spec)
+    if timeline:
+        bursts, burst_entries = burst_flow_specs(
+            timeline, topo.hosts, spec.seed,
+            next_flow_id=len(flow_specs) + 1,
+        )
+        flow_specs = flow_specs + bursts
+        driver = PacketDynamicsDriver(net, timeline, burst_entries)
+        driver.install()
 
     result = run_workload(
         net, flow_specs, deadline=workload["deadline"],
@@ -241,12 +266,8 @@ def _run_flows(spec: ScenarioSpec) -> RunRecord:
     for fs in flow_specs:
         flow_ids.setdefault(fs.tag, []).append(fs.flow_id)
     extras["flow_ids"] = flow_ids
-    for entry in link_events:
-        link = entry.pop("_link", None)
-        if link is not None:
-            entry["packets_lost_down"] = link.packets_lost_down
-    if link_events:
-        extras["link_events"] = link_events
+    if driver is not None:
+        extras["link_events"] = driver.report()
     if spec.measure.get("windows"):
         windows: dict[str, float | None] = {}
         for fs in flow_specs:

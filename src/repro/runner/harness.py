@@ -25,6 +25,7 @@ class RunResult:
     sampler: QueueSampler | None
     duration: float
     completed: bool
+    dynamics: object | None = None      # PacketDynamicsDriver, if any
 
     @property
     def metrics(self):
@@ -127,13 +128,16 @@ def load_experiment(
     incast: dict | None = None,
     deadline_factor: float = 2.5,
     sample_interval: float | None = None,
+    timeline=None,
     **config_kwargs,
 ) -> RunResult:
     """One background-load run: Poisson flows from ``cdf`` at ``load``.
 
     The duration follows from the target flow count; ``incast`` optionally
     adds synchronized bursts (keys: fan_in, flow_size, load).  The run gets
-    ``deadline_factor`` times the workload duration to drain.
+    ``deadline_factor`` times the workload duration to drain.  ``timeline``
+    (a :class:`~repro.dynamics.events.Timeline`) schedules mid-run network
+    events; its driver rides back on ``RunResult.dynamics``.
     """
     net = setup_network(topology, cc, base_rtt=base_rtt, seed=seed, **config_kwargs)
     wire = (net.config.mtu + net.header) / net.config.mtu
@@ -141,7 +145,20 @@ def load_experiment(
         topology, cdf, load=load, n_flows=n_flows,
         seed=seed, wire_overhead=wire, incast=incast,
     )
-    return run_workload(
+    driver = None
+    if timeline:
+        from ..dynamics import PacketDynamicsDriver, burst_flow_specs
+
+        next_id = max((s.flow_id for s in specs), default=0) + 1
+        bursts, burst_entries = burst_flow_specs(
+            timeline, topology.hosts, seed, next_id
+        )
+        specs = specs + bursts
+        driver = PacketDynamicsDriver(net, timeline, burst_entries)
+        driver.install()
+    result = run_workload(
         net, specs, deadline=duration * deadline_factor,
         sample_interval=sample_interval,
     )
+    result.dynamics = driver
+    return result

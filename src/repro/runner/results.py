@@ -112,6 +112,17 @@ class RunRecord:
         }
 
     def link_events(self) -> list[dict]:
+        """The run's dynamics accounting, one entry per timeline event.
+
+        Every entry carries ``type``/``time``/``fired``; link events add
+        ``a``/``b`` plus — symmetrically on both ``fail_link`` *and*
+        ``restore_link`` — ``packets_lost_down`` (casualties of the down
+        period the event opened or closed), ``reroutes`` (ECMP groups
+        changed on the packet backend, flows repathed on fluid),
+        ``dests_recomputed`` and ``detected_at`` (when routing
+        reconverged — ``time + detection_delay``).  ``degrade_link``
+        records its factors; ``inject_burst`` its ``flow_ids``.
+        """
         return list(self.extras.get("link_events", []))
 
     def origin_map(self) -> dict[tuple[int, int], int]:

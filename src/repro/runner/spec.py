@@ -55,10 +55,14 @@ class CcChoice:
 # presentation/grouping only: two specs differing only there produce the
 # same results, share a cache entry and compare equal.  ``backend`` IS
 # identity: a packet and a fluid run of the same scenario compute
-# different things and must never share a cache entry.
+# different things and must never share a cache entry.  ``dynamics`` is
+# identity too, but an *empty* timeline is omitted from the canonical
+# encoding so every pre-dynamics spec keeps its original hash (and cache
+# entries survive).
 _IDENTITY_FIELDS = (
     "program", "topology", "topology_params", "cc",
     "workload", "config", "measure", "seed", "scale", "backend",
+    "dynamics",
 )
 
 BACKENDS = ("packet", "fluid")
@@ -85,6 +89,13 @@ class ScenarioSpec:
     ``backend`` selects the execution engine: ``"packet"`` (the
     discrete-event simulator) or ``"fluid"`` (the flow-level fast path in
     ``repro.fluid``).  It is part of the spec's identity hash.
+
+    ``dynamics`` declares mid-run network events as a
+    :class:`~repro.dynamics.events.Timeline` (accepted directly, stored
+    in its JSON form): link failures and recoveries, degradations, flap
+    trains and scheduled incast bursts.  It is hash-distinct — two specs
+    differing only in their fault schedule never share a cache entry —
+    and sweepable via :func:`~repro.dynamics.events.dynamics_axis`.
     """
 
     program: str
@@ -97,6 +108,7 @@ class ScenarioSpec:
     seed: int = 1
     scale: str = "bench"
     backend: str = "packet"
+    dynamics: dict = field(default_factory=dict)
     label: str = ""
     meta: dict = field(default_factory=dict)
 
@@ -106,6 +118,14 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown backend {self.backend!r}; known: {known}"
             )
+        dynamics = self.dynamics
+        if dynamics:
+            from ..dynamics.events import Timeline
+
+            if isinstance(dynamics, Timeline):
+                object.__setattr__(self, "dynamics", dynamics.to_json())
+            else:
+                Timeline.from_json(dynamics)    # eager validation
 
     # -- identity --------------------------------------------------------------
 
@@ -115,6 +135,8 @@ class ScenarioSpec:
         for name in _IDENTITY_FIELDS:
             value = getattr(self, name)
             out[name] = value.to_json() if isinstance(value, CcChoice) else value
+        if not out["dynamics"]:
+            del out["dynamics"]         # legacy hash compatibility
         return out
 
     def canonical(self) -> str:

@@ -83,3 +83,48 @@ def test_golden_run_is_repeatable():
     assert fct_digest(first.metrics.fct_records) == fct_digest(
         second.metrics.fct_records
     )
+
+
+# cc_name -> (events_processed, sha256 of FCT records) for the failover
+# scenario below, captured at the PR-3 tip — before the incremental
+# routing-reconvergence layer replaced the one-shot table rebuild.  Any
+# divergence means the scoped recompute is not equivalent to the full
+# rebuild (tables, member ordering, or event structure changed).
+GOLDEN_FAILOVER = {
+    "hpcc": (51960, "20feb4669239d1d18e699fbe4b0816168f1c71f911f22fc8789bab57f95e818b"),
+    "dcqcn": (48032, "69ac64505a7e2c37b9244f99641cc48b65a7fdd59462b7ed9af5a1fe51a95404"),
+}
+
+
+def golden_failover_run(cc_name: str):
+    """2 cross-rack flows on a dual trunk; one trunk cut at 0.2ms and
+    restored at 0.6ms — fail *and* restore both exercise reconvergence."""
+    from repro.topology.simple import dual_trunk
+
+    net = Network(
+        dual_trunk(n_pairs=2),
+        NetworkConfig(cc_name=cc_name, base_rtt=9 * US, rto=300 * US, seed=3),
+    )
+    net.add_flow(net.make_flow(0, 2, 2_000_000, start_time=1_000.0))
+    net.add_flow(net.make_flow(1, 3, 2_000_000, start_time=1_003.0))
+    net.sim.at(0.2 * MS, net.fail_link, 4, 5)
+    net.sim.at(0.6 * MS, net.restore_link, 4, 5)
+    done = net.run_until_done(deadline=50 * MS)
+    assert done, f"{cc_name} golden failover scenario did not finish"
+    return net
+
+
+@pytest.mark.parametrize("cc_name", sorted(GOLDEN_FAILOVER))
+def test_golden_failover_determinism(cc_name):
+    expected_events, expected_digest = GOLDEN_FAILOVER[cc_name]
+    net = golden_failover_run(cc_name)
+    assert net.sim.events_processed == expected_events, (
+        f"{cc_name}: failover events_processed changed "
+        f"({net.sim.events_processed} vs golden {expected_events}) — "
+        "incremental reconvergence altered event structure or ordering"
+    )
+    assert fct_digest(net.metrics.fct_records) == expected_digest, (
+        f"{cc_name}: failover FCT records diverged from the golden "
+        "capture — the scoped recompute is not bit-identical to the "
+        "one-shot table rebuild"
+    )

@@ -162,6 +162,60 @@ class TestCrossValidation:
         assert fluid_mean == pytest.approx(packet_mean, rel=0.30)
 
 
+class TestFailoverCrossValidation:
+    """Dual-trunk failover: the fluid goodput-recovery trajectory must
+    agree with the packet backend within documented bounds.
+
+    After the cut both models have a single 50G trunk, so the post-cut
+    trajectory is directly comparable: post-recovery aggregate goodput
+    within 20%, recovery time within two goodput bins (200us).  *Pre*-cut
+    goodput is bounded one-sidedly: fluid pools the parallel trunks into
+    one 100G link while packet ECMP can hash 4 flows 3-1 across members,
+    so fluid >= packet there by construction (README "Network dynamics").
+    DCQCN is excluded: its packet behaviour is dominated by sub-RTT
+    min-rate collapse, the same divergence the steady-state
+    cross-validation class documents.
+    """
+
+    BOUNDS = {"after_rel": 0.20, "recovery_slack_us": 200.0}
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.experiments.failover import SCHEMES, run_failover
+
+        schemes = tuple(
+            cc for cc in SCHEMES if cc.name in ("hpcc", "dctcp")
+        )
+        return {
+            backend: run_failover(schemes=schemes, backend=backend)
+            for backend in ("packet", "fluid")
+        }
+
+    @pytest.mark.parametrize("scheme", ["HPCC", "DCTCP"])
+    def test_post_cut_goodput_agrees(self, results, scheme):
+        packet = results["packet"].goodput_after[scheme]
+        fluid = results["fluid"].goodput_after[scheme]
+        assert fluid == pytest.approx(packet, rel=self.BOUNDS["after_rel"])
+
+    @pytest.mark.parametrize("scheme", ["HPCC", "DCTCP"])
+    def test_recovery_time_agrees(self, results, scheme):
+        packet = results["packet"].recovery_time_us[scheme]
+        fluid = results["fluid"].recovery_time_us[scheme]
+        assert packet != float("inf") and fluid != float("inf")
+        assert abs(fluid - packet) <= self.BOUNDS["recovery_slack_us"]
+
+    @pytest.mark.parametrize("scheme", ["HPCC", "DCTCP"])
+    def test_pre_cut_goodput_bounded_by_pooling(self, results, scheme):
+        packet = results["packet"].goodput_before[scheme]
+        fluid = results["fluid"].goodput_before[scheme]
+        payload_capacity = 100 * (1000 / 1048)      # 2 trunks, wire factor
+        assert packet * 0.95 <= fluid <= payload_capacity * 1.01
+
+    def test_fluid_failover_runs_and_drains(self, results):
+        fluid = results["fluid"]
+        assert all(fluid.drained.values())
+
+
 def load_spec(backend: str = "fluid", **updates) -> ScenarioSpec:
     spec = ScenarioSpec(
         program="load",
@@ -222,12 +276,18 @@ class TestFluidPrograms:
         label, series = next(iter(record.queues.items()))
         assert len(series["times"]) == len(series["qlens"]) > 0
 
-    def test_link_events_rejected(self):
+    def test_legacy_link_events_run_on_fluid(self):
+        """The legacy ``workload["events"]`` shim executes on fluid now
+        (pre-dynamics PRs it raised ValueError): cutting the receiver's
+        uplink parks both flows, so the run ends incomplete — blackholed,
+        not crashed, like the packet backend."""
         spec = flows_spec(
-            **{"workload.events": [["fail_link", 1.0, 3, 0]]}
+            **{"workload.events": [["fail_link", 1.0, 3, 2]]}
         )
-        with pytest.raises(ValueError, match="not supported on the fluid"):
-            execute_spec(spec)
+        record = execute_spec(spec)
+        [event] = record.link_events()
+        assert event["type"] == "fail_link" and event["fired"]
+        assert not record.completed        # host 2 is unreachable: flows park
 
     def test_ignored_config_recorded(self):
         record = execute_spec(load_spec(**{"config.transport": "irn"}))
