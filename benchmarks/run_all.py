@@ -27,6 +27,20 @@ import platform
 import sys
 import time
 
+#: Version of the JSON payload this script emits.  Bump when the
+#: payload shape changes and note the migration here:
+#:
+#: * (unstamped) — the PR 3/4 snapshots (``BENCH_pr3.json``,
+#:   ``BENCH_pr4.json``): ``{python, platform, results[], notes?}``,
+#:   no ``schema`` key.  Readers must treat a missing key as v1.
+#: * 2 — same shape plus this ``schema`` stamp.
+#:
+#: The checked-in trajectory starts at ``BENCH_pr3.json``: PR 0-2
+#: predate the snapshot convention, so ``BENCH_pr1.json`` and
+#: ``BENCH_pr2.json`` intentionally do not exist (README "Benchmark
+#: trajectory").
+BENCH_SCHEMA = 2
+
 
 def _engine_events():
     """Raw event-loop throughput (the substrate number every packet-level
@@ -230,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
         names = names[: max(1, args.fastest)]
 
     payload = {
+        "schema": BENCH_SCHEMA,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "results": run_benches(names),

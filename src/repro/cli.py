@@ -9,6 +9,8 @@ Examples::
     hpcc-repro sweep fig10 fig11 --jobs 4 --out results/
     hpcc-repro sweep fig11 --seeds 1,2,3 --jobs 8
     hpcc-repro sweep fig11 --backend fluid --scale full
+    hpcc-repro report --fastest
+    hpcc-repro report --figures fig11 fig13 --backend fluid --out report/
     hpcc-repro cache stats --dir results/
     hpcc-repro cache clear --dir results/
     hpcc-repro schemes
@@ -23,6 +25,13 @@ them).  ``--backend fluid`` runs every scenario on the flow-level fluid
 engine instead of the packet simulator — hash-distinct, so packet and
 fluid records coexist in one cache; ``cache stats``/``cache clear``
 inspect and prune that directory.
+
+``report`` builds the HTML/SVG reproduction report (``repro.report``):
+it sweeps whatever the requested figures are missing (reusing any
+cache directory via ``--cache``), renders every figure's panels
+side-by-side with the digitized paper curves, and scores fidelity
+per figure (pass/warn/fail).  ``--fastest`` builds the cheap fluid
+subset CI uploads on every PR.
 """
 
 from __future__ import annotations
@@ -247,6 +256,44 @@ def _profiled(args) -> int:
     return status
 
 
+def _cmd_report(args) -> int:
+    from .report.build import FASTEST_FIGURES, build_report, resolve_figures
+
+    figures = resolve_figures(args.figures, args.fastest)
+    backend = args.backend
+    if backend is None:
+        # --fastest is the CI/regression path: the fluid backend makes
+        # the whole build a few seconds; full reports default to packet.
+        backend = "fluid" if args.fastest else "packet"
+    try:
+        report = build_report(
+            figures,
+            backend=backend,
+            scale=args.scale,
+            out=args.out,
+            cache_dir=args.cache,
+            jobs=args.jobs,
+            progress=_progress_ticker(args),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.png:
+        from .report.build import rasterize_panels
+
+        try:
+            written = rasterize_panels(report, Path(args.out))
+        except RuntimeError as exc:
+            raise SystemExit(f"error: {exc}")
+        print(f"{len(written)} PNG panels -> {args.out}")
+    for key, verdict in report.verdicts().items():
+        print(f"{key:10s} {verdict}")
+    print(f"report -> {Path(args.out) / 'index.html'}")
+    if args.fastest:
+        print(f"(--fastest subset: {', '.join(FASTEST_FIGURES)}; "
+              f"backend {backend})")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from .runner import RunCache
 
@@ -341,6 +388,51 @@ def main(argv: list[str] | None = None) -> int:
         help="suppress the per-scenario stderr progress ticker",
     )
 
+    report = sub.add_parser(
+        "report",
+        help="build the HTML/SVG reproduction report with fidelity scores",
+    )
+    report.add_argument(
+        "--figures", nargs="+", default=None, metavar="FIG",
+        help="figures to include (default: all); e.g. --figures fig11 fig13",
+    )
+    report.add_argument(
+        "--fastest", action="store_true",
+        help="build only the fast fluid-eligible subset (what CI uploads); "
+             "implies --backend fluid unless overridden",
+    )
+    report.add_argument(
+        "--backend", choices=("packet", "fluid"), default=None,
+        help="execution engine (default: packet, or fluid with --fastest); "
+             "packet-only figures always stay on the packet engine",
+    )
+    report.add_argument(
+        "--scale", choices=("bench", "full"), default="bench",
+        help="scenario scale (default bench)",
+    )
+    report.add_argument(
+        "--out", default="report", metavar="DIR",
+        help="output directory for index.html + SVGs (default report/)",
+    )
+    report.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="RunCache directory to reuse (e.g. a sweep's --out); "
+             "default <out>/cache",
+    )
+    report.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for missing scenarios (default 1)",
+    )
+    report.add_argument(
+        "--png", action="store_true",
+        help="additionally rasterize every panel to PNG (requires "
+             "matplotlib; the SVG report never does)",
+    )
+    report.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-scenario stderr progress ticker",
+    )
+
     cache = sub.add_parser(
         "cache", help="inspect or prune a sweep's RunCache directory"
     )
@@ -367,6 +459,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "cache":
         return _cmd_cache(args)
     parser.print_help()

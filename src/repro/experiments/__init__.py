@@ -24,6 +24,8 @@ from . import (
     figure12,
     figure13,
     figure14,
+    flapping,
+    linkfail,
 )
 from .common import CcChoice, RunResult, load_experiment, run_workload, setup_network
 
@@ -43,6 +45,8 @@ __all__ = [
     "figure12",
     "figure13",
     "figure14",
+    "flapping",
+    "linkfail",
     "load_experiment",
     "run_workload",
     "setup_network",

@@ -179,6 +179,76 @@ def scenarios(scale: str = "bench", seed: int | None = None) -> list[ScenarioSpe
             a4_scenario(seed=seed)]
 
 
+def render(specs, records):
+    """Report hook: analytic-vs-simulated bars (A.1), lemma counts
+    (A.2) and the A.4 incast summary, identified by program."""
+    from ..report.figures import FigureRender, Panel, Series, queue_series
+
+    panels = []
+    stats: dict[str, float] = {}
+    for spec, record in zip(specs, records):
+        e = record.extras
+        if spec.program == "appendix_a1":
+            stats["a1_mean_ratio"] = (
+                e["simulated_mean"] / e["analytic_mean_full_load"]
+                if e["analytic_mean_full_load"] else float("nan")
+            )
+            panels.append(Panel(
+                key="a1-queueing",
+                title="A.1: mean queue, simulation vs analytic bound",
+                series=[Series(
+                    name="packets", kind="bar",
+                    x=[0.0, 1.0],
+                    y=[e["simulated_mean"], e["analytic_mean_full_load"]],
+                    labels=["simulated", "analytic (rho=1)"],
+                )],
+                y_label="mean queue (pkts)",
+            ))
+        elif spec.program == "appendix_a2":
+            n = e["n_trials"]
+            stats["a2_feasible_frac"] = e["feasible_after_one"] / n
+            stats["a2_monotone_frac"] = e["monotone"] / n
+            stats["a2_pareto_frac"] = e["pareto_asymptotic"] / n
+            panels.append(Panel(
+                key="a2-lemma",
+                title="A.2: Pareto-convergence lemma, fraction of trials",
+                series=[Series(
+                    name="fraction", kind="bar",
+                    x=[0.0, 1.0, 2.0],
+                    y=[stats["a2_feasible_frac"], stats["a2_monotone_frac"],
+                       stats["a2_pareto_frac"]],
+                    labels=["feasible@1", "monotone", "Pareto@5I"],
+                )],
+                y_label="fraction of trials",
+            ))
+        else:                                   # A.4 flows scenario
+            t, q = queue_series(record, "root")
+            panels.append(Panel(
+                key="a4-root-queue",
+                title="A.4: root queue through a 64-to-1 incast",
+                series=[Series(
+                    name="HPCC",
+                    x=[tt / US for tt in t], y=[v / 1_000_000 for v in q],
+                )],
+                x_label="time (us)", y_label="queue (MB)",
+            ))
+            windows = [
+                w for w in record.final_windows().values() if w is not None
+            ]
+            topo = build_topology(spec)
+            winit = topo.host_rate(0) * A4_BASE_RTT
+            stats["a4_window_frac"] = (
+                sum(windows) / len(windows) / winit if windows else float("nan")
+            )
+            stats["a4_pfc_pauses"] = float(record.extras.get("pause_count", 0))
+    return FigureRender(
+        figure="appendix",
+        title="Appendix A: the theory, executed",
+        panels=panels,
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     runner = SweepRunner()
     a1 = run_a1(runner=runner)

@@ -29,8 +29,9 @@ from ..runner import CcChoice, RunRecord, ScenarioGrid, ScenarioSpec, \
 from ..sim.units import MS, US
 from ..topology.simple import dual_trunk
 
-__all__ = ["BENCH", "SCHEMES", "FailoverResult", "dual_trunk",
-           "recovery_time_us", "run_failover", "scenarios", "main"]
+__all__ = ["BENCH", "SCHEMES", "TRUNK_GBPS", "FailoverResult", "dual_trunk",
+           "goodput_summary", "recovery_time_us", "run_failover",
+           "scenarios", "surviving_payload_gbps", "main"]
 
 
 @dataclass
@@ -50,6 +51,42 @@ BENCH = {
     "flow_size": 40_000_000,
     "detection_delay": 0.0,
 }
+
+#: Rate of each dual_trunk member (and so the surviving capacity after
+#: one cut).  Change together with the ``dual_trunk`` topology factory.
+TRUNK_GBPS = 50.0
+
+
+def surviving_payload_gbps(record: RunRecord) -> float:
+    """Goodput capacity of the surviving trunk, header overhead removed
+    (goodput counts 1000B payloads; the wire carries payload + header)."""
+    header = record.extras["header_bytes"]
+    return TRUNK_GBPS * (1000 / (1000 + header))
+
+
+def goodput_summary(record: RunRecord, p: dict) -> dict:
+    """Per-record failover accounting: aggregate goodput before the cut
+    and near the end, recovery time to 80% of the surviving capacity,
+    packets lost to the down period.  Shared by :func:`run_failover`
+    and the report's ``render`` hook so the two never diverge."""
+    goodput = record.goodput()
+    ids = record.flow_ids("bg")
+
+    def total_in(t0, t1):
+        return sum(goodput.mean_gbps(fid, t0, t1) for fid in ids)
+
+    return {
+        "before_gbps": total_in(1 * MS, p["fail_at"]),
+        "after_gbps": total_in(p["duration"] - 3 * MS,
+                               p["duration"] - 1 * MS),
+        "recovery_us": recovery_time_us(
+            record, p["fail_at"], 0.8 * surviving_payload_gbps(record), ids
+        ),
+        "lost_packets": sum(
+            e.get("packets_lost_down", 0)
+            for e in record.link_events() if e["type"] == "fail_link"
+        ),
+    }
 
 SCHEMES = (
     CcChoice("hpcc", label="HPCC"),
@@ -141,30 +178,50 @@ def run_failover(
     drained: dict[str, bool] = {}
     for spec, record in zip(specs, records):
         label = spec.label
-        p = spec.meta["params"]
-        goodput = record.goodput()
-        ids = record.flow_ids("bg")
-
-        def total_in(t0, t1):
-            return sum(goodput.mean_gbps(fid, t0, t1) for fid in ids)
-
-        before[label] = total_in(1 * MS, p["fail_at"])
-        after[label] = total_in(p["duration"] - 3 * MS,
-                                p["duration"] - 1 * MS)
-        [cut] = record.link_events()
-        lost[label] = cut["packets_lost_down"]
-        # Recovery: first bin after the cut where aggregate goodput
-        # reaches 80% of the surviving trunk's payload capacity.
-        header = record.extras["header_bytes"]
-        surviving_payload = 50 * (1000 / (1000 + header))   # Gbps
-        recovery[label] = recovery_time_us(
-            record, p["fail_at"], 0.8 * surviving_payload, ids
-        )
+        summary = goodput_summary(record, spec.meta["params"])
+        before[label] = summary["before_gbps"]
+        after[label] = summary["after_gbps"]
+        recovery[label] = summary["recovery_us"]
+        lost[label] = summary["lost_packets"]
         # Fluid records omit queue-free switches, hence the default.
         drained[label] = (
             record.switch_queued_bytes().get(spec.meta["sw_a"], 0) < 10_000_000
         )
     return FailoverResult(before, after, recovery, lost, drained)
+
+
+def render(specs, records):
+    """Report hook: aggregate goodput through the cut, per scheme."""
+    from ..report.figures import FigureRender, Panel, Series
+
+    series = []
+    stats: dict[str, float] = {}
+    for spec, record in zip(specs, records):
+        label = spec.label
+        goodput = record.goodput()
+        ids = record.flow_ids("bg")
+        times, total = goodput.total_series(ids)
+        series.append(Series(
+            name=label, x=[t / US for t in times], y=total,
+        ))
+        for metric, value in goodput_summary(record,
+                                             spec.meta["params"]).items():
+            stats[f"{metric}/{label}"] = float(value)
+    return FigureRender(
+        figure="failover",
+        title="Extension: CC behaviour across a link failure",
+        panels=[Panel(
+            key="goodput",
+            title="Aggregate goodput, one of two trunks cut mid-run",
+            series=series,
+            x_label="time (us)", y_label="goodput (Gbps)",
+        )],
+        stats=stats,
+        notes=[
+            "Pre-cut goodput differs across backends by design: fluid "
+            "pools the two trunk members (no ECMP hash imbalance)."
+        ],
+    )
 
 
 def main(scale: str = "bench") -> None:

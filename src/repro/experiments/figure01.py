@@ -109,6 +109,56 @@ def run_figure01(scale: str = "bench", seed: int = 3,
     )
 
 
+def render(specs, records):
+    """Report hook: pause-depth CCDF + suppressed-bandwidth CDF."""
+    from ..report.figures import FigureRender, Panel, Series, cdf_series
+
+    [spec] = specs
+    [record] = records
+    topo = build_topology(spec)
+    trees = analyze_pause_trees(
+        record.pause_tracker(),
+        origin_of=record.origin_map(),
+        host_ids=set(topo.hosts),
+        host_rate=topo.min_host_rate(),
+    )
+    ccdf = depth_ccdf(trees)
+    suppressed = sorted(
+        (t.suppressed_fraction * 100 for t in trees), reverse=True
+    )
+    depths = sorted(ccdf)
+    stats = {
+        "pause_events": float(record.extras.get("pause_count", 0)),
+        "pause_trees": float(len(trees)),
+        "max_depth": float(max(depths)) if depths else 0.0,
+        "depth2_frac": ccdf.get(2, 0.0),
+        "worst_suppressed_pct": suppressed[0] if suppressed else 0.0,
+    }
+    return FigureRender(
+        figure="fig1",
+        title="Figure 1: the impact of PFC pauses",
+        panels=[
+            Panel(
+                key="depth-ccdf",
+                title="1a: pause propagation depth CCDF",
+                series=[Series(
+                    name="DCQCN incast",
+                    x=[float(d) for d in depths],
+                    y=[ccdf[d] for d in depths],
+                )],
+                x_label="depth >=", y_label="fraction of events",
+            ),
+            Panel(
+                key="suppressed",
+                title="1b: suppressed host capacity per pause event",
+                series=[cdf_series("DCQCN incast", suppressed)],
+                x_label="suppressed capacity (%)", y_label="CDF",
+            ),
+        ],
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_table
 

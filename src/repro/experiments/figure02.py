@@ -144,6 +144,61 @@ def run_figure02(
     return Figure2Result(buckets, pause_frac, short_p95, pause_events, edges)
 
 
+def render(specs, records):
+    """Report hook: p95 slowdown buckets + PFC pause bars per timer set."""
+    from ..report.figures import FigureRender, Panel, Series, bucket_panel
+
+    edges = [0] + [int(d) for d in workload_cdf(specs[0].workload).deciles()]
+    size_scale = specs[0].meta["size_scale"]
+    short_cut = max(3000 * size_scale, 2 * 1000)
+    buckets: dict[str, list[BucketStats]] = {}
+    stats: dict[str, float] = {}
+    labels = []
+    pause_pcts = []
+    for spec, record in zip(specs, records):
+        label = spec.label
+        labels.append(label)
+        fct = record.fct_records()
+        buckets[label] = slowdown_by_bucket(fct, edges, tag="bg")
+        short = [
+            r.fct / US for r in fct
+            if r.spec.size <= short_cut and r.spec.tag == "bg"
+        ]
+        pause_frac = (
+            record.extras["pause_total_ns"]
+            / (record.duration_ns * record.extras["n_hosts"])
+        )
+        pause_pcts.append(pause_frac * 100)
+        stats[f"pause_frac/{label}"] = pause_frac
+        stats[f"short_p95_us/{label}"] = (
+            percentile(short, 95) if short else float("nan")
+        )
+        all_p95 = [b.p95 for b in buckets[label]]
+        stats[f"mean_p95/{label}"] = (
+            sum(all_p95) / len(all_p95) if all_p95 else float("nan")
+        )
+    return FigureRender(
+        figure="fig2",
+        title="Figure 2: DCQCN timer trade-off",
+        panels=[
+            bucket_panel("p95-buckets",
+                         "2a: p95 FCT slowdown per size bucket", buckets,
+                         edges=edges),
+            Panel(
+                key="pauses",
+                title="2b: PFC pause-time fraction (with incast)",
+                series=[Series(
+                    name="pause time %", kind="bar",
+                    x=[float(i) for i in range(len(labels))],
+                    y=pause_pcts, labels=labels,
+                )],
+                y_label="pause time (%)",
+            ),
+        ],
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_bucket_table, format_table
 

@@ -117,6 +117,37 @@ def short_vs_long_p95(stats: list[BucketStats]) -> tuple[float, float]:
     return short, long_
 
 
+def render(specs, records):
+    """Report hook: per-load p95 bucket curves, one series per threshold."""
+    from ..report.figures import FigureRender, bucket_panel
+
+    edges = [0] + [int(d) for d in workload_cdf(specs[0].workload).deciles()]
+    by_load: dict[float, dict[str, list[BucketStats]]] = {}
+    for spec, record in zip(specs, records):
+        load = spec.meta["load"]
+        by_load.setdefault(load, {})[spec.label] = slowdown_by_bucket(
+            record.fct_records(), edges
+        )
+    panels = []
+    stats: dict[str, float] = {}
+    for load, by_setting in sorted(by_load.items()):
+        key = f"p95-{load:.0%}".replace("%", "")
+        panels.append(bucket_panel(
+            key, f"Figure 3 ({load:.0%} load): p95 FCT slowdown", by_setting,
+            edges=edges,
+        ))
+        for label, bucket_stats in by_setting.items():
+            short, long_ = short_vs_long_p95(bucket_stats)
+            stats[f"short_p95/{load:.2f}/{label}"] = short
+            stats[f"long_p95/{load:.2f}/{label}"] = long_
+    return FigureRender(
+        figure="fig3",
+        title="Figure 3: DCQCN ECN-threshold trade-off",
+        panels=panels,
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_bucket_table
 

@@ -111,6 +111,37 @@ def run_figure06(scale: str = "bench", params: dict | None = None,
     return Figure6Result(series, steady_mean, steady_std, peak)
 
 
+def render(specs, records):
+    """Report hook: bottleneck-queue trajectory for both feedback variants."""
+    from ..report.figures import FigureRender, Panel, Series, queue_series
+
+    series = []
+    stats: dict[str, float] = {}
+    for spec, record in zip(specs, records):
+        label = spec.label
+        t, q = queue_series(record, "bneck")
+        series.append(Series(
+            name=label,
+            x=[tt / US for tt in t],
+            y=[v / 1000 for v in q],
+        ))
+        mean, std = _steady_stats(t, q, spec.meta["duration"] * 0.25)
+        stats[f"steady_mean_kb/{label}"] = mean / 1000
+        stats[f"steady_std_kb/{label}"] = std / 1000
+        stats[f"peak_kb/{label}"] = (max(q) if q else 0) / 1000
+    return FigureRender(
+        figure="fig6",
+        title="Figure 6: txRate vs rxRate feedback",
+        panels=[Panel(
+            key="queue",
+            title="Queue at the 2-to-1 bottleneck",
+            series=series,
+            x_label="time (us)", y_label="queue (KB)",
+        )],
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     from ..metrics.reporter import ascii_series, format_table
 

@@ -328,6 +328,128 @@ def scenarios(scale: str = "bench", seed: int = 1) -> list[ScenarioSpec]:
     )
 
 
+def render(specs, records):
+    """Report hook: one panel per micro-benchmark, keyed by scenario.
+
+    Handles any subset of the four scenario groups (the report runs the
+    full ``scenarios()`` grid; callers replaying a partial sweep get
+    only the panels their records cover).
+    """
+    from ..report.figures import (
+        FigureRender, Panel, Series, cdf_series, queue_series,
+    )
+
+    groups: dict[str, list[tuple]] = {}
+    for spec, record in zip(specs, records):
+        groups.setdefault(spec.meta["scenario"], []).append((spec, record))
+    panels = []
+    stats: dict[str, float] = {}
+
+    for spec, record in groups.get("long-short", []):
+        p = spec.meta["params"]
+        tracker = record.goodput()
+        [long_id] = record.flow_ids("long")
+        short_id = record.flow_ids("short")[0]
+        t, g = tracker.series(long_id)
+        panels.append(Panel(
+            key=f"longshort-{spec.label.lower()}",
+            title=f"9a/9b: long-flow goodput, {spec.label}",
+            series=[
+                Series(name="long", x=[tt / US for tt in t], y=g),
+                Series(name="short",
+                       x=[tt / US for tt in tracker.series(short_id)[0]],
+                       y=tracker.series(short_id)[1]),
+            ],
+            x_label="time (us)", y_label="goodput (Gbps)",
+        ))
+        short_end = record.finish_times().get(short_id, p["duration"])
+        window_from = min(short_end + 200 * US, p["duration"] - 500 * US)
+        stats[f"recovery_gbps/{spec.label}"] = tracker.mean_gbps(
+            long_id, window_from, p["duration"]
+        )
+
+    incast_series = []
+    for spec, record in groups.get("incast", []):
+        p = spec.meta["params"]
+        t, q = queue_series(record, "bneck")
+        incast_series.append(Series(
+            name=spec.label,
+            x=[tt / US for tt in t], y=[v / 1000 for v in q],
+        ))
+        in_event = [(tt, v) for tt, v in zip(t, q) if tt >= p["incast_at"]]
+        stats[f"incast_peak_kb/{spec.label}"] = (
+            max((v for _, v in in_event), default=0) / 1000
+        )
+        probe = p["incast_at"] + 10 * T_TESTBED
+        stats[f"incast_settled_kb/{spec.label}"] = next(
+            (v for tt, v in in_event if tt >= probe), 0
+        ) / 1000
+    if incast_series:
+        panels.append(Panel(
+            key="incast-queue",
+            title="9c/9d: bottleneck queue through a 7-to-1 incast",
+            series=incast_series,
+            x_label="time (us)", y_label="queue (KB)",
+        ))
+
+    mice_series = []
+    for spec, record in groups.get("elephant-mice", []):
+        mice = [
+            r.fct / US for r in record.fct_records() if r.spec.tag == "mice"
+        ]
+        mice_series.append(cdf_series(spec.label, mice))
+        stats[f"mice_p50_us/{spec.label}"] = (
+            percentile(mice, 50) if mice else float("nan")
+        )
+        stats[f"mice_p95_us/{spec.label}"] = (
+            percentile(mice, 95) if mice else float("nan")
+        )
+    if mice_series:
+        panels.append(Panel(
+            key="mice-fct",
+            title="9e/9f: mice FCT through an elephant-saturated link",
+            series=mice_series,
+            x_label="mice FCT (us)", y_label="CDF",
+        ))
+
+    fairness_labels = []
+    fairness_values = []
+    for spec, record in groups.get("fairness", []):
+        p = spec.meta["params"]
+        tracker = record.goodput()
+        ids = [record.flow_ids(f"flow{i}")[0] for i in range(4)]
+        window_from = 3 * p["join_gap"] + 1 * MS
+        finish_times = record.finish_times()
+        finishes = [finish_times[fid] for fid in ids if fid in finish_times]
+        window_to = min(finishes) if finishes else p["duration"]
+        window_to = min(window_to - 100 * US, p["duration"])
+        window_to = max(window_to, window_from + 500 * US)
+        rates = [
+            tracker.mean_gbps(fid, window_from, window_to) for fid in ids
+        ]
+        fairness_labels.append(spec.label)
+        fairness_values.append(jain_fairness(rates))
+        stats[f"jain/{spec.label}"] = fairness_values[-1]
+    if fairness_labels:
+        panels.append(Panel(
+            key="fairness",
+            title="9g/9h: Jain fairness with four staggered flows",
+            series=[Series(
+                name="Jain index", kind="bar",
+                x=[float(i) for i in range(len(fairness_labels))],
+                y=fairness_values, labels=fairness_labels,
+            )],
+            y_label="Jain index",
+        ))
+
+    return FigureRender(
+        figure="fig9",
+        title="Figure 9: testbed micro-benchmarks",
+        panels=panels,
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_table
 

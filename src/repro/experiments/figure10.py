@@ -128,6 +128,59 @@ def run_figure10(
     return Figure10Result(buckets, q50, q95, q99, s99, edges)
 
 
+def render(specs, records):
+    """Report hook: per-load p99 bucket curves + switch-queue CDFs."""
+    from ..report.figures import FigureRender, Panel, bucket_panel, cdf_series
+
+    edges = [0] + [int(d) for d in workload_cdf(specs[0].workload).deciles()]
+    size_scale = specs[0].meta["size_scale"]
+    short_cut = 3000 * size_scale
+    by_load: dict[float, dict[str, list[BucketStats]]] = {}
+    queue_cdfs: dict[float, list] = {}
+    stats: dict[str, float] = {}
+    for spec, record in zip(specs, records):
+        load = spec.meta["load"]
+        label = spec.label
+        fct = record.fct_records()
+        by_load.setdefault(load, {})[label] = slowdown_by_bucket(fct, edges)
+        samples = [s / 1000 for s in record.all_queue_samples()]
+        queue_cdfs.setdefault(load, []).append(cdf_series(label, samples))
+        key = f"{load:.2f}/{label}"
+        stats[f"queue_p99_kb/{key}"] = (
+            percentile(samples, 99) if samples else 0.0
+        )
+        shorts = [r.slowdown for r in fct if r.spec.size <= short_cut]
+        stats[f"short_p99/{key}"] = (
+            percentile(shorts, 99) if shorts else float("nan")
+        )
+        # The first decile bucket has enough samples for a stable tail
+        # percentile (same probe the benchmark asserts on).
+        bucket_list = by_load[load][label]
+        stats[f"bucket1_p99/{key}"] = (
+            bucket_list[0].p99 if bucket_list else float("nan")
+        )
+    panels = []
+    for load in sorted(by_load):
+        key = f"{load:.0%}".replace("%", "")
+        panels.append(bucket_panel(
+            f"p99-{key}",
+            f"10 ({load:.0%} load): p99 FCT slowdown per size bucket",
+            by_load[load], pct="p99", edges=edges,
+        ))
+        panels.append(Panel(
+            key=f"queue-cdf-{key}",
+            title=f"10 ({load:.0%} load): switch queue-length CDF",
+            series=queue_cdfs[load],
+            x_label="queue (KB)", y_label="CDF",
+        ))
+    return FigureRender(
+        figure="fig10",
+        title="Figure 10: testbed WebSearch comparison",
+        panels=panels,
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_bucket_table, format_table
 

@@ -157,6 +157,55 @@ def run_figure11(
     return Figure11Result(buckets, pauses, lat, edges)
 
 
+_CASE_KEYS = {"30%+incast": "30incast", "50%": "50"}
+
+
+def render(specs, records):
+    """Report hook: p95 bucket curves per traffic case, six schemes.
+
+    Backend-neutral: slowdown buckets come straight from the FCT
+    payload; the PFC pause fraction is reported as a stat (zero on the
+    fluid backend, which is pause-free by construction).
+    """
+    from ..report.figures import FigureRender, bucket_panel
+
+    edges = [0] + [int(d) for d in workload_cdf(specs[0].workload).deciles()]
+    buckets: dict[str, dict[str, list[BucketStats]]] = {}
+    stats: dict[str, float] = {}
+    for spec, record in zip(specs, records):
+        case = _CASE_KEYS.get(spec.meta["case"], spec.meta["case"])
+        label = spec.label
+        stats_list = slowdown_by_bucket(record.fct_records(), edges, tag="bg")
+        buckets.setdefault(case, {})[label] = stats_list
+        key = f"{case}/{label}"
+        short = [b.p95 for b in stats_list[:-1]]
+        stats[f"short_p95/{key}"] = (
+            sum(short) / len(short) if short else float("nan")
+        )
+        stats[f"long_p95/{key}"] = (
+            stats_list[-1].p95 if stats_list else float("nan")
+        )
+        stats[f"pause_frac/{key}"] = (
+            record.extras["pause_total_ns"]
+            / (record.duration_ns * record.extras["n_hosts"])
+            if record.duration_ns else 0.0
+        )
+    panels = [
+        bucket_panel(
+            f"p95-{case}",
+            f"11: p95 FCT slowdown per size bucket ({case})",
+            by_scheme, edges=edges,
+        )
+        for case, by_scheme in buckets.items()
+    ]
+    return FigureRender(
+        figure="fig11",
+        title="Figure 11: large-scale FatTree, six CC schemes",
+        panels=panels,
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_bucket_table, format_table
 

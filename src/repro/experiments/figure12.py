@@ -116,6 +116,49 @@ def run_figure12(
     return Figure12Result(buckets, overall, drops, edges)
 
 
+def render(specs, records):
+    """Report hook: overall p95 slowdown bars per scheme x flow control."""
+    from ..report.figures import FigureRender, Panel, Series
+
+    edges = [0] + [int(d) for d in workload_cdf(specs[0].workload).deciles()]
+    stats: dict[str, float] = {}
+    per_scheme: dict[str, list[float]] = {}
+    fc_labels: list[str] = []
+    for spec, record in zip(specs, records):
+        label = spec.label
+        fct = record.fct_records()
+        slows = [r.slowdown for r in fct if r.spec.tag == "bg"]
+        p95 = percentile(slows, 95) if slows else float("nan")
+        stats[f"overall_p95/{label}"] = p95
+        stats[f"drops/{label}"] = float(record.extras.get("drops", 0))
+        per_scheme.setdefault(spec.meta["cc"], []).append(p95)
+        if spec.meta["fc"] not in fc_labels:
+            fc_labels.append(spec.meta["fc"])
+    # The paper's point: with HPCC the flow-control choice barely
+    # matters.  Spread = (max - min) / min across the three mechanisms.
+    for scheme, p95s in per_scheme.items():
+        if p95s and min(p95s) > 0:
+            stats[f"fc_spread/{scheme}"] = (max(p95s) - min(p95s)) / min(p95s)
+    return FigureRender(
+        figure="fig12",
+        title="Figure 12: flow-control choices (PFC / GBN / IRN)",
+        panels=[Panel(
+            key="overall-p95",
+            title="Overall p95 FCT slowdown per flow control, per scheme",
+            series=[
+                Series(
+                    name=scheme, kind="bar",
+                    x=[float(i) for i in range(len(p95s))],
+                    y=p95s, labels=fc_labels,
+                )
+                for scheme, p95s in per_scheme.items()
+            ],
+            y_label="p95 slowdown",
+        )],
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_table
 

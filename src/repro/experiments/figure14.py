@@ -106,6 +106,51 @@ def run_figure14(scale: str = "bench", params: dict | None = None,
     return Figure14Result(queue_p95, queue_p99, fairness, tput)
 
 
+def render(specs, records):
+    """Report hook: steady queue and fairness as functions of WAI."""
+    from ..report.figures import FigureRender, Panel, Series, queue_series
+
+    wais = []
+    q95 = []
+    fair = []
+    stats: dict[str, float] = {}
+    for spec, record in zip(specs, records):
+        wai = spec.meta["wai"]
+        p = spec.meta["params"]
+        t_q, q = queue_series(record, "bneck")
+        steady = [v for t, v in zip(t_q, q) if t >= p["duration"] * 0.1]
+        queue_p95 = percentile(steady, 95) / 1000 if steady else 0.0
+        half = p["duration"] / 2
+        tracker = record.goodput()
+        ids = record.flow_ids("bg")
+        rates = [tracker.mean_gbps(fid, half, p["duration"]) for fid in ids]
+        jain = jain_fairness(rates)
+        wais.append(wai)
+        q95.append(queue_p95)
+        fair.append(jain)
+        stats[f"queue_p95_kb/{wai:g}"] = queue_p95
+        stats[f"fairness/{wai:g}"] = jain
+    return FigureRender(
+        figure="fig14",
+        title="Figure 14: WAI tuning",
+        panels=[
+            Panel(
+                key="queue-vs-wai",
+                title="Steady-state p95 queue vs WAI",
+                series=[Series(name="queue p95", x=wais, y=q95)],
+                x_label="WAI (bytes)", y_label="queue p95 (KB)",
+            ),
+            Panel(
+                key="fairness-vs-wai",
+                title="Jain fairness vs WAI",
+                series=[Series(name="Jain index", x=wais, y=fair)],
+                x_label="WAI (bytes)", y_label="Jain index",
+            ),
+        ],
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_table
 

@@ -33,8 +33,8 @@ from ..sim.units import MS, US
 from ..topology.simple import dual_trunk
 from .failover import recovery_time_us
 
-__all__ = ["BENCH", "SCHEMES", "FlappingResult", "run_flapping",
-           "scenarios", "main"]
+__all__ = ["BENCH", "SCHEMES", "FlappingResult", "flap_summary",
+           "run_flapping", "scenarios", "main"]
 
 BENCH = {
     "n_pairs": 4,
@@ -60,6 +60,41 @@ class FlappingResult:
     dip_fraction: dict[str, float]         # worst flap-window bin / steady
     recovery_us: dict[str, float]          # after the last restore, to 90%
     lost_packets: dict[str, int]
+
+
+def flap_summary(record, p: dict) -> dict:
+    """Per-record flapping accounting: steady goodput before the first
+    flap, the worst in-flap dip as a fraction of it, recovery to 90%
+    after the final restore, packets lost across all down periods.
+    Shared by :func:`run_flapping` and the report's ``render`` hook so
+    the two never diverge."""
+    goodput = record.goodput()
+    ids = record.flow_ids("bg")
+    bin_ns = p["goodput_bin"]
+    last_restore = (
+        p["flap_at"] + (p["count"] - 1) * p["period"] + p["down_time"]
+    )
+    steady = sum(
+        goodput.mean_gbps(fid, 1 * MS, p["flap_at"]) for fid in ids
+    )
+    times, series = goodput.total_series(ids)
+    flap_bins = [
+        g for t, g in zip(times, series)
+        if p["flap_at"] + bin_ns < t < last_restore
+    ]
+    return {
+        "steady_gbps": steady,
+        "dip_fraction": (
+            min(flap_bins) / steady if flap_bins and steady else float("nan")
+        ),
+        "recovery_us": recovery_time_us(
+            record, last_restore, 0.9 * steady, ids
+        ),
+        "lost_packets": sum(
+            e.get("packets_lost_down", 0)
+            for e in record.link_events() if e["type"] == "fail_link"
+        ),
+    }
 
 
 def scenarios(
@@ -122,36 +157,40 @@ def run_flapping(
     lost: dict[str, int] = {}
     for spec, record in zip(specs, records):
         label = spec.label
-        p = spec.meta["params"]
-        goodput = record.goodput()
-        ids = record.flow_ids("bg")
-        bin_ns = p["goodput_bin"]
-        last_restore = (
-            p["flap_at"] + (p["count"] - 1) * p["period"] + p["down_time"]
-        )
-
-        steady_g = sum(
-            goodput.mean_gbps(fid, 1 * MS, p["flap_at"]) for fid in ids
-        )
-        steady[label] = steady_g
-
-        times, series = goodput.total_series(ids)
-        flap_bins = [
-            g for t, g in zip(times, series)
-            if p["flap_at"] + bin_ns < t < last_restore
-        ]
-        dip[label] = (min(flap_bins) / steady_g) if flap_bins and steady_g \
-            else float("nan")
-
-        recovery[label] = recovery_time_us(
-            record, last_restore, 0.9 * steady_g, ids
-        )
-
-        lost[label] = sum(
-            e.get("packets_lost_down", 0)
-            for e in record.link_events() if e["type"] == "fail_link"
-        )
+        summary = flap_summary(record, spec.meta["params"])
+        steady[label] = summary["steady_gbps"]
+        dip[label] = summary["dip_fraction"]
+        recovery[label] = summary["recovery_us"]
+        lost[label] = summary["lost_packets"]
     return FlappingResult(steady, dip, recovery, lost)
+
+
+def render(specs, records):
+    """Report hook: goodput through the flap train, per scheme."""
+    from ..report.figures import FigureRender, Panel, Series
+
+    series = []
+    stats: dict[str, float] = {}
+    for spec, record in zip(specs, records):
+        label = spec.label
+        times, total = record.goodput().total_series(record.flow_ids("bg"))
+        series.append(Series(
+            name=label, x=[t / US for t in times], y=total,
+        ))
+        for metric, value in flap_summary(record,
+                                          spec.meta["params"]).items():
+            stats[f"{metric}/{label}"] = float(value)
+    return FigureRender(
+        figure="flapping",
+        title="Extension: flapping-trunk oscillation study",
+        panels=[Panel(
+            key="goodput",
+            title="Aggregate goodput under a flapping trunk",
+            series=series,
+            x_label="time (us)", y_label="goodput (Gbps)",
+        )],
+        stats=stats,
+    )
 
 
 def main(scale: str = "bench") -> None:

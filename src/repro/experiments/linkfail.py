@@ -219,6 +219,48 @@ def run_linkfail(
     return LinkFailResult(p50, p99, finished, reroutes, completed)
 
 
+def render(specs, records):
+    """Report hook: slowdown bars per (scheme, failed link) cell."""
+    from ..metrics.fct import percentile, slowdowns
+    from ..report.figures import FigureRender, Panel, Series
+
+    labels = []
+    p50s = []
+    p99s = []
+    stats: dict[str, float] = {}
+    for spec, record in zip(specs, records):
+        label = spec.label
+        slows = slowdowns(record.fct_records())
+        p50 = percentile(slows, 50) if slows else float("nan")
+        p99 = percentile(slows, 99) if slows else float("nan")
+        labels.append(label)
+        p50s.append(p50)
+        p99s.append(p99)
+        stats[f"p50/{label}"] = p50
+        stats[f"p99/{label}"] = p99
+        stats[f"reroutes/{label}"] = float(sum(
+            e.get("reroutes", 0) for e in record.link_events()
+        ))
+    return FigureRender(
+        figure="linkfail",
+        title="Extension: FatTree link-failure sweep",
+        panels=[Panel(
+            key="slowdowns",
+            title="FCT slowdown per scheme x failed fabric link",
+            series=[
+                Series(name="p50", kind="bar",
+                       x=[float(i) for i in range(len(labels))],
+                       y=p50s, labels=labels),
+                Series(name="p99", kind="bar",
+                       x=[float(i) for i in range(len(labels))],
+                       y=p99s, labels=labels),
+            ],
+            y_label="FCT slowdown",
+        )],
+        stats=stats,
+    )
+
+
 def main(scale: str = "bench") -> None:
     from ..metrics.reporter import format_table
 

@@ -1,0 +1,414 @@
+"""The report pipeline: sweep, render, score, emit.
+
+``build_report`` is what ``hpcc-repro report`` runs: for every requested
+figure it expands the experiment's declared scenario grid, executes the
+missing cells through the existing :class:`~repro.runner.SweepRunner` /
+:class:`~repro.runner.RunCache` machinery (a prior ``hpcc-repro sweep``
+into the same cache directory is fully reused), calls the module's
+``render()`` hook, scores the result against the digitized paper
+reference (:mod:`repro.report.refdata`), and writes per-panel SVGs plus
+one self-contained ``index.html``.
+
+Everything is offline and dependency-free; if matplotlib happens to be
+installed, :func:`rasterize_panels` can additionally emit PNG twins of
+every panel, but nothing in the pipeline requires it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..runner import RunCache, SweepRunner
+from .fidelity import FidelityScore, score_figure
+from .figures import FigureRender, Panel, Series
+from .html import render_index
+from .refdata import RefFigure, available_refdata, load_refdata
+from .svg import render_panel
+
+
+@dataclass(frozen=True)
+class ReportEntry:
+    """One reportable figure: its module and backend eligibility."""
+
+    key: str
+    title: str
+    fluid_ok: bool = True
+
+    @property
+    def module(self):
+        from .. import experiments
+
+        return getattr(experiments, _MODULE_NAMES[self.key])
+
+
+_MODULE_NAMES = {
+    "fig1": "figure01", "fig2": "figure02", "fig3": "figure03",
+    "fig6": "figure06", "fig9": "figure09", "fig10": "figure10",
+    "fig11": "figure11", "fig12": "figure12", "fig13": "figure13",
+    "fig14": "figure14", "appendix": "appendix_a", "failover": "failover",
+    "linkfail": "linkfail", "flapping": "flapping",
+}
+
+#: Every figure the report can build, in paper order.  ``fluid_ok``
+#: mirrors README "Simulation backends": fig1 (PFC pause trees) and
+#: fig12 (flow-control/transport choices) are packet-only and silently
+#: stay on the packet engine when a fluid report is requested.
+REPORT_FIGURES: dict[str, ReportEntry] = {
+    "fig1": ReportEntry("fig1", "Figure 1: PFC pause propagation",
+                        fluid_ok=False),
+    "fig2": ReportEntry("fig2", "Figure 2: DCQCN timer trade-off"),
+    "fig3": ReportEntry("fig3", "Figure 3: DCQCN ECN-threshold trade-off"),
+    "fig6": ReportEntry("fig6", "Figure 6: txRate vs rxRate feedback"),
+    "fig9": ReportEntry("fig9", "Figure 9: testbed micro-benchmarks"),
+    "fig10": ReportEntry("fig10", "Figure 10: testbed WebSearch FCT"),
+    "fig11": ReportEntry("fig11", "Figure 11: large-scale FatTree"),
+    "fig12": ReportEntry("fig12", "Figure 12: flow-control choices",
+                         fluid_ok=False),
+    "fig13": ReportEntry("fig13", "Figure 13: reaction strategies"),
+    "fig14": ReportEntry("fig14", "Figure 14: WAI tuning"),
+    "appendix": ReportEntry("appendix", "Appendix A: the theory, executed"),
+    "failover": ReportEntry("failover", "Extension: dual-trunk failover"),
+    "linkfail": ReportEntry("linkfail", "Extension: FatTree link-failure sweep"),
+    "flapping": ReportEntry("flapping", "Extension: flapping-trunk study"),
+}
+
+#: The ``--fastest`` subset: cheap fluid-eligible grids that still carry
+#: refdata (what CI builds on every PR).
+FASTEST_FIGURES = ("fig6", "fig11", "fig13")
+
+
+def _json_number(value):
+    """A float as strict-JSON data: non-finite values become strings."""
+    if value is None or math.isfinite(value):
+        return value
+    return str(value)               # "inf" / "-inf" / "nan"
+
+
+@dataclass
+class FigureReport:
+    """One built figure: render, score, and emitted artifacts."""
+
+    key: str
+    title: str
+    backend: str
+    scale: str
+    render: FigureRender
+    score: FidelityScore | None
+    ref: "RefFigure | None"
+    n_specs: int
+    n_cached: int
+    wall_time_s: float
+    panel_svgs: list[str] = field(default_factory=list)
+    ref_svgs: list[str] = field(default_factory=list)
+
+    @property
+    def extraction(self) -> str:
+        return self.ref.extraction if self.ref is not None else ""
+
+    @property
+    def notes(self) -> list[str]:
+        return self.render.notes
+
+
+@dataclass
+class Report:
+    """The whole build: figure reports plus run metadata."""
+
+    figures: list[FigureReport]
+    metadata: dict
+
+    def verdicts(self) -> dict[str, str]:
+        return {
+            fig.key: fig.score.verdict if fig.score is not None else "n/a"
+            for fig in self.figures
+        }
+
+    def to_json(self) -> dict:
+        """Machine-readable summary (written as ``report.json``).
+
+        Stats legitimately hold ``inf``/``nan`` (an un-drained queue's
+        drain time, a percentile with no samples); those encode as the
+        strings ``"inf"``/``"-inf"``/``"nan"`` so the file stays strict
+        JSON (``json.dumps`` would otherwise emit bare ``Infinity``
+        tokens that JavaScript and jq reject).
+        """
+        out = {"metadata": self.metadata, "figures": {}}
+        for fig in self.figures:
+            entry = {
+                "title": fig.title,
+                "backend": fig.backend,
+                "scale": fig.scale,
+                "scenarios": fig.n_specs,
+                "cached": fig.n_cached,
+                "wall_time_s": round(fig.wall_time_s, 3),
+                "verdict": "n/a",
+                "stats": {
+                    k: _json_number(v) for k, v in fig.render.stats.items()
+                },
+            }
+            if fig.score is not None:
+                entry.update({
+                    "verdict": fig.score.verdict,
+                    "nrmse": _json_number(fig.score.nrmse),
+                    "trend": _json_number(fig.score.trend),
+                    "checks_passed": sum(
+                        1 for c in fig.score.checks if c.passed
+                    ),
+                    "checks_total": len(fig.score.checks),
+                })
+            out["figures"][fig.key] = entry
+        return out
+
+
+def resolve_figures(names: list[str] | None, fastest: bool) -> list[str]:
+    """Figure keys for a report request (CLI semantics)."""
+    if fastest:
+        if names:
+            raise SystemExit(
+                "--fastest selects its own figure subset "
+                f"({', '.join(FASTEST_FIGURES)}); drop --figures or --fastest"
+            )
+        return list(FASTEST_FIGURES)
+    if not names:
+        return list(REPORT_FIGURES)
+    from ..cli import _resolve
+
+    keys = []
+    for name in names:
+        key = _resolve(name)
+        if key not in REPORT_FIGURES:
+            raise SystemExit(f"experiment {key!r} has no report entry")
+        if key not in keys:
+            keys.append(key)
+    return keys
+
+
+def _ref_panels(ref) -> list[Panel]:
+    """The digitized paper curves, grouped per panel, as plot panels."""
+    panels = []
+    for key in ref.panel_keys():
+        members = ref.series_for(key)
+        units = ref.units.get(key, {})
+        panels.append(Panel(
+            key=f"ref-{key}",
+            title=f"{ref.title} [{key}]",
+            series=[
+                Series(name=s.name, x=list(s.x), y=list(s.y))
+                for s in members
+            ],
+            x_label=units.get("x", ""),
+            y_label=units.get("y", ""),
+        ))
+    return panels
+
+
+def build_figure(
+    key: str,
+    backend: str,
+    scale: str,
+    runner: SweepRunner,
+    seed: int = 1,
+) -> FigureReport:
+    """Sweep + render + score one figure (no files written)."""
+    entry = REPORT_FIGURES[key]
+    effective_backend = backend if entry.fluid_ok else "packet"
+    specs = entry.module.scenarios(scale=scale)
+    if effective_backend != "packet":
+        specs = [s.replaced(backend=effective_backend) for s in specs]
+    started = time.perf_counter()
+    records = runner.run(specs)
+    wall = time.perf_counter() - started
+    render = entry.module.render(specs, records)
+    if effective_backend != backend:
+        render.notes.append(
+            f"{key} is packet-only (see README 'Simulation backends'); the "
+            f"requested {backend!r} backend was overridden."
+        )
+    ref = load_refdata(key)
+    score = score_figure(render, ref) if ref is not None else None
+    return FigureReport(
+        key=key,
+        title=render.title,
+        backend=effective_backend,
+        scale=scale,
+        render=render,
+        score=score,
+        ref=ref,
+        n_specs=len(specs),
+        n_cached=sum(1 for r in records if r.cached),
+        wall_time_s=wall,
+        panel_svgs=[render_panel(p) for p in render.panels],
+        ref_svgs=[render_panel(p) for p in _ref_panels(ref)]
+        if ref is not None else [],
+    )
+
+
+# -- benchmark trajectory ---------------------------------------------------------
+
+def load_bench_trajectory(root: Path) -> Panel | None:
+    """Wall time per run_all.py workload across BENCH_pr<N>.json files.
+
+    The series starts at PR 3 (PR 0-2 predate the snapshot convention,
+    so ``BENCH_pr1.json``/``BENCH_pr2.json`` intentionally do not
+    exist); unknown or unparsable files are skipped, not fatal.
+    """
+    snapshots: list[tuple[int, dict]] = []
+    for path in root.glob("BENCH_pr*.json"):
+        match = re.fullmatch(r"BENCH_pr(\d+)", path.stem)
+        if not match:
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        snapshots.append((int(match.group(1)), data))
+    if not snapshots:
+        return None
+    snapshots.sort()
+    per_bench: dict[str, list[tuple[float, float]]] = {}
+    for pr, data in snapshots:
+        for result in data.get("results", []):
+            name = result.get("name")
+            wall = result.get("wall_time_s")
+            if isinstance(name, str) and isinstance(wall, (int, float)):
+                per_bench.setdefault(name, []).append((float(pr), float(wall)))
+    series = [
+        Series(name=name, x=[p for p, _ in points], y=[w for _, w in points])
+        for name, points in sorted(per_bench.items())
+    ]
+    return Panel(
+        key="bench-trajectory",
+        title="run_all.py wall time per PR snapshot",
+        series=series,
+        x_label="PR", y_label="wall time (s)",
+    )
+
+
+# -- optional matplotlib rasterization -------------------------------------------
+
+def rasterize_panels(report: Report, out: Path) -> list[Path]:
+    """PNG twins of every panel — *only* if matplotlib is installed.
+
+    The SVG report never needs this; it exists for embedding charts in
+    tools that cannot render SVG.  Raises ``RuntimeError`` with a clear
+    message when matplotlib is unavailable.
+    """
+    try:
+        import matplotlib
+    except ImportError:
+        raise RuntimeError(
+            "matplotlib is not installed; the SVG report is complete "
+            "without it — install matplotlib only if you need PNGs"
+        )
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    written = []
+    for fig_report in report.figures:
+        for panel in fig_report.render.panels:
+            fig, ax = plt.subplots(figsize=(4.8, 3.0), dpi=120)
+            for series in panel.series:
+                if series.kind == "bar":
+                    ax.bar([str(v) for v in series.x], series.y,
+                           label=series.name)
+                else:
+                    ax.plot(series.x, series.y, label=series.name)
+            ax.set_title(panel.title, fontsize=9)
+            ax.set_xlabel(panel.x_label)
+            ax.set_ylabel(panel.y_label)
+            if panel.x_log:
+                ax.set_xscale("log")
+            if panel.series:
+                ax.legend(fontsize=7)
+            path = out / f"{fig_report.key}_{panel.key}.png"
+            fig.tight_layout()
+            fig.savefig(path)
+            plt.close(fig)
+            written.append(path)
+    return written
+
+
+# -- the top-level build ----------------------------------------------------------
+
+def build_report(
+    figures: list[str],
+    backend: str = "packet",
+    scale: str = "bench",
+    out: str | Path = "report",
+    cache_dir: str | Path | None = None,
+    jobs: int = 1,
+    progress=None,
+    bench_root: str | Path | None = None,
+) -> Report:
+    """Build the reproduction report; returns the in-memory summary.
+
+    Writes under ``out``: one ``<figure>_<panel>.svg`` per reproduction
+    panel, ``ref_<figure>_<panel>.svg`` per digitized reference panel,
+    ``report.json`` (machine-readable verdicts) and ``index.html``.
+    ``cache_dir`` defaults to ``<out>/cache``; point it at a previous
+    ``hpcc-repro sweep --out`` directory to reuse those records.
+    """
+    out = Path(out)
+    out.mkdir(parents=True, exist_ok=True)
+    cache = RunCache(cache_dir if cache_dir is not None else out / "cache")
+    runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
+
+    started = time.perf_counter()
+    built = [
+        build_figure(key, backend=backend, scale=scale, runner=runner)
+        for key in figures
+    ]
+
+    scored = [f for f in built if f.score is not None]
+    metadata = {
+        "backend requested": backend,
+        "scale": scale,
+        "figures": ", ".join(figures),
+        "scored": f"{len(scored)}/{len(built)} figures have refdata "
+                  f"({len(available_refdata())} reference files checked in)",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "total wall time": f"{time.perf_counter() - started:.2f}s",
+        "cache": str(cache.root),
+    }
+    report = Report(figures=built, metadata=metadata)
+
+    for fig_report in built:
+        for panel, svg in zip(fig_report.render.panels,
+                              fig_report.panel_svgs):
+            (out / f"{fig_report.key}_{panel.key}.svg").write_text(svg)
+        if fig_report.ref_svgs:
+            for key, svg in zip(fig_report.ref.panel_keys(),
+                                fig_report.ref_svgs):
+                (out / f"ref_{fig_report.key}_{key}.svg").write_text(svg)
+
+    bench_dir = Path(bench_root) if bench_root is not None else Path.cwd()
+    bench_panel = load_bench_trajectory(bench_dir)
+    bench_svg = None
+    if bench_panel is not None:
+        bench_svg = render_panel(bench_panel)
+        (out / "bench_trajectory.svg").write_text(bench_svg)
+        metadata["bench trajectory"] = (
+            f"{len(bench_panel.series)} workloads from BENCH_pr*.json "
+            f"in {bench_dir}"
+        )
+    else:
+        # Not an error (installed packages have no repo checkout), but
+        # say so: a silently missing chart reads as a build bug.
+        metadata["bench trajectory"] = (
+            f"no BENCH_pr*.json snapshots in {bench_dir} - run from the "
+            "repository root to include the trajectory chart"
+        )
+
+    (out / "report.json").write_text(
+        json.dumps(report.to_json(), indent=2, sort_keys=True,
+                   allow_nan=False) + "\n"
+    )
+    (out / "index.html").write_text(render_index(report, bench_svg))
+    return report

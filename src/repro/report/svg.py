@@ -1,0 +1,323 @@
+"""Dependency-free SVG chart emitter for the reproduction report.
+
+Renders a :class:`~repro.report.figures.Panel` into a standalone
+``<svg>`` string: line charts (with optional translucent error bands),
+empirical CDFs (just lines), grouped bar charts, linear or log-10 x
+axes, nice-number ticks and a legend.  No matplotlib, no numpy — the
+report builds offline on a bare CPython, and the output is byte-stable
+(fixed-precision coordinates, deterministic iteration order), which is
+what lets the test suite pin a golden snapshot.
+
+If matplotlib *is* installed nothing changes: the SVG path is always
+the one used.  (``repro.report.build`` offers an optional PNG
+rasterization hook that uses matplotlib when available, gated and
+additive.)
+"""
+
+from __future__ import annotations
+
+import math
+
+from .figures import Panel, Series
+
+# Colorblind-safe categorical palette (Observable 10).
+PALETTE = (
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+    "#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0",
+)
+
+WIDTH = 480
+HEIGHT = 300
+MARGIN = {"left": 64, "right": 16, "top": 34, "bottom": 46}
+FONT = "font-family=\"Menlo, Consolas, monospace\""
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate formatting (byte-stable output)."""
+    return f"{value:.2f}"
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    mag = abs(value)
+    if mag >= 1e9:
+        return f"{value / 1e9:g}G"
+    if mag >= 1e6:
+        return f"{value / 1e6:g}M"
+    if mag >= 1e3:
+        return f"{value / 1e3:g}k"
+    if mag < 0.01:
+        return f"{value:.0e}"
+    return f"{value:g}"
+
+
+def nice_ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi] (1/2/5 x 10^k spacing)."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw_step = span / max(1, n - 1)
+    mag = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 5, 10):
+        step = mult * mag
+        if span / step <= n:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-9 * step:
+        ticks.append(0.0 if abs(t) < 1e-12 else t)
+        t += step
+    return ticks
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+            .replace('"', "&quot;")
+    )
+
+
+class _Scale:
+    """An affine (or log-affine) data-to-pixel mapping."""
+
+    def __init__(self, lo: float, hi: float, px_lo: float, px_hi: float,
+                 log: bool = False) -> None:
+        self.log = log
+        if log:
+            lo = math.log10(max(lo, 1e-12))
+            hi = math.log10(max(hi, 1e-12))
+        if hi <= lo:
+            hi = lo + 1.0
+        self.lo, self.hi = lo, hi
+        self.px_lo, self.px_hi = px_lo, px_hi
+
+    def __call__(self, value: float) -> float:
+        v = math.log10(max(value, 1e-12)) if self.log else value
+        frac = (v - self.lo) / (self.hi - self.lo)
+        return self.px_lo + frac * (self.px_hi - self.px_lo)
+
+
+def _data_bounds(panel: Panel) -> tuple[float, float, float, float]:
+    xs: list[float] = []
+    ys: list[float] = []
+    for s in panel.series:
+        xs.extend(s.x)
+        ys.extend(s.y)
+        if s.band is not None:
+            ys.extend(s.band[0])
+            ys.extend(s.band[1])
+    ys = [y for y in ys if math.isfinite(y)]
+    xs = [x for x in xs if math.isfinite(x)]
+    if not xs or not ys:
+        return 0.0, 1.0, 0.0, 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(min(ys), 0.0), max(ys)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    return x_lo, x_hi, y_lo, y_hi
+
+
+def _axis_elements(panel: Panel, sx: _Scale, sy: _Scale,
+                   y_ticks: list[float]) -> list[str]:
+    plot_bottom = HEIGHT - MARGIN["bottom"]
+    parts = []
+    # Y grid + labels.
+    for t in y_ticks:
+        py = sy(t)
+        parts.append(
+            f'<line x1="{_fmt(MARGIN["left"])}" y1="{_fmt(py)}" '
+            f'x2="{_fmt(WIDTH - MARGIN["right"])}" y2="{_fmt(py)}" '
+            f'stroke="#e3e3e3" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(MARGIN["left"] - 6)}" y="{_fmt(py + 3)}" '
+            f'text-anchor="end" font-size="10" fill="#555" {FONT}>'
+            f"{_escape(_fmt_tick(t))}</text>"
+        )
+    # X ticks.
+    if sx.log:
+        lo_dec = math.floor(sx.lo)
+        hi_dec = math.ceil(sx.hi)
+        x_ticks = [10.0 ** d for d in range(int(lo_dec), int(hi_dec) + 1)]
+    else:
+        x_ticks = nice_ticks(sx.lo, sx.hi, 6)
+    for t in x_ticks:
+        px = sx(t)
+        if px < MARGIN["left"] - 0.5 or px > WIDTH - MARGIN["right"] + 0.5:
+            continue
+        parts.append(
+            f'<line x1="{_fmt(px)}" y1="{_fmt(plot_bottom)}" '
+            f'x2="{_fmt(px)}" y2="{_fmt(plot_bottom + 4)}" '
+            f'stroke="#888" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(px)}" y="{_fmt(plot_bottom + 16)}" '
+            f'text-anchor="middle" font-size="10" fill="#555" {FONT}>'
+            f"{_escape(_fmt_tick(t))}</text>"
+        )
+    # Axis lines.
+    parts.append(
+        f'<line x1="{_fmt(MARGIN["left"])}" y1="{_fmt(MARGIN["top"])}" '
+        f'x2="{_fmt(MARGIN["left"])}" y2="{_fmt(plot_bottom)}" '
+        f'stroke="#333" stroke-width="1"/>'
+    )
+    parts.append(
+        f'<line x1="{_fmt(MARGIN["left"])}" y1="{_fmt(plot_bottom)}" '
+        f'x2="{_fmt(WIDTH - MARGIN["right"])}" y2="{_fmt(plot_bottom)}" '
+        f'stroke="#333" stroke-width="1"/>'
+    )
+    # Axis labels.
+    if panel.x_label:
+        parts.append(
+            f'<text x="{_fmt((MARGIN["left"] + WIDTH - MARGIN["right"]) / 2)}" '
+            f'y="{_fmt(HEIGHT - 10)}" text-anchor="middle" font-size="11" '
+            f'fill="#333" {FONT}>{_escape(panel.x_label)}</text>'
+        )
+    if panel.y_label:
+        mid_y = (MARGIN["top"] + plot_bottom) / 2
+        parts.append(
+            f'<text x="14" y="{_fmt(mid_y)}" text-anchor="middle" '
+            f'font-size="11" fill="#333" {FONT} '
+            f'transform="rotate(-90 14 {_fmt(mid_y)})">'
+            f"{_escape(panel.y_label)}</text>"
+        )
+    return parts
+
+
+def _line_elements(series: Series, color: str, sx: _Scale,
+                   sy: _Scale, dashed: bool) -> list[str]:
+    parts = []
+    points = [
+        (sx(x), sy(y)) for x, y in zip(series.x, series.y)
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if series.band is not None:
+        lo, hi = series.band
+        band_pts = [
+            (sx(x), sy(v)) for x, v in zip(series.x, hi) if math.isfinite(v)
+        ] + [
+            (sx(x), sy(v))
+            for x, v in reversed(list(zip(series.x, lo)))
+            if math.isfinite(v)
+        ]
+        if band_pts:
+            path = " ".join(f"{_fmt(px)},{_fmt(py)}" for px, py in band_pts)
+            parts.append(
+                f'<polygon points="{path}" fill="{color}" opacity="0.15"/>'
+            )
+    if not points:
+        return parts
+    if len(points) == 1:
+        px, py = points[0]
+        parts.append(
+            f'<circle cx="{_fmt(px)}" cy="{_fmt(py)}" r="3" fill="{color}"/>'
+        )
+        return parts
+    path = " ".join(f"{_fmt(px)},{_fmt(py)}" for px, py in points)
+    dash = ' stroke-dasharray="5,3"' if dashed else ""
+    parts.append(
+        f'<polyline points="{path}" fill="none" stroke="{color}" '
+        f'stroke-width="1.8"{dash}/>'
+    )
+    return parts
+
+
+def _bar_elements(panel: Panel, sy: _Scale, y0: float) -> list[str]:
+    """Grouped bars: each series is one group member per x category."""
+    bars = [s for s in panel.series if s.kind == "bar"]
+    if not bars:
+        return []
+    n_cats = max(len(s.y) for s in bars)
+    n_groups = len(bars)
+    plot_w = WIDTH - MARGIN["left"] - MARGIN["right"]
+    slot = plot_w / max(1, n_cats)
+    bar_w = slot * 0.7 / n_groups
+    plot_bottom = HEIGHT - MARGIN["bottom"]
+    parts = []
+    labels = next((s.labels for s in bars if s.labels), None)
+    for gi, series in enumerate(bars):
+        color = PALETTE[panel.series.index(series) % len(PALETTE)]
+        for ci, y in enumerate(series.y):
+            if not math.isfinite(y):
+                continue
+            x_px = (MARGIN["left"] + ci * slot + slot * 0.15
+                    + gi * bar_w)
+            top = sy(max(y, y0))
+            bottom = sy(min(y, y0))
+            parts.append(
+                f'<rect x="{_fmt(x_px)}" y="{_fmt(top)}" '
+                f'width="{_fmt(bar_w)}" height="{_fmt(max(bottom - top, 0.5))}" '
+                f'fill="{color}"/>'
+            )
+    if labels:
+        for ci, label in enumerate(labels):
+            x_px = MARGIN["left"] + (ci + 0.5) * slot
+            parts.append(
+                f'<text x="{_fmt(x_px)}" y="{_fmt(plot_bottom + 16)}" '
+                f'text-anchor="middle" font-size="10" fill="#555" {FONT}>'
+                f"{_escape(str(label))}</text>"
+            )
+    return parts
+
+
+def _legend_elements(panel: Panel) -> list[str]:
+    parts = []
+    x = MARGIN["left"] + 6
+    y = MARGIN["top"] - 18
+    for i, series in enumerate(panel.series):
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(x + 14)}" y="{_fmt(y + 9)}" font-size="10" '
+            f'fill="#333" {FONT}>{_escape(series.name)}</text>'
+        )
+        x += 22 + 6.4 * len(series.name)
+        if x > WIDTH - MARGIN["right"] - 60:
+            x = MARGIN["left"] + 6
+            y += 13
+    return parts
+
+
+def render_panel(panel: Panel) -> str:
+    """Render one panel as a standalone SVG document string."""
+    has_bars = any(s.kind == "bar" for s in panel.series)
+    x_lo, x_hi, y_lo, y_hi = _data_bounds(panel)
+    y_ticks = nice_ticks(y_lo, y_hi, 5)
+    if y_ticks:
+        y_hi = max(y_hi, y_ticks[-1])
+        y_lo = min(y_lo, y_ticks[0])
+    plot_bottom = HEIGHT - MARGIN["bottom"]
+    sy = _Scale(y_lo, y_hi, plot_bottom, MARGIN["top"])
+    # Pad the x range slightly so end points are not clipped by the frame.
+    if panel.x_log:
+        sx = _Scale(x_lo, x_hi, MARGIN["left"] + 4,
+                    WIDTH - MARGIN["right"] - 4, log=True)
+    else:
+        pad = 0.01 * (x_hi - x_lo or 1.0)
+        sx = _Scale(x_lo - pad, x_hi + pad, MARGIN["left"] + 4,
+                    WIDTH - MARGIN["right"] - 4)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{_fmt(MARGIN["left"])}" y="16" font-size="12" '
+        f'font-weight="bold" fill="#111" {FONT}>{_escape(panel.title)}</text>',
+    ]
+    parts.extend(_axis_elements(panel, sx, sy, y_ticks))
+    if has_bars:
+        parts.extend(_bar_elements(panel, sy, max(y_lo, 0.0)))
+    for i, series in enumerate(panel.series):
+        if series.kind == "bar":
+            continue
+        color = PALETTE[i % len(PALETTE)]
+        parts.extend(_line_elements(series, color, sx, sy,
+                                    dashed=series.kind == "ref"))
+    parts.extend(_legend_elements(panel))
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

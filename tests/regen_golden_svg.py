@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Regenerate the golden SVG snapshot used by tests/test_report.py.
+
+Run after an *intentional* change to the render hooks or the SVG
+emitter, then review the diff of the golden file like any other code:
+
+    PYTHONPATH=src python tests/regen_golden_svg.py
+"""
+
+from pathlib import Path
+
+
+def main() -> None:
+    from test_report import _synthetic_fig13
+
+    from repro.experiments import figure13
+    from repro.report import render_panel
+
+    specs, records = _synthetic_fig13()
+    render = figure13.render(specs, records)
+    panel = render.panel("goodput")
+    out = Path(__file__).parent / "data" / "fig13_goodput_golden.svg"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(render_panel(panel))
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    main()

@@ -1,0 +1,54 @@
+"""Docstring-presence gate: every module under src/repro documents itself.
+
+The two newest subsystems (``dynamics``, ``fluid``) were the motivating
+gap — they carry the subtlest semantics (two-phase failure application,
+analytic INT synthesis) and were at one point documented only in README
+prose.  The gate is repo-wide so the next subsystem cannot regress the
+same way; CI runs this file as part of tier-1.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC_ROOT = Path(__file__).parent.parent / "src" / "repro"
+
+MODULES = sorted(
+    p for p in SRC_ROOT.rglob("*.py") if "__pycache__" not in p.parts
+)
+
+#: Modules newer docs pressure applies to most: the subsystems the
+#: docstring satellite named.  Asserted explicitly so a glob change
+#: cannot silently drop them from coverage.
+NAMED_SUBSYSTEMS = ("dynamics", "fluid")
+
+
+def module_docstring(path: Path) -> str | None:
+    return ast.get_docstring(ast.parse(path.read_text()))
+
+
+def test_collects_the_whole_tree():
+    assert len(MODULES) > 60
+    for name in NAMED_SUBSYSTEMS:
+        members = [p for p in MODULES if p.parent.name == name]
+        assert len(members) >= 3, f"src/repro/{name} missing from collection"
+
+
+@pytest.mark.parametrize(
+    "path", MODULES, ids=lambda p: str(p.relative_to(SRC_ROOT))
+)
+def test_module_has_docstring(path):
+    doc = module_docstring(path)
+    assert doc, f"{path.relative_to(SRC_ROOT)} has no module docstring"
+
+
+@pytest.mark.parametrize("subsystem", NAMED_SUBSYSTEMS)
+def test_named_subsystems_have_substantive_docstrings(subsystem):
+    """dynamics/* and fluid/* must explain themselves, not just exist."""
+    for path in (SRC_ROOT / subsystem).glob("*.py"):
+        doc = module_docstring(path)
+        assert doc and len(doc) > 120, (
+            f"{path.relative_to(SRC_ROOT)}: module docstring too thin "
+            "for a core subsystem"
+        )

@@ -1,0 +1,156 @@
+"""`hpcc-repro report` end-to-end: the --fastest fluid build.
+
+This is the acceptance smoke for the report subsystem: offline, no
+matplotlib, builds index.html + per-figure SVGs, and the two headline
+figures (Fig. 11 and Fig. 13) score "pass" against the digitized
+reference data on the fluid backend.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.report.build import (
+    FASTEST_FIGURES,
+    REPORT_FIGURES,
+    load_bench_trajectory,
+    resolve_figures,
+)
+
+
+class TestResolveFigures:
+    def test_fastest_subset(self):
+        assert resolve_figures(None, fastest=True) == list(FASTEST_FIGURES)
+
+    def test_default_is_all(self):
+        assert resolve_figures(None, fastest=False) == list(REPORT_FIGURES)
+
+    def test_aliases_resolve(self):
+        assert resolve_figures(["figure11", "fig13"], False) == [
+            "fig11", "fig13",
+        ]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            resolve_figures(["fig99"], False)
+
+    def test_fastest_conflicts_with_explicit_figures(self):
+        # Silently ignoring --figures would build the wrong report.
+        with pytest.raises(SystemExit, match="fastest"):
+            resolve_figures(["fig10"], fastest=True)
+
+    def test_fastest_figures_are_fluid_eligible_and_scored(self):
+        from repro.report import available_refdata
+
+        refdata = set(available_refdata())
+        for key in FASTEST_FIGURES:
+            assert REPORT_FIGURES[key].fluid_ok, key
+            assert key in refdata, key
+
+    def test_packet_only_figures_flagged(self):
+        assert not REPORT_FIGURES["fig1"].fluid_ok
+        assert not REPORT_FIGURES["fig12"].fluid_ok
+
+
+class TestBenchTrajectory:
+    def test_reads_snapshots(self, tmp_path):
+        for pr, wall in ((3, 1.5), (4, 1.2)):
+            (tmp_path / f"BENCH_pr{pr}.json").write_text(json.dumps({
+                "results": [{"name": "engine_events", "wall_time_s": wall}],
+            }))
+        panel = load_bench_trajectory(tmp_path)
+        [series] = panel.series
+        assert series.name == "engine_events"
+        assert series.x == [3.0, 4.0]
+        assert series.y == [1.5, 1.2]
+
+    def test_no_snapshots_returns_none(self, tmp_path):
+        assert load_bench_trajectory(tmp_path) is None
+
+    def test_corrupt_snapshot_skipped(self, tmp_path):
+        (tmp_path / "BENCH_pr3.json").write_text("{not json")
+        assert load_bench_trajectory(tmp_path) is None
+
+
+class TestReportCliSmoke:
+    @pytest.fixture(scope="class")
+    def report_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("report")
+        status = main([
+            "report", "--fastest", "--out", str(out), "--quiet",
+        ])
+        assert status == 0
+        return out
+
+    def test_emits_index_html(self, report_dir):
+        html = (report_dir / "index.html").read_text()
+        assert "<svg" in html
+        for key in FASTEST_FIGURES:
+            assert key in html
+
+    def test_emits_per_figure_svgs(self, report_dir):
+        produced = {p.name for p in report_dir.glob("*.svg")}
+        for key in FASTEST_FIGURES:
+            assert any(name.startswith(f"{key}_") for name in produced), key
+
+    def test_fig11_and_fig13_pass_on_fluid(self, report_dir):
+        summary = json.loads((report_dir / "report.json").read_text())
+        for key in ("fig11", "fig13"):
+            entry = summary["figures"][key]
+            assert entry["backend"] == "fluid"
+            assert entry["verdict"] == "pass", (key, entry)
+
+    def test_every_fastest_figure_is_scored(self, report_dir):
+        summary = json.loads((report_dir / "report.json").read_text())
+        for key in FASTEST_FIGURES:
+            entry = summary["figures"][key]
+            assert entry["verdict"] in ("pass", "warn", "fail")
+            assert entry["checks_total"] > 0
+
+    def test_report_json_is_strict(self, report_dir):
+        # Stats legitimately hold inf/nan (un-drained queues, empty
+        # percentiles); they must encode as strings, not bare Infinity
+        # tokens that strict parsers reject.
+        text = (report_dir / "report.json").read_text()
+        assert "Infinity" not in text and "NaN" not in text
+        json.loads(text)
+
+    def test_rerun_hits_cache(self, report_dir, capsys):
+        assert main([
+            "report", "--fastest", "--out", str(report_dir), "--quiet",
+        ]) == 0
+        summary = json.loads((report_dir / "report.json").read_text())
+        for key in FASTEST_FIGURES:
+            entry = summary["figures"][key]
+            assert entry["cached"] == entry["scenarios"], key
+
+    def test_bench_trajectory_found_from_repo_root(self, report_dir):
+        # The suite runs from the repo root, where BENCH_pr*.json live.
+        summary = json.loads((report_dir / "report.json").read_text())
+        note = summary["metadata"]["bench trajectory"]
+        assert "BENCH_pr*.json" in note and "no BENCH" not in note
+        assert (report_dir / "bench_trajectory.svg").exists()
+
+    def test_missing_bench_snapshots_noted_not_silent(self, tmp_path):
+        # Built against a directory with no BENCH_pr*.json: the chart
+        # is legitimately absent but the report must say why.
+        from repro.report.build import build_report
+
+        report = build_report([], out=tmp_path / "out",
+                              bench_root=tmp_path)
+        assert "no BENCH_pr*.json" in report.metadata["bench trajectory"]
+        html = (tmp_path / "out" / "index.html").read_text()
+        assert "no BENCH_pr*.json" in html
+
+    def test_png_flag_is_gated_on_matplotlib(self, report_dir):
+        try:
+            import matplotlib  # noqa: F401
+        except ImportError:
+            with pytest.raises(SystemExit, match="matplotlib"):
+                main(["report", "--fastest", "--out", str(report_dir),
+                      "--quiet", "--png"])
+        else:
+            assert main(["report", "--fastest", "--out", str(report_dir),
+                         "--quiet", "--png"]) == 0
+            assert list(report_dir.glob("*.png"))
