@@ -139,18 +139,34 @@ def _progress_ticker(args):
     return progress
 
 
+def _require_fluid_for_large(scale: str, backend: str) -> None:
+    """The ``large`` tier (figure 11's k=16, 1024-host fabric) is only
+    tractable on the fluid engine; refuse to launch it on packet."""
+    if scale == "large" and backend != "fluid":
+        raise SystemExit(
+            "error: --scale large is only tractable on the fluid engine; "
+            "add --backend fluid"
+        )
+
+
 def _cmd_sweep(args) -> int:
     from .runner import RunCache, SweepRunner, write_records_csv
 
+    _require_fluid_for_large(args.scale, args.backend)
     seeds = _parse_seeds(args.seeds)
     specs = []
-    for name in args.experiments:
-        module = EXPERIMENTS[_resolve(name)][1]
-        if seeds is None:
-            specs.extend(module.scenarios(scale=args.scale))
-        else:
-            for seed in seeds:
-                specs.extend(module.scenarios(scale=args.scale, seed=seed))
+    try:
+        for name in args.experiments:
+            module = EXPERIMENTS[_resolve(name)][1]
+            if seeds is None:
+                specs.extend(module.scenarios(scale=args.scale))
+            else:
+                for seed in seeds:
+                    specs.extend(module.scenarios(scale=args.scale, seed=seed))
+    except ValueError as exc:
+        # e.g. a scale tier the experiment does not define ("large" on a
+        # bench/full-only figure) -> CLI-style error, not a traceback.
+        raise SystemExit(f"error: {exc}")
     if not specs:
         print("nothing to run")
         return 1
@@ -189,6 +205,7 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    _require_fluid_for_large(args.scale, args.backend)
     if args.profile:
         return _profiled(args)
     return _run_experiment(args)
@@ -207,10 +224,13 @@ def _run_experiment(args) -> int:
     from .metrics.reporter import format_table
     from .runner import SweepRunner
 
-    specs = [
-        spec.replaced(backend=args.backend)
-        for spec in module.scenarios(scale=args.scale)
-    ]
+    try:
+        specs = [
+            spec.replaced(backend=args.backend)
+            for spec in module.scenarios(scale=args.scale)
+        ]
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     try:
         records = SweepRunner(progress=_progress_ticker(args)).run(specs)
     except ValueError as exc:
@@ -265,6 +285,7 @@ def _cmd_report(args) -> int:
         # --fastest is the CI/regression path: the fluid backend makes
         # the whole build a few seconds; full reports default to packet.
         backend = "fluid" if args.fastest else "packet"
+    _require_fluid_for_large(args.scale, backend)
     try:
         report = build_report(
             figures,
@@ -331,7 +352,7 @@ def main(argv: list[str] | None = None) -> int:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="e.g. fig13, fig11, appendix")
     run.add_argument(
-        "--scale", choices=("bench", "full"), default="bench",
+        "--scale", choices=("bench", "full", "large"), default="bench",
         help="bench = shrunk for Python speed (default); full = paper sizes",
     )
     run.add_argument(
@@ -359,7 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments", nargs="+", help="experiment names, e.g. fig10 fig11"
     )
     sweep.add_argument(
-        "--scale", choices=("bench", "full"), default="bench",
+        "--scale", choices=("bench", "full", "large"), default="bench",
         help="scenario scale (default bench)",
     )
     sweep.add_argument(
@@ -407,7 +428,7 @@ def main(argv: list[str] | None = None) -> int:
              "packet-only figures always stay on the packet engine",
     )
     report.add_argument(
-        "--scale", choices=("bench", "full"), default="bench",
+        "--scale", choices=("bench", "full", "large"), default="bench",
         help="scenario scale (default bench)",
     )
     report.add_argument(

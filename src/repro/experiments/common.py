@@ -37,7 +37,18 @@ __all__ = [
 ]
 
 
-def require_scale(scale: str) -> str:
-    if scale not in ("bench", "full"):
-        raise ValueError(f"scale must be 'bench' or 'full', got {scale!r}")
+def require_scale(
+    scale: str, allowed: tuple[str, ...] = ("bench", "full")
+) -> str:
+    """Validate ``scale`` against the tiers this experiment defines.
+
+    Most figures ship ``bench`` and ``full``; modules with extra tiers
+    (figure 11's fluid-only ``large`` k=16 fabric) pass their own
+    ``allowed`` tuple — usually ``tuple(SCALES)``.
+    """
+    if scale not in allowed:
+        raise ValueError(
+            f"scale must be one of {', '.join(repr(a) for a in allowed)}, "
+            f"got {scale!r}"
+        )
     return scale

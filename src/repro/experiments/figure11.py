@@ -27,7 +27,7 @@ from ..runner import (
     workload_cdf,
 )
 from ..sim.units import US
-from ..topology.fattree import FatTreeSpec
+from ..topology.fattree import FatTreeSpec, fattree_k_spec
 from .common import require_scale
 
 SCHEMES = (
@@ -56,6 +56,20 @@ SCALES = {
         "fattree": FatTreeSpec(),
         "size_scale": 1.0,
         "n_flows": 20000,
+        "base_rtt": 13 * US,
+        "incast_fan_in": 60,
+        "incast_size": 500_000,
+        "buffer_bytes": 32_000_000,
+    },
+    # Beyond the paper: a k=16 k-ary FatTree (1024 hosts, 320 switches)
+    # at the paper's line rates.  Only tractable on the fluid backend —
+    # the array engine steps every active flow at once, so a fabric this
+    # size costs the same *per step* as the bench tier does.  Pair with
+    # ``--backend fluid``.
+    "large": {
+        "fattree": fattree_k_spec(16),
+        "size_scale": 1.0,
+        "n_flows": 8000,
         "base_rtt": 13 * US,
         "incast_fan_in": 60,
         "incast_size": 500_000,
@@ -92,7 +106,7 @@ def scenarios(
     overrides: dict | None = None,
 ) -> list[ScenarioSpec]:
     """The figure's grid: traffic case x CC scheme on the FatTree."""
-    p = dict(SCALES[require_scale(scale)])
+    p = dict(SCALES[require_scale(scale, allowed=tuple(SCALES))])
     if overrides:
         p.update(overrides)
     base = ScenarioSpec(

@@ -20,12 +20,17 @@ from .adapters import (
     fluid_supported,
 )
 from .engine import FluidEngine, FluidFlow
-from .state import FluidGraph, FluidLink, FluidPath
+from .goodput import GoodputRecorder
+from .reference import ScalarFluidEngine
+from .state import FluidGraph, FluidLink, FluidPath, LinkArrays
 
 __all__ = [
     "ADAPTER_FAMILIES",
     "FluidEngine",
     "FluidFlow",
+    "GoodputRecorder",
+    "LinkArrays",
+    "ScalarFluidEngine",
     "FluidGraph",
     "FluidLink",
     "FluidPath",

@@ -87,10 +87,6 @@ class _SentBytes:
         self.wire_size = wire_size
 
 
-def _ack(now: float) -> Packet:
-    return Packet(PacketType.ACK, flow_id=0, src=0, dst=0)
-
-
 class RateAdapter:
     """Base adapter: owns one live CC algorithm and its windowed-ness."""
 
@@ -98,6 +94,17 @@ class RateAdapter:
         self.env = env
         self.algo = algo
         self.inner = algo.inner if isinstance(algo, WindowedCc) else algo
+        # One synthetic ACK, reused for every update: the fluid loop
+        # hands it to the algorithm synchronously and nothing retains it
+        # (HPCC snapshots INT hops via ``copy_from``), so a fresh
+        # allocation per step would only feed the GC.
+        self._ack_pkt = Packet(PacketType.ACK, flow_id=0, src=0, dst=0)
+
+    def _ack(self) -> Packet:
+        ack = self._ack_pkt
+        ack.ecn = False
+        ack.int_hops = None
+        return ack
 
     def install(self, proxy: FlowProxy) -> None:
         """Line-rate start without touching the packet ``install`` hooks
@@ -124,7 +131,7 @@ class IntAdapter(RateAdapter):
         # step (ack.seq > last_update_seq): one reaction per RTT, which
         # is exactly the reference-window cadence of Algorithm 1.
         proxy.snd_nxt += max(1.0, sig.delivered)
-        ack = _ack(sig.now)
+        ack = self._ack()
         ack.seq = proxy.snd_nxt
         ack.int_hops = sig.hops
         self.algo.on_ack(proxy, ack, sig.now)
@@ -177,7 +184,7 @@ class RttAdapter(RateAdapter):
     """TIMELY (+win): ACKs echoing the fluid path's analytic RTT."""
 
     def update(self, proxy: FlowProxy, sig: StepSignals) -> None:
-        ack = _ack(sig.now)
+        ack = self._ack()
         ack.ts_tx = sig.now - sig.rtt
         self.algo.on_ack(proxy, ack, sig.now)
 
@@ -198,11 +205,11 @@ class EcnAdapter(RateAdapter):
         marked = sig.mark_prob * delivered
         proxy.snd_nxt += delivered
         if marked > 0.0:
-            ack = _ack(sig.now)
+            ack = self._ack()
             ack.ack_seq = self._acked + marked
             ack.ecn = True
             self.algo.on_ack(proxy, ack, sig.now)
-        ack = _ack(sig.now)
+        ack = self._ack()
         ack.ack_seq = self._acked + delivered
         self.algo.on_ack(proxy, ack, sig.now)
         self._acked += delivered

@@ -1,43 +1,76 @@
-"""The fluid fast path: flow-level simulation in RTT-granularity steps.
+"""The fluid fast path: array-native flow-level simulation.
 
 Where the packet engine processes one event per packet/ACK/credit, the
-:class:`FluidEngine` advances the whole network one RTT at a time:
+:class:`FluidEngine` advances the whole network one RTT at a time — and
+it does so *vectorized*: every active flow lives as a row in a
+struct-of-arrays block, every link as a row in
+:class:`~repro.fluid.state.LinkArrays`, and the five sub-steps of the
+fluid model run as numpy operations over all flows at once.
+
+The model per step (semantics identical to the scalar reference in
+:mod:`repro.fluid.reference`):
 
 1. every active flow requests its CC-controlled rate (window-limited
-   schemes request ``min(rate, W/T)``);
-2. requested rates aggregate into per-link arrivals; oversubscribed
-   links throttle proportionally, and the throttle cascades along each
-   flow's path (an upstream bottleneck shields downstream links);
-3. link queues integrate ``(arrival - capacity) x dt``, and the
-   cumulative ``tx/rx`` byte registers advance — the same quantities an
-   INT switch reports;
-4. flows deliver ``achieved_rate x dt`` bytes and complete mid-step by
-   interpolation;
-5. each surviving flow's adapter replays one RTT of its scheme's packet
-   events (synthetic INT ACK, CNP stream, RTT echo, ECN marks) against
-   the *real* ``core/`` algorithm, producing next step's rate.
+   schemes request ``min(rate, W/T)``) — one ``np.minimum`` chain;
+2. requested rates aggregate into per-link arrivals (``np.bincount``
+   over the flows' flattened path-link rows); oversubscribed links
+   throttle proportionally;
+3. the throttle cascades along each flow's path (an upstream bottleneck
+   shields downstream links) — an exclusive per-path prefix-min, run as
+   one ``np.minimum.accumulate`` along the hop axis;
+4. link queues integrate ``(arrival - capacity) x dt`` and the
+   cumulative ``tx/rx`` byte registers advance — element-wise over the
+   links currently touched by live flows (untouched queues freeze,
+   exactly as in the scalar engine);
+5. flows deliver ``achieved_rate x dt`` bytes, complete mid-step by
+   interpolation, and — once per accumulated RTT — each flow's adapter
+   replays one RTT of its scheme's packet events (synthetic INT ACK,
+   CNP stream, RTT echo, ECN marks) against the *real* ``core/``
+   algorithm, producing the next step's rate.
+
+Paths are stored as a padded hop matrix: row ``i`` of ``_hops`` holds
+flow ``i``'s link indices, right-padded with a *dummy* link row (index
+``L``) whose registers are rigged so padding is arithmetically inert —
+scale 1.0, queueing delay 0.0, mark probability 0.0, and arrival
+contributions land on the dummy row and are discarded.  Admitting a
+flow therefore writes one row; no index structures rebuild.  A small
+CSR block (``_il``/``_il_off``) additionally tracks each flow's INT
+telemetry links (switch egress with capacity > 0) for schemes that
+read per-hop state, rebuilt whenever dynamics change capacities.
+
+CC adapters fire once per accumulated RTT: arrival- and
+event-shortened mini-steps accumulate ``elapsed``/``delivered``/
+``marked`` per flow, and the adapter sees one aggregated
+:class:`StepSignals` when a full ``step`` has elapsed.  That is the
+cadence every scheme in the paper is defined at (the scalar engine
+fires on every mini-step; on runs whose steps are never shortened the
+two engines produce bit-identical trajectories).
 
 Network dynamics run at *event boundaries*: scheduled timeline events
 (link cuts, recoveries, degradations) shorten the step so they fire at
-their exact instant, mutate the live :class:`~repro.fluid.state.FluidGraph`,
-and — once routing "detects" the change — trigger a path recompute for
-every in-flight and pending flow.  Per-link rates re-aggregate from the
-new paths on the very next step.  A flow whose destination became
-unreachable parks (zero rate, CC frozen) until a restore re-routes it,
-mirroring the packet transport blackholing against a cut-off host.
+their exact instant, synchronize the array view back into the live
+:class:`~repro.fluid.state.FluidGraph` objects (``push``), mutate the
+graph, re-``pull``, and rebuild the flow rows.  Routing reconvergence
+(:meth:`FluidEngine.reconverge`) recomputes every flow's ECMP path over
+the alive subgraph — reroute decisions depend only on topology and the
+deterministic ECMP hash, so they are identical across both engines.
+A flow whose destination became unreachable parks (zero rate, CC
+frozen) until a restore re-routes it.
 
-Cost per step is ``O(sum of active path lengths)`` — independent of
-bandwidth, flow size and packet count, which is what buys the orders of
-magnitude on Figure-11-sized fabrics.  The trade-offs (no PFC, no
-per-packet loss/retransmission, smoothed sub-RTT transients, pooled
-parallel trunks during detection windows) are listed in README's
-"Simulation backends" and "Network dynamics".
+Cost per step is a handful of ``O(flows x path length)`` numpy kernels
+— independent of bandwidth, flow size and packet count, and amortizing
+the Python interpreter across every active flow.  That is what makes
+k=16 FatTrees (1024+ hosts) tractable; see
+``benchmarks/bench_fluid_engine.py`` for the measured speedup over the
+scalar reference.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Callable
+
+import numpy as np
 
 from ..core.base import CcEnv
 from ..core.registry import get_scheme
@@ -47,17 +80,27 @@ from ..sim.packet import ACK_SIZE, BASE_HEADER, INT_OVERHEAD, IntHop
 from ..sim.units import MB
 from ..topology.base import Topology
 from .adapters import FluidClock, FlowProxy, RateAdapter, StepSignals, adapter_for
+from .goodput import GoodputRecorder
 from .state import FluidGraph, FluidPath
 
 _EPS = 1e-9
+_INF = float("inf")
+_NO_HOPS: list[IntHop] = []
 
 
 class FluidFlow:
-    """One flow's fluid state: route, remaining bytes, CC adapter."""
+    """One flow's fluid state: route, remaining bytes, CC adapter.
+
+    The array engine keeps the *hot* per-step state (remaining bytes,
+    rate, accumulators) in its row arrays while the flow is admitted;
+    the object fields are the durable home, synchronized whenever rows
+    rebuild (events, reconvergence, compaction).
+    """
 
     __slots__ = (
         "spec", "path", "proxy", "adapter", "line_rate", "ideal",
         "remaining", "req", "achieved", "topo_version",
+        "elapsed", "acc_delivered", "acc_marked", "hops",
     )
 
     def __init__(
@@ -80,15 +123,21 @@ class FluidFlow:
         self.req = 0.0                  # requested rate this step
         self.achieved = 0.0             # post-throttle rate this step
         self.topo_version = 0           # graph version the path was built on
+        self.elapsed = 0.0              # ns since the last CC adapter fire
+        self.acc_delivered = 0.0        # wire bytes since the last fire
+        self.acc_marked = 0.0           # mark-weighted bytes since the fire
+        self.hops: list[IntHop] | None = None   # reused INT telemetry row
 
 
 class FluidEngine:
-    """Flow-level simulation of one topology + CC scheme.
+    """Vectorized flow-level simulation of one topology + CC scheme.
 
     Mirrors the :class:`~repro.network.Network` surface where it makes
     sense: ``add_flows`` then ``run(deadline)``; results land in
     ``fct_records`` (live :class:`FctRecord` objects, same as the packet
-    path's metrics hub would produce).
+    path's metrics hub would produce).  The scalar reference
+    implementation with identical semantics is
+    :class:`repro.fluid.reference.ScalarFluidEngine`.
     """
 
     def __init__(
@@ -120,6 +169,9 @@ class FluidEngine:
         if self.step <= 0:
             raise ValueError(f"step must be positive, got {self.step}")
         self.graph = FluidGraph(topology, float(buffer_bytes))
+        #: Struct-of-arrays link registers (see LinkArrays): the engine
+        #: owns these while stepping and push/pulls at event boundaries.
+        self.arrays = self.graph.link_arrays()
         self.clock = FluidClock()
         self.now = 0.0
         self.steps = 0
@@ -129,7 +181,6 @@ class FluidEngine:
 
         self._starts: list[FluidFlow] = []      # sorted by start_time
         self._next_idx = 0
-        self._active: list[FluidFlow] = []
         self._parked: list[FluidFlow] = []      # routeless until a restore
         self._sorted = True
         self._topo_version = 0
@@ -139,20 +190,64 @@ class FluidEngine:
         self._events: list[tuple[float, int, Callable[[], None]]] = []
         self._event_seq = 0
 
-        ecn_policy = self.scheme.default_ecn(self.cc_params)
-        self._ecn_policy = ecn_policy
-        self._ecn_configs: dict[int, EcnConfig] = {}
+        self._needs_int = self.scheme.needs_int
+        self._ecn_policy = self.scheme.default_ecn(self.cc_params)
+        self._ecn_stale = True
+        self._ecn_kmin = self._ecn_kmax = self._ecn_pmax = None
+        self._ecn_span = None
+
+        # -- flow rows (struct-of-arrays, padded hop matrix) -----------------
+        cap = 64
+        #: Padding target: one row past the real links; scale/queue-delay/
+        #: mark lookups are extended with an inert entry at this index.
+        self._dummy = self.arrays.n
+        self._flows: list[FluidFlow] = []       # row -> flow object
+        self._n = 0                             # rows in use (incl. dead)
+        self._alive_n = 0                       # rows still delivering
+        self._il_nnz = 0                        # CSR telemetry entries in use
+        self._alive = np.zeros(cap, dtype=bool)
+        self._rate = np.zeros(cap)              # CC rate (mirror of proxy)
+        self._window = np.zeros(cap)            # CC window (inf if rate-only)
+        self._line = np.zeros(cap)              # NIC line rate cap
+        self._remaining = np.zeros(cap)         # wire bytes left
+        self._brtt = np.zeros(cap)              # path base RTT
+        self._elapsed = np.zeros(cap)           # ns since last CC fire
+        self._dacc = np.zeros(cap)              # delivered since last fire
+        self._macc = np.zeros(cap)              # mark-weighted bytes since
+        self._H = 8                             # hop-matrix width
+        self._hopm = np.full((cap, self._H), self._dummy, dtype=np.int64)
+        self._il_off = np.zeros(cap + 1, dtype=np.int64)
+        self._il = np.zeros(256, dtype=np.int64)
+        self._touched_idx = np.zeros(0, dtype=np.int64)
+        self._touched_eg_idx = np.zeros(0, dtype=np.int64)
+        self._touched_eg_mask = np.zeros(0, dtype=bool)
+        self._touched_stale = True
+        #: Adapters fire when a full step has accumulated; the epsilon
+        #: absorbs float dust from summing shortened mini-steps.
+        self._fire_at = self.step - 1e-9
+        self._sig = StepSignals(
+            hops=_NO_HOPS, rtt=0.0, mark_prob=0.0,
+            delivered=0.0, now=0.0, dt=0.0,
+        )
 
         self.sample_interval = sample_interval
-        self._last_sample = -float("inf")
+        self._last_sample = -_INF
         self._sample_links = (
             self.graph.switch_egress_links() if sample_interval is not None else []
         )
         self.queue_samples: dict[str, dict[str, list[float]]] = {
             link.label: {"times": [], "qlens": []} for link in self._sample_links
         }
+        self._sample_idx = np.array(
+            [link.index for link in self._sample_links], dtype=np.int64
+        )
+        self._sample_series = [
+            self.queue_samples[link.label] for link in self._sample_links
+        ]
         self.goodput_bin = goodput_bin
-        self.goodput_bins: dict[int, dict[int, float]] = {}
+        self._goodput = (
+            GoodputRecorder(goodput_bin) if goodput_bin is not None else None
+        )
 
     # -- flow admission ----------------------------------------------------------
 
@@ -190,6 +285,159 @@ class FluidEngine:
         except ValueError:
             return None
 
+    # -- row bookkeeping ---------------------------------------------------------
+
+    def _ensure_rows(self, need: int) -> None:
+        cap = self._rate.shape[0]
+        if need <= cap:
+            return
+        new = max(need, cap * 2)
+        for name in (
+            "_rate", "_window", "_line", "_remaining", "_brtt",
+            "_elapsed", "_dacc", "_macc",
+        ):
+            a = getattr(self, name)
+            b = np.zeros(new)
+            b[:cap] = a
+            setattr(self, name, b)
+        alive = np.zeros(new, dtype=bool)
+        alive[:cap] = self._alive
+        self._alive = alive
+        hopm = np.full((new, self._H), self._dummy, dtype=np.int64)
+        hopm[:cap] = self._hopm
+        self._hopm = hopm
+        il_off = np.zeros(new + 1, dtype=np.int64)
+        il_off[:cap + 1] = self._il_off
+        self._il_off = il_off
+
+    def _ensure_width(self, k: int) -> None:
+        if k <= self._H:
+            return
+        cap = self._hopm.shape[0]
+        hopm = np.full((cap, k), self._dummy, dtype=np.int64)
+        hopm[:, :self._H] = self._hopm
+        self._hopm = hopm
+        self._H = k
+
+    def _append_row(self, flow: FluidFlow) -> None:
+        """Materialize one routed flow as a row of the hop matrix."""
+        n = self._n
+        self._ensure_rows(n + 1)
+        links = flow.path.links
+        k = len(links)
+        self._ensure_width(k)
+        self._flows.append(flow)
+        self._alive[n] = True
+        self._rate[n] = flow.proxy.rate
+        w = flow.proxy.window
+        self._window[n] = _INF if w is None else w
+        self._line[n] = flow.line_rate
+        self._remaining[n] = flow.remaining
+        self._brtt[n] = flow.path.base_rtt
+        self._elapsed[n] = flow.elapsed
+        self._dacc[n] = flow.acc_delivered
+        self._macc[n] = flow.acc_marked
+        row = self._hopm[n]
+        row[:k] = [l.index for l in links]
+        row[k:] = self._dummy
+        if self._needs_int:
+            # Telemetry links: switch egress with capacity > 0 (a cut
+            # edge still on this flow's pre-reconvergence path returns
+            # no ACKs from beyond the cut — no INT signal).
+            ints = [
+                l.index for l in flow.path.int_links if l.capacity > 0.0
+            ]
+            m = len(ints)
+            il = self._il
+            if self._il_nnz + m > il.shape[0]:
+                grown = np.zeros(
+                    max(self._il_nnz + m, il.shape[0] * 2), dtype=np.int64
+                )
+                grown[:self._il_nnz] = il[:self._il_nnz]
+                self._il = grown
+            self._il[self._il_nnz:self._il_nnz + m] = ints
+            self._il_nnz += m
+            self._il_off[n + 1] = self._il_nnz
+            if flow.hops is None or len(flow.hops) != m:
+                flow.hops = [
+                    IntHop(bandwidth=0.0, ts=0.0, tx_bytes=0.0, qlen=0.0,
+                           rx_bytes=0.0)
+                    for _ in range(m)
+                ]
+        self._n = n + 1
+        self._alive_n += 1
+
+    def _save_rows(self) -> None:
+        """Sync hot row state back into the flow objects."""
+        n = self._n
+        if not n:
+            return
+        rem = self._remaining[:n].tolist()
+        ela = self._elapsed[:n].tolist()
+        dac = self._dacc[:n].tolist()
+        mac = self._macc[:n].tolist()
+        for i, flow in enumerate(self._flows):
+            flow.remaining = rem[i]
+            flow.elapsed = ela[i]
+            flow.acc_delivered = dac[i]
+            flow.acc_marked = mac[i]
+
+    def _set_rows(self, flows: list[FluidFlow]) -> None:
+        """Rebuild every row array from scratch for ``flows`` (in order)."""
+        self._flows = []
+        self._n = 0
+        self._alive_n = 0
+        self._il_nnz = 0
+        self._alive[:] = False
+        self._il_off[0] = 0
+        for flow in flows:
+            self._append_row(flow)
+        self._touched_stale = True
+
+    def _rebuild_rows(self) -> None:
+        """Save + rebuild the alive rows (after a capacity change)."""
+        self._save_rows()
+        alive = self._alive
+        self._set_rows([f for i, f in enumerate(self._flows) if alive[i]])
+
+    def _retouch(self) -> None:
+        """Recompute the set of links carrying at least one live flow."""
+        n = self._n
+        mask = np.zeros(self._dummy + 1, dtype=bool)
+        if n:
+            mask[self._hopm[:n][self._alive[:n]].ravel()] = True
+        ti = np.flatnonzero(mask[:self._dummy])
+        self._touched_idx = ti
+        em = self.arrays.egress[ti]
+        self._touched_eg_mask = em
+        self._touched_eg_idx = ti[em]
+        self._touched_stale = False
+
+    def _refresh_ecn(self) -> None:
+        """Per-link RED parameters as vectors (rebuilt on capacity changes)."""
+        count = self.arrays.n
+        kmin = np.zeros(count)
+        kmax = np.full(count, _INF)
+        pmax = np.zeros(count)
+        cache: dict[float, EcnConfig] = {}
+        for link in self.graph.link_list:
+            c = link.capacity
+            if c <= 0.0:
+                continue
+            config = cache.get(c)
+            if config is None:
+                config = self._ecn_policy.for_rate(c)
+                cache[c] = config
+            i = link.index
+            kmin[i] = config.kmin
+            kmax[i] = config.kmax
+            pmax[i] = config.pmax
+        self._ecn_kmin = kmin
+        self._ecn_kmax = kmax
+        self._ecn_pmax = pmax
+        self._ecn_span = kmax - kmin
+        self._ecn_stale = False
+
     # -- network dynamics --------------------------------------------------------
 
     def schedule_event(self, at: float, fn: Callable[[], None]) -> None:
@@ -210,19 +458,32 @@ class FluidEngine:
         estimate).  Paths are *not* recomputed — call :meth:`reconverge`
         when routing detects the change.
         """
-        return self.graph.fail_link(a, b)
+        self.arrays.push()
+        flushed = self.graph.fail_link(a, b)
+        self.arrays.pull()
+        self._rebuild_rows()
+        self._ecn_stale = True
+        return flushed
 
     def restore_link(self, a: int, b: int) -> None:
+        self.arrays.push()
         self.graph.restore_link(a, b)
+        self.arrays.pull()
+        self._rebuild_rows()
+        self._ecn_stale = True
 
     def degrade_link(
         self, a: int, b: int,
         rate_factor: float | None = None,
         delay_factor: float | None = None,
     ) -> None:
+        self.arrays.push()
         self.graph.degrade_link(
             a, b, rate_factor=rate_factor, delay_factor=delay_factor
         )
+        self.arrays.pull()
+        self._rebuild_rows()
+        self._ecn_stale = True
 
     def reconverge(self) -> int:
         """Recompute every in-flight and pending flow's path.
@@ -231,15 +492,21 @@ class FluidEngine:
         their post-change ECMP route (deterministic hash, so a restored
         trunk gets its old flows back), parked flows re-admit if a route
         reappeared, and newly routeless flows park.  Returns the number
-        of flows whose path changed (the reroute count).
+        of flows whose path changed (the reroute count) — a function of
+        topology and the ECMP hash only, hence identical to the scalar
+        reference engine's.
         """
         self._topo_version += 1
         self.graph.invalidate()
-        self._ecn_configs.clear()
+        self._ecn_stale = True
+        self._save_rows()
         rerouted = 0
         still_active: list[FluidFlow] = []
         parked: list[FluidFlow] = []
-        for flow in self._active:
+        alive = self._alive
+        for i, flow in enumerate(self._flows):
+            if not alive[i]:
+                continue
             old_links = None if flow.path is None else flow.path.links
             flow.path = self._route(flow.spec)
             flow.topo_version = self._topo_version
@@ -258,8 +525,8 @@ class FluidEngine:
             else:
                 rerouted += 1
                 still_active.append(flow)
-        self._active = still_active
         self._parked = parked
+        self._set_rows(still_active)
         return rerouted
 
     # -- the step loop -----------------------------------------------------------
@@ -293,7 +560,8 @@ class FluidEngine:
                 if flow.path is None:
                     self._parked.append(flow)
                 else:
-                    self._active.append(flow)
+                    self._append_row(flow)
+                    self._touched_stale = True
             if self.now >= deadline - _EPS:
                 break
             next_start = (
@@ -301,7 +569,7 @@ class FluidEngine:
                 if self._next_idx < len(starts) else None
             )
             next_event = events[0][0] if events else None
-            if not self._active:
+            if not self._alive_n:
                 if not self._parked and self._next_idx >= len(starts):
                     # Every flow finished: stop here, leaving later
                     # timeline events unfired — the packet path's
@@ -330,179 +598,249 @@ class FluidEngine:
                 dt = _EPS
             self._advance(dt)
         self.completed = (
-            not self._active and not self._parked
+            not self._alive_n and not self._parked
             and self._next_idx >= len(starts)
         )
+        self.arrays.push()
         return self.completed
 
     def _advance(self, dt: float) -> None:
-        active = self._active
+        if self._touched_stale:
+            self._retouch()
+        A = self.arrays
+        L = self._dummy
+        n = self._n
+        alive = self._alive[:n]
+        hopm = self._hopm[:n]
+        remaining = self._remaining[:n]
+        n_active = self._alive_n
+
         # 1. requested rates (window-limited schemes pace at W/T).
-        for f in active:
-            r = f.proxy.rate
-            w = f.proxy.window
-            if w is not None:
-                paced = w / self.base_rtt
-                if paced < r:
-                    r = paced
-            if r > f.line_rate:
-                r = f.line_rate
-            f.req = r
+        req = np.minimum(self._rate[:n], self._window[:n] / self.base_rtt)
+        np.minimum(req, self._line[:n], out=req)
+        req *= alive
         # 2. per-link offered arrivals -> proportional throttle factors.
-        touched: dict[int, object] = {}
-        for f in active:
-            for link in f.path.links:
-                key = id(link)
-                if key not in touched:
-                    touched[key] = link
-                    link.arrival = 0.0
-                    link.throttled = 0.0
-                link.arrival += f.req
-        for link in touched.values():
-            link.scale = (
-                1.0 if link.arrival <= link.capacity
-                else link.capacity / link.arrival
-            )
+        #    Row-major ravel order means per-link accumulation order is
+        #    flow-major — the same order as the scalar engine's loops.
+        flat = hopm.ravel()
+        req_h = np.broadcast_to(req[:, None], hopm.shape)
+        arrival = np.bincount(flat, weights=req_h.ravel(), minlength=L + 1)
+        scale = np.ones(L + 1)
+        over = arrival[:L] > A.capacity
+        np.divide(A.capacity, arrival[:L], out=scale[:L], where=over)
         # 3. cascade the throttle along each path (upstream bottlenecks
-        #    shield downstream links) and pin each flow's achieved rate.
-        for f in active:
-            s = 1.0
-            req = f.req
-            for link in f.path.links:
-                link.throttled += req * s
-                if link.scale < s:
-                    s = link.scale
-            f.achieved = req * s
-        # 4. integrate link state.  Only switch egress queues: a host's
-        #    own uplink is paced at the source (excess was throttled in
-        #    step 2/3), so it never queues or drops — matching the
-        #    packet NIC, which contributes no INT hop either.
-        for link in touched.values():
-            inflow = link.throttled * dt
-            tx = link.queue + inflow
-            cap = link.capacity * dt
-            if tx > cap:
-                tx = cap
-            link.tx_bytes += tx
-            link.rx_bytes += inflow
-            if not link.is_switch_egress:
-                continue
-            q = link.queue + inflow - tx
-            if q > link.buffer_bytes:
-                link.dropped_bytes += q - link.buffer_bytes
-                q = link.buffer_bytes
-            link.queue = q if q > _EPS else 0.0
-        # 5. deliver bytes; complete by interpolation; update CC.
+        #    shield downstream links): exclusive prefix-min per row.
+        sc = scale[hopm]
+        cum = np.minimum.accumulate(sc, axis=1)
+        w = np.empty_like(cum)
+        w[:, 0] = req
+        np.multiply(cum[:, :-1], req[:, None], out=w[:, 1:])
+        achieved = req * cum[:, -1]
+        throttled = np.bincount(flat, weights=w.ravel(), minlength=L + 1)
+        # 4. integrate link state on the touched subset (untouched queues
+        #    freeze, matching the scalar engine).  Only switch egress
+        #    queues grow: a host's own uplink is paced at the source, so
+        #    it never queues or drops — matching the packet NIC, which
+        #    contributes no INT hop either.
+        ti = self._touched_idx
+        te = self._touched_eg_idx
+        em = self._touched_eg_mask
+        inflow = throttled[ti] * dt
+        qt = A.queue[ti]
+        tx = qt + inflow
+        np.minimum(tx, A.capacity[ti] * dt, out=tx)
+        A.tx[ti] += tx
+        A.rx[ti] += inflow
+        q = qt[em] + inflow[em] - tx[em]
+        buf = A.buffer[te]
+        excess = q - buf
+        over_b = excess > 0.0
+        if over_b.any():
+            A.dropped[te[over_b]] += excess[over_b]
+            q[over_b] = buf[over_b]
+        q[q <= _EPS] = 0.0
+        A.queue[te] = q
+        # 5. deliver bytes; complete by interpolation; accumulate CC
+        #    signals and fire adapters whose RTT window filled up.
         start_t = self.now
         self.now = start_t + dt
         self.clock.now = self.now
-        goodput_bin = self.goodput_bin
-        survivors: list[FluidFlow] = []
-        for f in active:
-            delivered = f.achieved * dt
-            if delivered >= f.remaining - 1e-6:
-                t_send = f.remaining / f.achieved if f.achieved > 0 else dt
-                finish = (
-                    start_t + t_send
-                    + f.path.base_rtt + f.path.queue_delay()
-                )
-                if goodput_bin is not None and f.remaining > 0:
-                    self._record_goodput(
-                        f.spec.flow_id, start_t, start_t + t_send,
-                        f.remaining / self.wire_factor,
+        delivered = achieved * dt
+        done = delivered >= (remaining - 1e-6)
+        done &= alive
+        qdiv = np.zeros(L + 1)
+        np.divide(A.queue, A.capacity, out=qdiv[:L], where=A.capacity > 0.0)
+        qdelay = qdiv[hopm].sum(axis=1)
+        goodput = self._goodput
+        flows = self._flows
+        any_done = done.any()
+        if any_done:
+            idxs = np.flatnonzero(done)
+            ach_l = achieved[idxs].tolist()
+            rem_l = remaining[idxs].tolist()
+            qd_l = qdelay[idxs].tolist()
+            brtt_l = self._brtt[idxs].tolist()
+            for i, ach, rem, qd, brtt in zip(
+                idxs.tolist(), ach_l, rem_l, qd_l, brtt_l
+            ):
+                flow = flows[i]
+                t_send = rem / ach if ach > 0 else dt
+                if goodput is not None and rem > 0:
+                    goodput.record(
+                        flow.spec.flow_id, start_t, start_t + t_send,
+                        rem / self.wire_factor,
                     )
-                f.remaining = 0.0
-                f.proxy.done = True
+                flow.remaining = 0.0
+                flow.proxy.done = True
                 self.fct_records.append(FctRecord(
-                    spec=f.spec, start=f.spec.start_time, finish=finish,
-                    ideal=f.ideal,
+                    spec=flow.spec, start=flow.spec.start_time,
+                    finish=start_t + t_send + brtt + qd, ideal=flow.ideal,
                 ))
-            else:
-                if goodput_bin is not None and delivered > 0:
-                    self._record_goodput(
-                        f.spec.flow_id, start_t, self.now,
-                        delivered / self.wire_factor,
+            alive[idxs] = False
+            self._alive_n -= idxs.size
+            self._touched_stale = True
+        remaining -= delivered
+        if any_done:
+            remaining[idxs] = 0.0
+        if goodput is not None:
+            rows = np.flatnonzero(alive & (delivered > 0))
+            if rows.size:
+                d_l = delivered[rows].tolist()
+                for i, d in zip(rows.tolist(), d_l):
+                    goodput.record(
+                        flows[i].spec.flow_id, start_t, self.now,
+                        d / self.wire_factor,
                     )
-                f.remaining -= delivered
-                survivors.append(f)
-        self._active = survivors
-        for f in survivors:
-            f.adapter.update(f.proxy, self._signals(f, dt))
+        # CC accumulators: elapsed time, delivered and mark-weighted
+        # bytes per flow; fire adapters once a full step accumulated.
+        elapsed = self._elapsed[:n]
+        dacc = self._dacc[:n]
+        macc = self._macc[:n]
+        first = elapsed == 0.0          # single-mini-step window so far
+        elapsed += dt
+        dacc += delivered
+        mark_flow = None
+        if self._ecn_policy is not None:
+            if self._ecn_stale:
+                self._refresh_ecn()
+            one_minus = np.ones(L + 1)
+            p = np.divide(
+                self._ecn_pmax * (A.queue - self._ecn_kmin), self._ecn_span,
+                out=np.zeros(L), where=self._ecn_span > 0.0,
+            )
+            p[A.queue <= self._ecn_kmin] = 0.0
+            p[A.queue >= self._ecn_kmax] = 1.0
+            np.subtract(1.0, p, out=one_minus[:L])
+            # Host links and dead links carry p == 0, so the product
+            # over *all* path hops equals the scalar engine's product
+            # over telemetry links only (1.0 factors are exact).
+            mark_flow = 1.0 - one_minus[hopm].prod(axis=1)
+            macc += mark_flow * delivered
+        fire = alive & (elapsed >= self._fire_at)
+        if fire.any():
+            self._fire(
+                np.flatnonzero(fire), qdelay, mark_flow, first,
+                elapsed, dacc, macc,
+            )
         self.steps += 1
-        self.flow_steps += len(active)
+        self.flow_steps += n_active
         if (
             self.sample_interval is not None
             and self.now - self._last_sample >= self.sample_interval
         ):
             self._last_sample = self.now
-            for link in self._sample_links:
-                series = self.queue_samples[link.label]
+            qv = A.queue[self._sample_idx].tolist()
+            for series, qlen in zip(self._sample_series, qv):
                 series["times"].append(self.now)
-                series["qlens"].append(link.queue)
+                series["qlens"].append(qlen)
+        # Compact dead rows away once they dominate the arrays.
+        dead = self._n - self._alive_n
+        if dead >= 64 and dead * 2 >= self._n:
+            self._rebuild_rows()
 
-    # -- goodput -----------------------------------------------------------------
-
-    def _record_goodput(
-        self, flow_id: int, t0: float, t1: float, payload: float
+    def _fire(
+        self,
+        fidx: np.ndarray,
+        qdelay: np.ndarray,
+        mark_flow: np.ndarray | None,
+        first: np.ndarray,
+        elapsed: np.ndarray,
+        dacc: np.ndarray,
+        macc: np.ndarray,
     ) -> None:
-        """Spread delivered payload bytes uniformly over ``[t0, t1]`` bins.
+        """Replay one accumulated RTT through each fired flow's adapter.
 
-        The packet path bins bytes at ACK arrival; the fluid path bins at
-        delivery — an offset of one RTT, far below the bin widths the
-        failover analyses use (tens of microseconds).
+        ``sig.mark_prob`` is the delivered-weighted mean mark probability
+        over the window; for a single-mini-step window it is the step's
+        instantaneous value, bit-identical to the scalar engine's.
         """
-        bin_ns = self.goodput_bin
-        bins = self.goodput_bins.setdefault(flow_id, {})
-        i0 = int(t0 / bin_ns)
-        i1 = int(t1 / bin_ns)
-        if i0 == i1 or t1 <= t0:
-            bins[i0] = bins.get(i0, 0.0) + payload
-            return
-        rate = payload / (t1 - t0)
-        for idx in range(i0, i1 + 1):
-            lo = max(t0, idx * bin_ns)
-            hi = min(t1, (idx + 1) * bin_ns)
-            if hi > lo:
-                bins[idx] = bins.get(idx, 0.0) + rate * (hi - lo)
-
-    # -- per-flow feedback -------------------------------------------------------
-
-    def _signals(self, f: FluidFlow, dt: float) -> StepSignals:
-        delivered = f.achieved * dt
-        hops: list[IntHop] = []
-        if self.scheme.needs_int:
-            # A capacity-0 link is a cut edge still on this flow's
-            # pre-reconvergence path: no ACKs return from beyond a cut,
-            # so it contributes no telemetry (and no division by zero).
-            hops = [
-                IntHop(
-                    bandwidth=link.capacity, ts=self.now,
-                    tx_bytes=link.tx_bytes, qlen=link.queue,
-                    rx_bytes=link.rx_bytes,
-                )
-                for link in f.path.int_links
-                if link.capacity > 0.0
-            ]
-        mark_prob = 0.0
-        if self._ecn_policy is not None:
-            clear = 1.0
-            for link in f.path.int_links:
-                if link.capacity <= 0.0:
-                    continue
-                key = id(link)
-                config = self._ecn_configs.get(key)
-                if config is None:
-                    config = self._ecn_policy.for_rate(link.capacity)
-                    self._ecn_configs[key] = config
-                p = _marking_probability(config, link.queue)
-                if p > 0.0:
-                    clear *= 1.0 - p
-            mark_prob = 1.0 - clear
-        rtt = f.path.base_rtt + f.path.queue_delay()
-        return StepSignals(
-            hops=hops, rtt=rtt, mark_prob=mark_prob,
-            delivered=delivered, now=self.now, dt=dt,
-        )
+        A = self.arrays
+        flows = self._flows
+        now = self.now
+        fl = fidx.tolist()
+        rtt_l = (self._brtt[fidx] + qdelay[fidx]).tolist()
+        del_l = dacc[fidx].tolist()
+        dt_l = elapsed[fidx].tolist()
+        if mark_flow is not None:
+            fd = dacc[fidx]
+            mark_l = np.where(
+                first[fidx],
+                mark_flow[fidx],
+                np.divide(
+                    macc[fidx], fd, out=np.zeros(fidx.size), where=fd > 0.0
+                ),
+            ).tolist()
+        else:
+            mark_l = None
+        needs_int = self._needs_int
+        if needs_int:
+            # Gather only the fired flows' telemetry links (the full CSR
+            # block also spans dead and not-yet-firing rows).
+            off0 = self._il_off[fidx]
+            cnt = self._il_off[fidx + 1] - off0
+            bases = np.cumsum(cnt) - cnt
+            total = int(cnt.sum())
+            pos = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(bases, cnt) + np.repeat(off0, cnt)
+            )
+            ilv = self._il[pos]
+            cap_l = A.capacity[ilv].tolist()
+            tx_l = A.tx[ilv].tolist()
+            q_l = A.queue[ilv].tolist()
+            rx_l = A.rx[ilv].tolist()
+            bases_l = bases.tolist()
+        sig = self._sig
+        sig.now = now
+        for k, i in enumerate(fl):
+            flow = flows[i]
+            if needs_int:
+                hops = flow.hops
+                base = bases_l[k]
+                for h, hop in enumerate(hops):
+                    j = base + h
+                    hop.bandwidth = cap_l[j]
+                    hop.ts = now
+                    hop.tx_bytes = tx_l[j]
+                    hop.qlen = q_l[j]
+                    hop.rx_bytes = rx_l[j]
+                sig.hops = hops
+            else:
+                sig.hops = _NO_HOPS
+            sig.rtt = rtt_l[k]
+            sig.mark_prob = mark_l[k] if mark_l is not None else 0.0
+            sig.delivered = del_l[k]
+            sig.dt = dt_l[k]
+            flow.adapter.update(flow.proxy, sig)
+        self._rate[fidx] = [flows[i].proxy.rate for i in fl]
+        win = []
+        for i in fl:
+            w = flows[i].proxy.window
+            win.append(_INF if w is None else w)
+        self._window[fidx] = win
+        elapsed[fidx] = 0.0
+        dacc[fidx] = 0.0
+        macc[fidx] = 0.0
 
     # -- results -----------------------------------------------------------------
 
@@ -519,28 +857,20 @@ class FluidEngine:
         )
         return spec.size * self.wire_factor / rate + path.base_rtt
 
+    @property
+    def goodput_bins(self) -> dict[int, dict[int, float]]:
+        return self._goodput.bins() if self._goodput is not None else {}
+
     def goodput_payload(self) -> dict | None:
         """The recorded goodput bins in ``RunRecord.extras`` shape."""
-        if self.goodput_bin is None:
+        if self._goodput is None:
             return None
-        return {
-            "bin_ns": self.goodput_bin,
-            "bins": {
-                str(flow_id): {str(idx): n for idx, n in bins.items()}
-                for flow_id, bins in self.goodput_bins.items()
-            },
-        }
+        return self._goodput.payload()
 
     def dropped_bytes(self) -> float:
+        self.arrays.push()
         return sum(l.dropped_bytes for l in self.graph.links.values())
 
     def switch_queued_bytes(self) -> dict[int, float]:
+        self.arrays.push()
         return self.graph.total_queued_bytes()
-
-
-def _marking_probability(config: EcnConfig, qlen: float) -> float:
-    if qlen <= config.kmin:
-        return 0.0
-    if qlen >= config.kmax:
-        return 1.0
-    return config.pmax * (qlen - config.kmin) / (config.kmax - config.kmin)

@@ -36,13 +36,21 @@ from ..sim.flow import FlowSpec
 from ..sim.units import MB
 from ..topology.base import Topology
 from .engine import FluidEngine
+from .reference import ScalarFluidEngine
+
+#: ``config["fluid_engine"]`` values -> engine implementations.  The
+#: default (key absent) is the vectorized array engine; ``"scalar"``
+#: selects the loop-per-flow reference implementation — same semantics,
+#: kept for equivalence testing and as the speedup baseline.
+_ENGINES = {"array": FluidEngine, "scalar": ScalarFluidEngine}
 
 
 def _make_engine(
     topology: Topology, spec: ScenarioSpec
 ) -> tuple[FluidEngine, list[str]]:
     config = dict(spec.config)
-    engine = FluidEngine(
+    engine_cls = _ENGINES[config.pop("fluid_engine", "array")]
+    engine = engine_cls(
         topology,
         cc_name=spec.cc.name,
         cc_params=spec.cc.params,

@@ -8,6 +8,18 @@ the registers an INT-capable switch would expose — which is how the HPCC
 adapter computes Eqn (2)'s ``qlen``/``txRate`` inputs analytically
 instead of reading them off packet telemetry.
 
+Two representations of the same registers coexist:
+
+* the **object view** (:class:`FluidLink`) — one Python object per
+  directed edge, the stable surface the dynamics subsystem mutates and
+  tests introspect;
+* the **array view** (:class:`LinkArrays`) — a struct-of-arrays block
+  (one numpy vector per register, indexed by :attr:`FluidLink.index`)
+  that the vectorized engine steps.  The engine owns the arrays while
+  stepping and synchronizes with the objects at event boundaries
+  (``pull``/``push``), so both views always agree whenever non-engine
+  code can observe them.
+
 Paths are chosen with the same deterministic ECMP-by-hash discipline as
 the packet simulator: at every switch the next hop is drawn from the
 neighbours one BFS hop closer to the destination, keyed by ``(flow_id,
@@ -27,10 +39,12 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from ..sim.routing import ecmp_hash
 from ..topology.base import Topology
 
-__all__ = ["FluidGraph", "FluidLink", "FluidPath"]
+__all__ = ["FluidGraph", "FluidLink", "FluidPath", "LinkArrays"]
 
 
 class _Member:
@@ -55,12 +69,16 @@ class FluidLink:
     ``capacity`` is the pooled rate of the pair's *up* members; a fully
     failed edge keeps its object (flows still pointing at it throttle to
     zero until the engine recomputes their paths) with capacity 0.
+
+    ``label`` is precomputed (it used to be a per-call f-string
+    property, which sat on the queue-sampling hot path) and ``index``
+    is the link's fixed row in :class:`LinkArrays`.
     """
 
     __slots__ = (
         "a", "b", "capacity", "delay", "is_switch_egress", "buffer_bytes",
         "queue", "tx_bytes", "rx_bytes", "dropped_bytes",
-        "arrival", "throttled", "scale",
+        "arrival", "throttled", "scale", "label", "index",
     )
 
     def __init__(
@@ -82,14 +100,12 @@ class FluidLink:
         self.tx_bytes = 0.0             # cumulative bytes emitted
         self.rx_bytes = 0.0             # cumulative bytes offered
         self.dropped_bytes = 0.0        # fluid lost to overflow or link cuts
-        # Per-step scratch registers (owned by the engine's step loop).
+        # Per-step scratch registers (owned by the scalar engine's loop).
         self.arrival = 0.0
         self.throttled = 0.0
         self.scale = 1.0
-
-    @property
-    def label(self) -> str:
-        return f"sw{self.a}->{self.b}"
+        self.label = f"sw{a}->{b}"
+        self.index = -1                 # row in LinkArrays, set by the graph
 
     def queue_delay(self) -> float:
         if self.capacity <= 0.0:
@@ -124,6 +140,54 @@ class FluidPath:
         return sum(l.queue_delay() for l in self.links)
 
 
+class LinkArrays:
+    """Struct-of-arrays view of every directed link's hot registers.
+
+    Row ``i`` belongs to ``graph.link_list[i]`` (``link.index == i``).
+    The vectorized engine steps these vectors directly; ``pull`` refreshes
+    them from the object view (after dynamics mutated capacities or
+    flushed queues) and ``push`` writes the integrated state back so the
+    object view — dynamics accounting, tests, ``total_queued_bytes`` —
+    observes what the arrays computed.
+    """
+
+    __slots__ = ("links", "n", "capacity", "queue", "tx", "rx", "dropped",
+                 "egress", "buffer")
+
+    def __init__(self, links: list[FluidLink]) -> None:
+        self.links = links
+        self.n = len(links)
+        self.egress = np.array([l.is_switch_egress for l in links], dtype=bool)
+        self.buffer = np.array([l.buffer_bytes for l in links])
+        self.capacity = np.empty(self.n)
+        self.queue = np.empty(self.n)
+        self.tx = np.empty(self.n)
+        self.rx = np.empty(self.n)
+        self.dropped = np.empty(self.n)
+        self.pull()
+
+    def pull(self) -> None:
+        """Refresh every register from the object view."""
+        for i, l in enumerate(self.links):
+            self.capacity[i] = l.capacity
+            self.queue[i] = l.queue
+            self.tx[i] = l.tx_bytes
+            self.rx[i] = l.rx_bytes
+            self.dropped[i] = l.dropped_bytes
+
+    def push(self) -> None:
+        """Write the integrated registers back to the object view."""
+        queue = self.queue.tolist()
+        tx = self.tx.tolist()
+        rx = self.rx.tolist()
+        dropped = self.dropped.tolist()
+        for i, l in enumerate(self.links):
+            l.queue = queue[i]
+            l.tx_bytes = tx[i]
+            l.rx_bytes = rx[i]
+            l.dropped_bytes = dropped[i]
+
+
 class FluidGraph:
     """The routed fluid network built from a :class:`Topology`."""
 
@@ -150,18 +214,32 @@ class FluidGraph:
         # Fix the duplicated member list: both directions must share one.
         for spec in topology.links:
             self._members[(spec.b, spec.a)] = self._members[(spec.a, spec.b)]
+        #: Fixed enumeration of the directed links; ``link.index`` is the
+        #: row every :class:`LinkArrays` register uses for this link.
+        self.link_list: list[FluidLink] = list(self.links.values())
+        for i, link in enumerate(self.link_list):
+            link.index = i
+        self._egress_links: list[FluidLink] = [
+            l for l in self.link_list if l.is_switch_egress
+        ]
         self._neighbors: dict[int, list[int]] = {
             n: [] for n in range(topology.n_hosts + topology.n_switches)
         }
         for a, b in self.links:
             self._neighbors[a].append(b)
         self._dist_to: dict[int, dict[int, int]] = {}
+        self._alive_neighbors: dict[int, list[int]] | None = None
+
+    def link_arrays(self) -> LinkArrays:
+        """A fresh struct-of-arrays block over :attr:`link_list`."""
+        return LinkArrays(self.link_list)
 
     # -- dynamics ----------------------------------------------------------------
 
     def invalidate(self) -> None:
-        """Drop the BFS cache (after any member state change)."""
+        """Drop the routing caches (after any member state change)."""
         self._dist_to.clear()
+        self._alive_neighbors = None
 
     def _refresh_pair(self, a: int, b: int) -> None:
         members = self._members[(a, b)]
@@ -246,16 +324,31 @@ class FluidGraph:
     def _alive(self, a: int, b: int) -> bool:
         return self.links[(a, b)].capacity > 0.0
 
+    def _up_neighbors(self) -> dict[int, list[int]]:
+        """``node -> sorted alive peers``; rebuilt lazily per topology
+        version so BFS and ECMP selection skip per-edge capacity checks."""
+        alive = self._alive_neighbors
+        if alive is None:
+            alive = {
+                node: sorted(
+                    peer for peer in peers if self._alive(node, peer)
+                )
+                for node, peers in self._neighbors.items()
+            }
+            self._alive_neighbors = alive
+        return alive
+
     def _distances(self, dst: int) -> dict[int, int]:
         dist = self._dist_to.get(dst)
         if dist is None:
+            neighbors = self._up_neighbors()
             dist = {dst: 0}
             frontier = deque([dst])
             while frontier:
                 node = frontier.popleft()
                 d = dist[node] + 1
-                for peer in self._neighbors[node]:
-                    if peer not in dist and self._alive(node, peer):
+                for peer in neighbors[node]:
+                    if peer not in dist:
                         dist[peer] = d
                         frontier.append(peer)
             self._dist_to[dst] = dist
@@ -267,13 +360,15 @@ class FluidGraph:
         dist = self._distances(dst)
         if src not in dist:
             raise ValueError(f"no route from {src} to {dst}")
+        neighbors = self._up_neighbors()
         links: list[FluidLink] = []
         node = src
         while node != dst:
-            candidates = sorted(
-                peer for peer in self._neighbors[node]
-                if self._alive(node, peer) and dist.get(peer, -1) == dist[node] - 1
-            )
+            d_next = dist[node] - 1
+            candidates = [
+                peer for peer in neighbors[node]
+                if dist.get(peer, -1) == d_next
+            ]
             if not candidates:
                 raise ValueError(f"no route from {src} to {dst} at {node}")
             if len(candidates) == 1:
@@ -289,12 +384,13 @@ class FluidGraph:
     # -- introspection -----------------------------------------------------------
 
     def switch_egress_links(self) -> list[FluidLink]:
-        return [l for l in self.links.values() if l.is_switch_egress]
+        """Every switch-egress link (cached; membership never changes)."""
+        return self._egress_links
 
     def total_queued_bytes(self) -> dict[int, float]:
         """Bytes queued per switch (mirrors ``switch_queued_bytes``)."""
         queued: dict[int, float] = {}
-        for link in self.links.values():
+        for link in self.link_list:
             if link.is_switch_egress and link.queue > 0:
                 queued[link.a] = queued.get(link.a, 0.0) + link.queue
         return queued

@@ -73,10 +73,22 @@ class Topology:
 
     def host_link(self, host: int) -> LinkSpec:
         """The (single) access link of a host."""
-        for link in self.links:
-            if link.a == host or link.b == host:
-                return link
-        raise ValueError(f"host {host} has no link")
+        cache = getattr(self, "_host_link_cache", None)
+        if cache is None:
+            # Lazy non-field cache: admission routes every flow through
+            # here twice, and a linear scan over a large fabric's links
+            # dominates setup otherwise.
+            cache = {}
+            for link in self.links:
+                if self.is_host(link.a):
+                    cache.setdefault(link.a, link)
+                if self.is_host(link.b):
+                    cache.setdefault(link.b, link)
+            object.__setattr__(self, "_host_link_cache", cache)
+        try:
+            return cache[host]
+        except KeyError:
+            raise ValueError(f"host {host} has no link") from None
 
     def host_rate(self, host: int) -> float:
         return self.host_link(host).rate

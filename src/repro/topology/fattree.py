@@ -97,6 +97,33 @@ def fattree(spec: FatTreeSpec | None = None) -> Topology:
     )
 
 
+def fattree_k_spec(
+    k: int,
+    host_rate: str = "100Gbps",
+    fabric_rate: str = "400Gbps",
+) -> FatTreeSpec:
+    """The classic k-ary FatTree as a :class:`FatTreeSpec`.
+
+    ``k`` pods of ``k/2`` ToRs and ``k/2`` Aggs, ``(k/2)^2`` core
+    switches, ``k/2`` hosts per ToR — ``k^3/4`` hosts total (k=16 gives
+    1024).  Every Agg uplinks to ``k/2`` cores, so each pod reaches the
+    entire core layer.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"k must be even and >= 2, got {k}")
+    half = k // 2
+    return FatTreeSpec(
+        n_pods=k, tors_per_pod=half, aggs_per_pod=half,
+        n_core=half * half, hosts_per_tor=half,
+        host_rate=host_rate, fabric_rate=fabric_rate,
+    )
+
+
+def fattree_k(k: int, **rates: str) -> Topology:
+    """Build the k-ary FatTree (``k^3/4`` hosts); see :func:`fattree_k_spec`."""
+    return fattree(fattree_k_spec(k, **rates))
+
+
 def paper_fattree() -> Topology:
     """The full-scale fabric of Section 5.1 (320 hosts)."""
     return fattree(FatTreeSpec())
