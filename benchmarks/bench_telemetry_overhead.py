@@ -1,0 +1,198 @@
+"""Telemetry must be (nearly) free: <2% on both engines, off and on.
+
+The obs subsystem's hard constraint (ISSUE 7): with telemetry off the
+engines must run within 2% of their uninstrumented speed, and even with
+probes attached the overhead must stay under the same bar — which is
+what the call-site-granularity probe design buys (one ``None`` check
+per ``run()`` call / per step, never per event).
+
+Three measurements, each min-of-N with the variants interleaved so
+machine noise hits both sides equally:
+
+* **packet off** — the true off-path cost: ``Simulator.run`` (the thin
+  dispatch wrapper) vs ``Simulator._run`` (the loop body the wrapper
+  guards), driving the same chunked chain workload that mirrors
+  ``Network.run_until_done``'s 100 µs call pattern.
+* **packet on** — the same workload with a :class:`SimProbe` attached
+  vs detached.  Off-cost is a strict subset of on-cost, so this also
+  bounds the off path a fortiori.
+* **fluid on** — a bench-tier Figure-11 scenario through
+  ``execute_spec`` with and without run telemetry (probe + spans +
+  memory sink).  The fluid off path is a single ``probe is None``
+  check per RTT step, bounded by the same a-fortiori argument.
+
+A small absolute grace (:data:`GRACE_S`) keeps sub-hundred-millisecond
+measurements from failing on scheduler jitter alone; the ratio bar is
+what matters at real workload sizes.
+
+Run standalone for a report::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+from repro.obs import Telemetry, instrument_simulator
+from repro.runner import CcChoice
+from repro.runner.execute import execute_spec
+from repro.sim.engine import Simulator
+
+#: Overhead bar: instrumented / baseline wall time.
+LIMIT = 1.02
+
+#: Absolute jitter grace: a delta under this is noise, not overhead.
+GRACE_S = 0.010
+
+N_EVENTS = 100_000
+CHUNK_NS = 500.0            # events are 1 ns apart -> 500 events/run call
+REPEATS = 5
+
+
+def _chain_sim() -> Simulator:
+    sim = Simulator()
+
+    def chain(remaining):
+        if remaining:
+            sim.schedule(1.0, chain, remaining - 1)
+
+    chain(N_EVENTS)
+    return sim
+
+
+def _drive(sim: Simulator, run) -> None:
+    until = 0.0
+    while sim.pending:
+        until += CHUNK_NS
+        run(until)
+
+
+def _interleaved_min(variant_a, variant_b, repeats: int = REPEATS):
+    """Best-of-N wall time for two thunks, alternating a/b each round."""
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        variant_a()
+        best_a = min(best_a, time.perf_counter() - started)
+        started = time.perf_counter()
+        variant_b()
+        best_b = min(best_b, time.perf_counter() - started)
+    return best_a, best_b
+
+
+def _verdict(baseline_s: float, tested_s: float) -> dict:
+    return {
+        "baseline_s": baseline_s,
+        "tested_s": tested_s,
+        "ratio": tested_s / baseline_s,
+        "delta_s": tested_s - baseline_s,
+        "ok": tested_s / baseline_s <= LIMIT
+        or tested_s - baseline_s <= GRACE_S,
+    }
+
+
+def run_packet_off() -> dict:
+    """Dispatch wrapper vs raw loop body, telemetry detached."""
+
+    def direct():
+        sim = _chain_sim()
+        _drive(sim, lambda until: sim._run(until=until))
+        assert sim.events_processed == N_EVENTS
+
+    def wrapped():
+        sim = _chain_sim()
+        _drive(sim, lambda until: sim.run(until=until))
+        assert sim.events_processed == N_EVENTS
+
+    direct_s, wrapped_s = _interleaved_min(direct, wrapped)
+    return _verdict(direct_s, wrapped_s)
+
+
+def run_packet_on() -> dict:
+    """Probe attached (gauges every 64th run call) vs detached."""
+
+    def off():
+        sim = _chain_sim()
+        _drive(sim, lambda until: sim.run(until=until))
+
+    def on():
+        sim = _chain_sim()
+        tel = Telemetry(run_id="bench:packet")
+        probe = instrument_simulator(sim, tel)
+        _drive(sim, lambda until: sim.run(until=until))
+        probe.finish(sim)
+        tel.close()
+
+    off_s, on_s = _interleaved_min(off, on)
+    return _verdict(off_s, on_s)
+
+
+def _fluid_spec():
+    from repro.experiments import figure11
+
+    spec = figure11.scenarios(
+        scale="bench", schemes=(CcChoice("hpcc", label="HPCC"),)
+    )[0]
+    return spec.replaced(backend="fluid")
+
+
+def run_fluid_on() -> dict:
+    """A fluid Figure-11 run with full run telemetry vs without."""
+    spec = _fluid_spec()
+
+    def off():
+        execute_spec(spec)
+
+    def on():
+        record = execute_spec(spec, telemetry=True)
+        assert record.telemetry, "telemetry run produced no records"
+
+    off_s, on_s = _interleaved_min(off, on, repeats=3)
+    return _verdict(off_s, on_s)
+
+
+def run_all() -> dict:
+    return {
+        "packet_off": run_packet_off(),
+        "packet_on": run_packet_on(),
+        "fluid_on": run_fluid_on(),
+    }
+
+
+def _assert_ok(name: str, result: dict) -> None:
+    assert result["ok"], (
+        f"{name}: telemetry overhead {100 * (result['ratio'] - 1):.1f}% "
+        f"(+{result['delta_s'] * 1e3:.1f}ms) exceeds "
+        f"{100 * (LIMIT - 1):.0f}% + {GRACE_S * 1e3:.0f}ms grace "
+        f"({result['baseline_s']:.3f}s -> {result['tested_s']:.3f}s)"
+    )
+
+
+def test_packet_dispatch_overhead_off(benchmark):
+    result = run_once(benchmark, run_packet_off)
+    _assert_ok("packet off", result)
+
+
+def test_packet_probe_overhead_on(benchmark):
+    result = run_once(benchmark, run_packet_on)
+    _assert_ok("packet on", result)
+
+
+def test_fluid_telemetry_overhead_on(benchmark):
+    result = run_once(benchmark, run_fluid_on)
+    _assert_ok("fluid on", result)
+
+
+def main() -> None:
+    for name, result in run_all().items():
+        flag = "ok" if result["ok"] else "FAIL"
+        print(f"{name:12s} baseline {result['baseline_s']:.3f}s  "
+              f"tested {result['tested_s']:.3f}s  "
+              f"ratio {result['ratio']:.3f}  [{flag}]")
+        _assert_ok(name, result)
+
+
+if __name__ == "__main__":
+    main()

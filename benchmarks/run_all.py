@@ -59,6 +59,13 @@ def _engine_events():
     return sim.events_processed
 
 
+def _telemetry_overhead():
+    """Telemetry dispatch cost on both engines (the <2% bar itself is
+    asserted by bench_telemetry_overhead.py; this records the ratios)."""
+    from bench_telemetry_overhead import run_all
+    return run_all()
+
+
 def _appendix_a1():
     from repro.experiments.appendix_a import run_a1
     return run_a1(n_sources=50, rho=0.95)
@@ -177,6 +184,9 @@ REGISTRY: dict[str, tuple] = {
     "dynamics_failover": (_dynamics_failover,
                           {"backend": "fluid", "scenarios": ["linkfail",
                                                              "failover"]}),
+    "telemetry_overhead": (_telemetry_overhead,
+                           {"engines": ["packet", "fluid"],
+                            "limit_pct": 2}),
     "appendix_a2": (_appendix_a2, {"n_trials": 50}),
     "fig06": (_fig06, {"scale": "bench"}),
     "fig13": (_fig13, {"scale": "bench"}),

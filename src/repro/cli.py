@@ -9,8 +9,10 @@ Examples::
     hpcc-repro sweep fig10 fig11 --jobs 4 --out results/
     hpcc-repro sweep fig11 --seeds 1,2,3 --jobs 8
     hpcc-repro sweep fig11 --backend fluid --scale full
+    hpcc-repro sweep fig11 --backend fluid --telemetry
     hpcc-repro report --fastest
     hpcc-repro report --figures fig11 fig13 --backend fluid --out report/
+    hpcc-repro tele summarize sweep-results/telemetry.jsonl
     hpcc-repro cache stats --dir results/
     hpcc-repro cache clear --dir results/
     hpcc-repro schemes
@@ -32,6 +34,12 @@ cache directory via ``--cache``), renders every figure's panels
 side-by-side with the digitized paper curves, and scores fidelity
 per figure (pass/warn/fail).  ``--fastest`` builds the cheap fluid
 subset CI uploads on every PR.
+
+``--telemetry [PATH]`` (on ``run``, ``sweep`` and ``report``) records
+the run-telemetry JSONL stream (``repro.obs``: phase spans, engine
+probes, cache/utilization stats) alongside the primary output;
+``tele summarize PATH`` renders any such file — including
+``PacketTracer.to_jsonl`` exports — as a text digest.
 """
 
 from __future__ import annotations
@@ -122,21 +130,63 @@ def _parse_seeds(text: str | None) -> list[int] | None:
         raise SystemExit(f"bad --seeds value {text!r}; expected e.g. 1,2,3")
 
 
+def _fmt_eta(seconds: float) -> str:
+    if seconds >= 90:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
 def _progress_ticker(args):
     """The sweep's stderr ticker: one ``[done/total]`` line per finished
     scenario (stderr so ``--out``-style stdout redirects stay clean);
-    ``--quiet`` disables it."""
+    ``--quiet`` disables it.
+
+    Once at least one scenario has been *computed* (cache hits carry no
+    timing signal), remaining lines carry an ETA: mean computed wall
+    time times the scenarios left, divided by the worker count.
+    """
     if getattr(args, "quiet", False):
         return None
+    jobs = getattr(args, "jobs", 1)
+    walls: list[float] = []
 
     def progress(record, done, total):
-        status = "cache" if record.cached else f"{record.wall_time_s:.2f}s"
+        if record.cached:
+            status = "cache"
+        else:
+            walls.append(record.wall_time_s)
+            status = f"{record.wall_time_s:.2f}s"
+        eta = ""
+        remaining = total - done
+        if remaining and walls:
+            estimate = sum(walls) / len(walls) * remaining / jobs
+            eta = f"  eta ~{_fmt_eta(estimate)}"
         print(
-            f"[{done}/{total}] {record.label}  ({status})",
+            f"[{done}/{total}] {record.label}  ({status}){eta}",
             file=sys.stderr, flush=True,
         )
 
     return progress
+
+
+def _make_telemetry(args, default_path: Path, run_id: str):
+    """The file-backed ``Telemetry`` behind ``--telemetry [PATH]``.
+
+    Returns ``(telemetry, path)`` — or ``(None, None)`` when the flag
+    is absent, so callers stay on the zero-overhead path.
+    """
+    raw = getattr(args, "telemetry", None)
+    if raw is None:
+        return None, None
+    from .obs import JsonlSink, Telemetry
+
+    path = Path(raw) if raw else default_path
+    try:
+        # Telemetry writes the meta header on construction, so opening
+        # AND the first write both fail CLI-style here, not mid-sweep.
+        return Telemetry(run_id=run_id, sink=JsonlSink(path)), path
+    except OSError as exc:
+        raise SystemExit(f"cannot write telemetry file {path}: {exc}")
 
 
 def _require_fluid_for_large(scale: str, backend: str) -> None:
@@ -180,9 +230,14 @@ def _cmd_sweep(args) -> int:
         raise SystemExit(f"cannot create --out directory {out}: {exc}")
     cache = None if args.no_cache else RunCache(out)
 
+    tel, tel_path = _make_telemetry(
+        args, out / "telemetry.jsonl",
+        run_id="sweep:" + "+".join(args.experiments),
+    )
     started = time.perf_counter()
     runner = SweepRunner(
-        jobs=args.jobs, cache=cache, progress=_progress_ticker(args)
+        jobs=args.jobs, cache=cache, progress=_progress_ticker(args),
+        telemetry=tel,
     )
     try:
         records = runner.run(specs)
@@ -190,6 +245,9 @@ def _cmd_sweep(args) -> int:
         # Scenario-level input errors (fluid-unsupported events/schemes,
         # unknown topologies) exit CLI-style, not as a traceback.
         raise SystemExit(f"error: {exc}")
+    finally:
+        if tel is not None:
+            tel.close()
     elapsed = time.perf_counter() - started
 
     if cache is None:                       # still persist the records
@@ -201,12 +259,14 @@ def _cmd_sweep(args) -> int:
         f"{len(records)} scenarios ({hits} cached) in {elapsed:.2f}s "
         f"with --jobs {args.jobs} -> {out}"
     )
+    if tel_path is not None:
+        print(f"telemetry -> {tel_path}")
     return 0
 
 
 def _cmd_run(args) -> int:
     _require_fluid_for_large(args.scale, args.backend)
-    if args.profile:
+    if args.profile or args.profile_out:
         return _profiled(args)
     return _run_experiment(args)
 
@@ -214,12 +274,13 @@ def _cmd_run(args) -> int:
 def _run_experiment(args) -> int:
     key = _resolve(args.experiment)
     module = EXPERIMENTS[key][1]
-    if args.backend == "packet":
+    if args.backend == "packet" and args.telemetry is None:
         module.main(scale=args.scale)
         return 0
-    # Fluid backend: run the experiment's declared grid on the fluid
-    # engine and print a backend-neutral summary (the packet ``main``
-    # tables read packet-only telemetry).
+    # Fluid backend (or a telemetry-instrumented run on either engine):
+    # run the experiment's declared grid through the spec path and print
+    # a backend-neutral summary (the packet ``main`` tables read
+    # packet-only telemetry).
     from .metrics.fct import percentile, slowdowns
     from .metrics.reporter import format_table
     from .runner import SweepRunner
@@ -231,10 +292,18 @@ def _run_experiment(args) -> int:
         ]
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    tel, tel_path = _make_telemetry(
+        args, Path("telemetry.jsonl"), run_id=f"run:{key}"
+    )
     try:
-        records = SweepRunner(progress=_progress_ticker(args)).run(specs)
+        records = SweepRunner(
+            progress=_progress_ticker(args), telemetry=tel
+        ).run(specs)
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    finally:
+        if tel is not None:
+            tel.close()
     rows = []
     for spec, record in zip(specs, records):
         slows = slowdowns(record.fct_records())
@@ -247,8 +316,11 @@ def _run_experiment(args) -> int:
         ))
     print(format_table(
         ["scenario", "flows", "p50 slowdown", "p95 slowdown", "wall (s)"],
-        rows, title=f"{key} on the fluid backend ({args.scale} scale)",
+        rows, title=f"{key} on the {args.backend} backend "
+                    f"({args.scale} scale)",
     ))
+    if tel_path is not None:
+        print(f"telemetry -> {tel_path}")
     return 0
 
 
@@ -258,6 +330,8 @@ def _profiled(args) -> int:
     This is the profiling recipe behind the engine's perf work (see
     README "Performance"): `hpcc-repro run fig11 --profile` answers
     "where do the cycles go" without any harness editing.
+    ``--profile-out PATH`` additionally keeps the raw ``pstats`` dump
+    for offline digging (``python -m pstats PATH``, snakeviz, ...).
     """
     import cProfile
     import pstats
@@ -273,6 +347,12 @@ def _profiled(args) -> int:
         print(f"\n--- cProfile: top {args.profile_limit} by cumulative time ---",
               file=sys.stderr)
         stats.print_stats(args.profile_limit)
+        if args.profile_out:
+            out = Path(args.profile_out)
+            if out.parent != Path(""):
+                out.parent.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(out)
+            print(f"profile stats -> {out}", file=sys.stderr)
     return status
 
 
@@ -286,6 +366,10 @@ def _cmd_report(args) -> int:
         # the whole build a few seconds; full reports default to packet.
         backend = "fluid" if args.fastest else "packet"
     _require_fluid_for_large(args.scale, backend)
+    tel, tel_path = _make_telemetry(
+        args, Path(args.out) / "telemetry.jsonl",
+        run_id="report:" + "+".join(figures),
+    )
     try:
         report = build_report(
             figures,
@@ -295,9 +379,13 @@ def _cmd_report(args) -> int:
             cache_dir=args.cache,
             jobs=args.jobs,
             progress=_progress_ticker(args),
+            telemetry=tel,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    finally:
+        if tel is not None:
+            tel.close()
     if args.png:
         from .report.build import rasterize_panels
 
@@ -309,10 +397,23 @@ def _cmd_report(args) -> int:
     for key, verdict in report.verdicts().items():
         print(f"{key:10s} {verdict}")
     print(f"report -> {Path(args.out) / 'index.html'}")
+    if tel_path is not None:
+        print(f"telemetry -> {tel_path}")
     if args.fastest:
         print(f"(--fastest subset: {', '.join(FASTEST_FIGURES)}; "
               f"backend {backend})")
     return 0
+
+
+def _cmd_tele(args) -> int:
+    from .obs.summarize import summarize_file
+
+    if not Path(args.path).is_file():
+        print(f"no telemetry file at {args.path}", file=sys.stderr)
+        return 1
+    text, status = summarize_file(args.path)
+    print(text)
+    return status
 
 
 def _cmd_cache(args) -> int:
@@ -372,6 +473,16 @@ def main(argv: list[str] | None = None) -> int:
         "--profile-limit", type=_positive_int, default=25, metavar="N",
         help="rows in the --profile table (default 25)",
     )
+    run.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write the raw cProfile pstats dump to PATH (implies "
+             "--profile)",
+    )
+    run.add_argument(
+        "--telemetry", nargs="?", const="", default=None, metavar="PATH",
+        help="record run telemetry JSONL (default PATH: telemetry.jsonl); "
+             "routes the run through the sweep path on either backend",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="run experiment grids in parallel, with caching"
@@ -407,6 +518,11 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument(
         "--quiet", action="store_true",
         help="suppress the per-scenario stderr progress ticker",
+    )
+    sweep.add_argument(
+        "--telemetry", nargs="?", const="", default=None, metavar="PATH",
+        help="record sweep telemetry JSONL "
+             "(default PATH: <out>/telemetry.jsonl)",
     )
 
     report = sub.add_parser(
@@ -453,6 +569,20 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true",
         help="suppress the per-scenario stderr progress ticker",
     )
+    report.add_argument(
+        "--telemetry", nargs="?", const="", default=None, metavar="PATH",
+        help="record build telemetry JSONL "
+             "(default PATH: <out>/telemetry.jsonl)",
+    )
+
+    tele = sub.add_parser(
+        "tele", help="inspect run-telemetry JSONL files"
+    )
+    tele.add_argument(
+        "action", choices=("summarize",),
+        help="summarize = aggregate spans/counters/gauges as text",
+    )
+    tele.add_argument("path", metavar="PATH", help="telemetry JSONL file")
 
     cache = sub.add_parser(
         "cache", help="inspect or prune a sweep's RunCache directory"
@@ -482,6 +612,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "tele":
+        return _cmd_tele(args)
     if args.command == "cache":
         return _cmd_cache(args)
     parser.print_help()

@@ -68,6 +68,7 @@ scalar reference.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable
 
 import numpy as np
@@ -178,6 +179,9 @@ class FluidEngine:
         self.flow_steps = 0             # sum of active flows over steps
         self.completed = False
         self.fct_records: list[FctRecord] = []
+        #: Optional :class:`repro.obs.probes.FluidProbe`; when ``None``
+        #: (the default) the step loop calls ``_advance`` directly.
+        self.telemetry = None
 
         self._starts: list[FluidFlow] = []      # sorted by start_time
         self._next_idx = 0
@@ -543,6 +547,7 @@ class FluidEngine:
             self._sorted = True
         starts = self._starts
         events = self._events
+        probe = self.telemetry
         while True:
             # Fire dynamics events that are due.
             while events and events[0][0] <= self.now + _EPS:
@@ -596,7 +601,12 @@ class FluidEngine:
             dt = min(dt, deadline - self.now)
             if dt <= _EPS:
                 dt = _EPS
-            self._advance(dt)
+            if probe is None:
+                self._advance(dt)
+            else:
+                kernel_t0 = time.perf_counter()
+                self._advance(dt)
+                probe.record_step(self, time.perf_counter() - kernel_t0)
         self.completed = (
             not self._alive_n and not self._parked
             and self._next_idx >= len(starts)

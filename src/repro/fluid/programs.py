@@ -28,6 +28,8 @@ What fluid cannot express is zeroed or approximated openly, never faked:
 from __future__ import annotations
 
 from ..dynamics import FluidDynamicsDriver, burst_flow_specs
+from ..obs import current as current_telemetry
+from ..obs import instrument_fluid, maybe_span
 from ..runner.execute import build_topology, spec_timeline, workload_cdf
 from ..runner.harness import generate_load_flows
 from ..runner.results import RunRecord
@@ -83,6 +85,25 @@ def _make_driver(
     driver = FluidDynamicsDriver(engine, timeline, burst_entries)
     driver.install()
     return driver, flow_specs + bursts
+
+
+def _timed_run(engine, deadline: float) -> bool:
+    """Run the engine under the ambient telemetry context, if any.
+
+    Attaches the :class:`~repro.obs.probes.FluidProbe` (array engine
+    only — the scalar reference has no array registers to sample) and
+    times the whole run as the ``run`` span; with no ambient telemetry
+    this is a plain ``engine.run``.
+    """
+    tel = current_telemetry()
+    probe = instrument_fluid(engine, tel) if tel is not None else None
+    try:
+        with maybe_span("run"):
+            return engine.run(deadline=deadline)
+    finally:
+        if probe is not None:
+            probe.finish(engine)
+            engine.telemetry = None
 
 
 def _record(
@@ -141,54 +162,58 @@ def _run_load_fluid(spec: ScenarioSpec) -> RunRecord:
     by the *same* code with the same seed, so a packet and a fluid run of
     one spec simulate the identical offered workload.
     """
-    topology = build_topology(spec)
-    engine, ignored = _make_engine(topology, spec)
-    workload = spec.workload
-    flows, duration = generate_load_flows(
-        topology, workload_cdf(workload),
-        load=workload["load"], n_flows=workload["n_flows"],
-        seed=spec.seed, wire_overhead=engine.wire_factor,
-        incast=workload.get("incast"),
+    with maybe_span("setup"):
+        topology = build_topology(spec)
+        engine, ignored = _make_engine(topology, spec)
+        workload = spec.workload
+        flows, duration = generate_load_flows(
+            topology, workload_cdf(workload),
+            load=workload["load"], n_flows=workload["n_flows"],
+            seed=spec.seed, wire_overhead=engine.wire_factor,
+            incast=workload.get("incast"),
+        )
+        driver, flows = _make_driver(engine, spec, flows)
+        engine.add_flows(flows)
+    completed = _timed_run(
+        engine, deadline=duration * workload.get("deadline_factor", 2.5)
     )
-    driver, flows = _make_driver(engine, spec, flows)
-    engine.add_flows(flows)
-    completed = engine.run(
-        deadline=duration * workload.get("deadline_factor", 2.5)
-    )
-    record = _record(spec, engine, completed, ignored, driver)
-    if driver is not None:
-        # The load population is anonymous bg flows, but injected bursts
-        # are selectable by tag — mirror the packet load program.
-        from ..runner.execute import _merge_burst_flow_ids
+    with maybe_span("collect"):
+        record = _record(spec, engine, completed, ignored, driver)
+        if driver is not None:
+            # The load population is anonymous bg flows, but injected
+            # bursts are selectable by tag — mirror the packet program.
+            from ..runner.execute import _merge_burst_flow_ids
 
-        _merge_burst_flow_ids(record.extras)
+            _merge_burst_flow_ids(record.extras)
     return record
 
 
 def _run_flows_fluid(spec: ScenarioSpec) -> RunRecord:
     """Fluid twin of the packet ``flows`` program, dynamics included."""
-    topology = build_topology(spec)
-    engine, ignored = _make_engine(topology, spec)
-    flow_specs = [
-        FlowSpec(
-            flow_id=i, src=entry[0], dst=entry[1], size=entry[2],
-            start_time=entry[3] if len(entry) > 3 else 0.0,
-            tag=entry[4] if len(entry) > 4 else "bg",
-        )
-        for i, entry in enumerate(spec.workload["flows"], start=1)
-    ]
-    driver, flow_specs = _make_driver(engine, spec, flow_specs)
-    engine.add_flows(flow_specs)
-    completed = engine.run(deadline=spec.workload["deadline"])
-    record = _record(spec, engine, completed, ignored, driver)
-    flow_ids: dict[str, list[int]] = {}
-    for fs in flow_specs:
-        flow_ids.setdefault(fs.tag, []).append(fs.flow_id)
-    record.extras["flow_ids"] = flow_ids
-    if spec.measure.get("windows"):
-        record.extras["final_windows"] = {
-            str(f.spec.flow_id): f.proxy.window for f in engine._starts
-        }
+    with maybe_span("setup"):
+        topology = build_topology(spec)
+        engine, ignored = _make_engine(topology, spec)
+        flow_specs = [
+            FlowSpec(
+                flow_id=i, src=entry[0], dst=entry[1], size=entry[2],
+                start_time=entry[3] if len(entry) > 3 else 0.0,
+                tag=entry[4] if len(entry) > 4 else "bg",
+            )
+            for i, entry in enumerate(spec.workload["flows"], start=1)
+        ]
+        driver, flow_specs = _make_driver(engine, spec, flow_specs)
+        engine.add_flows(flow_specs)
+    completed = _timed_run(engine, deadline=spec.workload["deadline"])
+    with maybe_span("collect"):
+        record = _record(spec, engine, completed, ignored, driver)
+        flow_ids: dict[str, list[int]] = {}
+        for fs in flow_specs:
+            flow_ids.setdefault(fs.tag, []).append(fs.flow_id)
+        record.extras["flow_ids"] = flow_ids
+        if spec.measure.get("windows"):
+            record.extras["final_windows"] = {
+                str(f.spec.flow_id): f.proxy.window for f in engine._starts
+            }
     return record
 
 

@@ -1,0 +1,90 @@
+"""Where telemetry records go: JSONL files, memory, and the flight ring.
+
+Three sinks, one ``write(record: dict)`` protocol:
+
+* :class:`JsonlSink` — line-buffered append to a file.  The sink a
+  ``--telemetry PATH`` flag opens; one JSON object per line in the
+  :mod:`repro.obs.schema` layout (the owning ``Telemetry`` writes the
+  meta header as its first record).
+* :class:`MemorySink` — accumulates records in a list.  Used inside
+  pool workers, where the parent's file handle is unreachable: the
+  worker drains its list into the pickled ``RunRecord`` and the parent
+  re-emits into its own sink.
+* :class:`FlightRecorder` — a fixed-size ring of the most recent
+  records, independent of the primary sink.  :class:`~repro.obs.telemetry.Telemetry`
+  feeds it on every emit so that on an exception or deadline overrun
+  the last moments before the incident can be dumped even when no file
+  sink was configured.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from pathlib import Path
+from typing import IO
+
+
+def encode_line(record: dict) -> str:
+    """Render one record as its canonical JSONL line (no newline)."""
+    return json.dumps(record, separators=(",", ":"), sort_keys=True)
+
+
+class JsonlSink:
+    """Line-buffered JSONL writer; one telemetry record per line."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Line buffering keeps records observable by a tail -f while a
+        # sweep is still running, without a flush per record.
+        self._handle: IO[str] | None = self.path.open("w", buffering=1)
+
+    def write(self, record: dict) -> None:
+        if self._handle is not None:
+            self._handle.write(encode_line(record) + "\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class MemorySink:
+    """Accumulate records in a list; drained across process boundaries."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+    def drain(self) -> list[dict]:
+        records, self.records = self.records, []
+        return records
+
+
+class FlightRecorder:
+    """Ring buffer of the last ``maxlen`` records for incident dumps."""
+
+    def __init__(self, maxlen: int = 256) -> None:
+        self.ring: deque[dict] = deque(maxlen=maxlen)
+
+    def write(self, record: dict) -> None:
+        self.ring.append(record)
+
+    def dump(self, reason: str, run_id: str, stream: IO[str] | None = None,
+             limit: int = 32) -> None:
+        """Print the newest ``limit`` records to ``stream`` (stderr)."""
+        stream = stream if stream is not None else sys.stderr
+        tail = list(self.ring)[-limit:]
+        print(f"--- flight recorder [{run_id}] ({reason}; "
+              f"last {len(tail)} of {len(self.ring)} records) ---",
+              file=stream)
+        for record in tail:
+            print(encode_line(record), file=stream)
+        print(f"--- end flight recorder [{run_id}] ---", file=stream, flush=True)

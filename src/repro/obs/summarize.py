@@ -1,0 +1,129 @@
+"""Reader side of the telemetry format: ``hpcc-repro tele summarize``.
+
+Parses a telemetry JSONL file (tolerating torn/invalid lines, which it
+counts instead of aborting on), validates each record against
+:mod:`repro.obs.schema`, and aggregates:
+
+* per-run span durations (count / total / max per span name),
+* final counter totals per run,
+* gauge statistics (samples / min / mean / max per gauge name),
+* event and histogram tallies.
+
+The text rendering is deliberately plain — one section per category,
+aligned columns — because the JSONL itself is the machine interface;
+this command is for humans eyeballing a run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .schema import validate_record
+
+
+def read_jsonl(path: str | Path) -> tuple[list[dict], list[tuple[int, str]]]:
+    """Parse + validate ``path``; return (records, [(lineno, error)])."""
+    records: list[dict] = []
+    errors: list[tuple[int, str]] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                errors.append((lineno, "not valid JSON"))
+                continue
+            err = validate_record(obj)
+            if err is not None:
+                errors.append((lineno, err))
+                continue
+            records.append(obj)
+    return records, errors
+
+
+def _num(value) -> float:
+    """Decode a schema number (strings spell non-finite floats)."""
+    return float(value) if not isinstance(value, str) else float(value)
+
+
+def summarize(records: list[dict]) -> dict:
+    """Aggregate validated records into the summary structure."""
+    runs: dict[str, dict] = {}
+    spans: dict[str, list[float]] = {}
+    gauges: dict[str, list[float]] = {}
+    counters: dict[str, float] = {}
+    events: dict[str, int] = {}
+    hists: dict[str, dict[str, float]] = {}
+    for rec in records:
+        kind = rec["kind"]
+        if kind == "meta":
+            runs.setdefault(rec["run_id"], dict(rec.get("labels", {})))
+            continue
+        runs.setdefault(rec["run_id"], {})
+        name = rec["name"]
+        if kind == "span":
+            spans.setdefault(name, []).append(_num(rec["dur"]))
+        elif kind == "gauge":
+            gauges.setdefault(name, []).append(_num(rec["value"]))
+        elif kind == "counter":
+            counters[name] = counters.get(name, 0) + _num(rec["value"])
+        elif kind == "event":
+            events[name] = events.get(name, 0) + 1
+        elif kind == "hist":
+            total = hists.setdefault(name, {})
+            for bucket, count in rec["buckets"].items():
+                total[bucket] = total.get(bucket, 0) + _num(count)
+    return {"runs": runs, "spans": spans, "gauges": gauges,
+            "counters": counters, "events": events, "hists": hists}
+
+
+def format_summary(path: str | Path, summary: dict,
+                   errors: list[tuple[int, str]]) -> str:
+    """Render the aggregate as the ``tele summarize`` text report."""
+    lines = [f"telemetry summary: {path}", f"  runs: {len(summary['runs'])}"]
+    if errors:
+        lines.append(f"  invalid lines skipped: {len(errors)} "
+                     f"(first: line {errors[0][0]}: {errors[0][1]})")
+
+    if summary["spans"]:
+        lines.append("spans (name: n / total / max):")
+        for name in sorted(summary["spans"]):
+            durs = summary["spans"][name]
+            lines.append(f"  {name:<24} {len(durs):>5}  "
+                         f"{sum(durs):>9.3f}s  {max(durs):>8.3f}s")
+    if summary["counters"]:
+        lines.append("counters (totals across runs):")
+        for name in sorted(summary["counters"]):
+            lines.append(f"  {name:<32} {summary['counters'][name]:>14,.0f}")
+    if summary["gauges"]:
+        lines.append("gauges (name: samples / min / mean / max):")
+        for name in sorted(summary["gauges"]):
+            values = summary["gauges"][name]
+            lines.append(
+                f"  {name:<24} {len(values):>5}  {min(values):>12,.1f}  "
+                f"{sum(values) / len(values):>12,.1f}  {max(values):>12,.1f}")
+    if summary["hists"]:
+        lines.append("histograms (summed buckets):")
+        for name in sorted(summary["hists"]):
+            buckets = summary["hists"][name]
+            body = "  ".join(f"{b}={int(n)}" for b, n in buckets.items())
+            lines.append(f"  {name:<24} {body}")
+    if summary["events"]:
+        lines.append("events:")
+        for name in sorted(summary["events"]):
+            lines.append(f"  {name:<32} {summary['events'][name]:>6}")
+    return "\n".join(lines)
+
+
+def summarize_file(path: str | Path) -> tuple[str, int]:
+    """Summarize ``path``; return (text, exit status for the CLI)."""
+    try:
+        records, errors = read_jsonl(path)
+    except OSError as exc:
+        return f"cannot read {path}: {exc}", 1
+    if not records:
+        return f"{path}: no valid telemetry records", 1
+    return format_summary(path, summarize(records), errors), 0

@@ -21,6 +21,7 @@ import math
 import platform
 import re
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -104,8 +105,22 @@ class FigureReport:
     n_specs: int
     n_cached: int
     wall_time_s: float
+    #: Engine work summed over the figure's records (packet events or
+    #: fluid steps), plus the events and wall time of the *computed*
+    #: (non-cached) subset — the report's telemetry panel derives
+    #: events/s from the fresh pair so cache hits cannot inflate it.
+    events_processed: int = 0
+    fresh_events: int = 0
+    fresh_wall_s: float = 0.0
     panel_svgs: list[str] = field(default_factory=list)
     ref_svgs: list[str] = field(default_factory=list)
+
+    @property
+    def events_per_s(self) -> float | None:
+        """Engine events per compute-second; None for all-cached builds."""
+        if self.fresh_wall_s <= 0:
+            return None
+        return self.fresh_events / self.fresh_wall_s
 
     @property
     def extraction(self) -> str:
@@ -147,6 +162,11 @@ class Report:
                 "scenarios": fig.n_specs,
                 "cached": fig.n_cached,
                 "wall_time_s": round(fig.wall_time_s, 3),
+                "events_processed": fig.events_processed,
+                "events_per_s": _json_number(
+                    round(fig.events_per_s, 1)
+                    if fig.events_per_s is not None else None
+                ),
                 "verdict": "n/a",
                 "stats": {
                     k: _json_number(v) for k, v in fig.render.stats.items()
@@ -214,24 +234,34 @@ def build_figure(
     scale: str,
     runner: SweepRunner,
     seed: int = 1,
+    telemetry=None,
 ) -> FigureReport:
-    """Sweep + render + score one figure (no files written)."""
+    """Sweep + render + score one figure (no files written).
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, usually the runner's
+    own) adds per-figure ``figure`` and ``score`` spans around the
+    sweep and the render/score phases.
+    """
     entry = REPORT_FIGURES[key]
     effective_backend = backend if entry.fluid_ok else "packet"
     specs = entry.module.scenarios(scale=scale)
     if effective_backend != "packet":
         specs = [s.replaced(backend=effective_backend) for s in specs]
     started = time.perf_counter()
-    records = runner.run(specs)
+    with telemetry.span("figure", figure=key) if telemetry is not None \
+            else nullcontext():
+        records = runner.run(specs)
     wall = time.perf_counter() - started
-    render = entry.module.render(specs, records)
-    if effective_backend != backend:
-        render.notes.append(
-            f"{key} is packet-only (see README 'Simulation backends'); the "
-            f"requested {backend!r} backend was overridden."
-        )
-    ref = load_refdata(key)
-    score = score_figure(render, ref) if ref is not None else None
+    with telemetry.span("score", figure=key) if telemetry is not None \
+            else nullcontext():
+        render = entry.module.render(specs, records)
+        if effective_backend != backend:
+            render.notes.append(
+                f"{key} is packet-only (see README 'Simulation backends'); "
+                f"the requested {backend!r} backend was overridden."
+            )
+        ref = load_refdata(key)
+        score = score_figure(render, ref) if ref is not None else None
     return FigureReport(
         key=key,
         title=render.title,
@@ -243,6 +273,9 @@ def build_figure(
         n_specs=len(specs),
         n_cached=sum(1 for r in records if r.cached),
         wall_time_s=wall,
+        events_processed=sum(r.events_processed for r in records),
+        fresh_events=sum(r.events_processed for r in records if not r.cached),
+        fresh_wall_s=sum(r.wall_time_s for r in records if not r.cached),
         panel_svgs=[render_panel(p) for p in render.panels],
         ref_svgs=[render_panel(p) for p in _ref_panels(ref)]
         if ref is not None else [],
@@ -287,6 +320,47 @@ def load_bench_trajectory(root: Path) -> Panel | None:
         title="run_all.py wall time per PR snapshot",
         series=series,
         x_label="PR", y_label="wall time (s)",
+    )
+
+
+def load_engine_rate_trajectory(root: Path) -> Panel | None:
+    """Packet-engine events/s across ``BENCH_pr<N>.json`` snapshots.
+
+    The ``engine_events`` entry records wall time for a fixed
+    200k-event chain workload; dividing gives the substrate throughput
+    trend the telemetry panel plots next to the live per-figure rates.
+    """
+    snapshots: list[tuple[int, dict]] = []
+    for path in root.glob("BENCH_pr*.json"):
+        match = re.fullmatch(r"BENCH_pr(\d+)", path.stem)
+        if not match:
+            continue
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        snapshots.append((int(match.group(1)), data))
+    if not snapshots:
+        return None
+    snapshots.sort()
+    points: list[tuple[float, float]] = []
+    for pr, data in snapshots:
+        for result in data.get("results", []):
+            if result.get("name") != "engine_events":
+                continue
+            wall = result.get("wall_time_s")
+            events = result.get("params", {}).get("events")
+            if isinstance(wall, (int, float)) and wall > 0 \
+                    and isinstance(events, (int, float)):
+                points.append((float(pr), float(events) / float(wall)))
+    if not points:
+        return None
+    return Panel(
+        key="engine-rate-trajectory",
+        title="packet-engine throughput per PR snapshot",
+        series=[Series(name="engine events/s",
+                       x=[p for p, _ in points], y=[r for _, r in points])],
+        x_label="PR", y_label="events/s",
     )
 
 
@@ -345,6 +419,7 @@ def build_report(
     jobs: int = 1,
     progress=None,
     bench_root: str | Path | None = None,
+    telemetry=None,
 ) -> Report:
     """Build the reproduction report; returns the in-memory summary.
 
@@ -353,15 +428,19 @@ def build_report(
     ``report.json`` (machine-readable verdicts) and ``index.html``.
     ``cache_dir`` defaults to ``<out>/cache``; point it at a previous
     ``hpcc-repro sweep --out`` directory to reuse those records.
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, owned and closed by
+    the caller) records the build's spans and every run's probe data.
     """
     out = Path(out)
     out.mkdir(parents=True, exist_ok=True)
     cache = RunCache(cache_dir if cache_dir is not None else out / "cache")
-    runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
+    runner = SweepRunner(jobs=jobs, cache=cache, progress=progress,
+                         telemetry=telemetry)
 
     started = time.perf_counter()
     built = [
-        build_figure(key, backend=backend, scale=scale, runner=runner)
+        build_figure(key, backend=backend, scale=scale, runner=runner,
+                     telemetry=telemetry)
         for key in figures
     ]
 
@@ -377,6 +456,11 @@ def build_report(
         "total wall time": f"{time.perf_counter() - started:.2f}s",
         "cache": str(cache.root),
     }
+    if telemetry is not None:
+        sink_path = getattr(telemetry.sink, "path", None)
+        metadata["telemetry"] = (
+            str(sink_path) if sink_path is not None else "recorded (no file)"
+        )
     report = Report(figures=built, metadata=metadata)
 
     for fig_report in built:
@@ -406,9 +490,17 @@ def build_report(
             "repository root to include the trajectory chart"
         )
 
+    rate_panel = load_engine_rate_trajectory(bench_dir)
+    rate_svg = None
+    if rate_panel is not None:
+        rate_svg = render_panel(rate_panel)
+        (out / "engine_rate_trajectory.svg").write_text(rate_svg)
+
     (out / "report.json").write_text(
         json.dumps(report.to_json(), indent=2, sort_keys=True,
                    allow_nan=False) + "\n"
     )
-    (out / "index.html").write_text(render_index(report, bench_svg))
+    (out / "index.html").write_text(
+        render_index(report, bench_svg, rate_svg)
+    )
     return report

@@ -4,7 +4,10 @@ One ``index.html``, no network fetches: every chart is an inline SVG
 (also written next to it as a standalone ``.svg`` file), the stylesheet
 is embedded, and the fidelity tables are plain HTML.  Layout per figure:
 reproduction panels on the left, the digitized paper reference on the
-right, fidelity badge + metric table underneath.
+right, fidelity badge + metric table underneath.  After the figures, a
+"Run telemetry" panel shows what the build cost (per-figure wall time
+and engine events/s, with the BENCH_pr*.json substrate-throughput trend
+for context) and the benchmark-trajectory chart closes the page.
 """
 
 from __future__ import annotations
@@ -140,6 +143,52 @@ def _figure_section(fig: "FigureReport") -> str:
     return "".join(parts)
 
 
+def _telemetry_section(report: "Report", rate_svg: str | None) -> str:
+    """The run-telemetry panel: per-figure build cost + engine trend."""
+    rows = []
+    for fig in report.figures:
+        rate = fig.events_per_s
+        rate_cell = f"{rate:,.0f}" if rate is not None else "&mdash; (cached)"
+        unit = "steps" if fig.backend == "fluid" else "events"
+        rows.append(
+            f'<tr><td><a href="#{esc(fig.key)}">{esc(fig.key)}</a></td>'
+            f"<td>{esc(fig.backend)}</td>"
+            f"<td>{fig.wall_time_s:.2f}</td>"
+            f"<td>{fig.n_specs - fig.n_cached}/{fig.n_specs}</td>"
+            f"<td>{fig.events_processed:,} {unit}</td>"
+            f"<td>{rate_cell}</td></tr>"
+        )
+    table = (
+        '<table class="fidelity"><tr><th>figure</th><th>backend</th>'
+        "<th>wall (s)</th><th>computed</th><th>engine work</th>"
+        "<th>events/s</th></tr>" + "".join(rows) + "</table>"
+    )
+    trend = ""
+    if rate_svg:
+        trend = (
+            '<p class="note">Packet-engine substrate throughput (the 200k-'
+            "event chain microbench) per checked-in BENCH_pr&lt;N&gt;.json "
+            "snapshot &mdash; the baseline the per-figure rates above divide "
+            "against.</p>"
+            f'<div class="panels"><div class="column">{rate_svg}</div></div>'
+        )
+    telemetry = report.metadata.get("telemetry")
+    note = (
+        f'<p class="note">Full probe stream: <code>{esc(telemetry)}</code> '
+        "(inspect with <code>hpcc-repro tele summarize</code>).</p>"
+        if telemetry else
+        '<p class="note">Build again with <code>--telemetry</code> for the '
+        "full probe stream (spans, engine gauges, cache stats).</p>"
+    )
+    return (
+        "<h2>Run telemetry</h2>"
+        '<p class="note">What this report cost to build: per-figure wall '
+        "time and engine work (cached scenarios contribute work but no "
+        "wall time; their events/s column shows &mdash;).</p>"
+        + table + trend + note
+    )
+
+
 def _summary_table(report: "Report") -> str:
     rows = []
     for fig in report.figures:
@@ -156,7 +205,8 @@ def _summary_table(report: "Report") -> str:
     )
 
 
-def render_index(report: "Report", bench_svg: str | None) -> str:
+def render_index(report: "Report", bench_svg: str | None,
+                 rate_svg: str | None = None) -> str:
     """The whole report as one self-contained HTML document."""
     meta_rows = "".join(
         f"<tr><td>{esc(k)}</td><td>{esc(v)}</td></tr>"
@@ -187,6 +237,7 @@ with quantitative fidelity scores.</p>
 <table class="meta">{meta_rows}</table>
 {_summary_table(report)}
 {sections}
+{_telemetry_section(report, rate_svg)}
 {bench_section}
 </body>
 </html>

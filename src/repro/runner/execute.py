@@ -7,6 +7,14 @@ again) — nothing live crosses the boundary, which is what lets
 :class:`SweepRunner` fan specs out over a ``ProcessPoolExecutor``.
 Because every run is rebuilt from the spec's seed, serial and parallel
 sweeps produce byte-identical results.
+
+Telemetry (``repro.obs``) is opt-in per sweep: :func:`execute_spec`
+builds a run-scoped memory-sink :class:`~repro.obs.Telemetry` when
+asked, programs mark their setup/run/collect phases through the ambient
+:func:`~repro.obs.maybe_span` context (a no-op otherwise), and
+:class:`SweepRunner` ingests each worker's drained records — carried
+across the process pool on the (non-persisted) ``RunRecord.telemetry``
+field — into its own file-backed instance.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from dataclasses import replace
 from typing import Callable
 
 from ..dynamics import PacketDynamicsDriver, Timeline, burst_flow_specs
+from ..obs import Telemetry, maybe_span, using
 from ..topology.base import Topology
 from ..topology.fattree import FatTreeSpec, fattree
 from ..topology.simple import dual_trunk, dumbbell, intree, parking_lot, star
@@ -170,11 +179,12 @@ def _run_load(spec: ScenarioSpec) -> RunRecord:
         **config,
     )
     net = result.net
-    extras = _base_extras(spec, result, net)
-    if result.dynamics is not None:
-        extras["link_events"] = result.dynamics.report()
-        _merge_burst_flow_ids(extras)
-    return _finish_record(spec, result, net, extras)
+    with maybe_span("collect"):
+        extras = _base_extras(spec, result, net)
+        if result.dynamics is not None:
+            extras["link_events"] = result.dynamics.report()
+            _merge_burst_flow_ids(extras)
+        return _finish_record(spec, result, net, extras)
 
 
 def _merge_burst_flow_ids(extras: dict) -> None:
@@ -226,34 +236,35 @@ def _run_flows(spec: ScenarioSpec) -> RunRecord:
     ``{"sample_interval"?, "sample_ports"?, "windows"?,
     "pause_intervals"?}``.
     """
-    topo = build_topology(spec)
-    config = dict(spec.config)
-    base_rtt = config.pop("base_rtt", None)
-    goodput_bin = config.pop("goodput_bin", None)
-    net = setup_network(
-        topo, spec.cc, base_rtt=base_rtt, goodput_bin=goodput_bin,
-        seed=spec.seed, **config,
-    )
-    workload = spec.workload
-    flow_specs = [
-        net.make_flow(
-            src=entry[0], dst=entry[1], size=entry[2],
-            start_time=entry[3] if len(entry) > 3 else 0.0,
-            tag=entry[4] if len(entry) > 4 else "bg",
+    with maybe_span("setup"):
+        topo = build_topology(spec)
+        config = dict(spec.config)
+        base_rtt = config.pop("base_rtt", None)
+        goodput_bin = config.pop("goodput_bin", None)
+        net = setup_network(
+            topo, spec.cc, base_rtt=base_rtt, goodput_bin=goodput_bin,
+            seed=spec.seed, **config,
         )
-        for entry in workload["flows"]
-    ]
+        workload = spec.workload
+        flow_specs = [
+            net.make_flow(
+                src=entry[0], dst=entry[1], size=entry[2],
+                start_time=entry[3] if len(entry) > 3 else 0.0,
+                tag=entry[4] if len(entry) > 4 else "bg",
+            )
+            for entry in workload["flows"]
+        ]
 
-    driver = None
-    timeline = spec_timeline(spec)
-    if timeline:
-        bursts, burst_entries = burst_flow_specs(
-            timeline, topo.hosts, spec.seed,
-            next_flow_id=len(flow_specs) + 1,
-        )
-        flow_specs = flow_specs + bursts
-        driver = PacketDynamicsDriver(net, timeline, burst_entries)
-        driver.install()
+        driver = None
+        timeline = spec_timeline(spec)
+        if timeline:
+            bursts, burst_entries = burst_flow_specs(
+                timeline, topo.hosts, spec.seed,
+                next_flow_id=len(flow_specs) + 1,
+            )
+            flow_specs = flow_specs + bursts
+            driver = PacketDynamicsDriver(net, timeline, burst_entries)
+            driver.install()
 
     result = run_workload(
         net, flow_specs, deadline=workload["deadline"],
@@ -261,21 +272,23 @@ def _run_flows(spec: ScenarioSpec) -> RunRecord:
         sample_ports=_resolve_ports(net, spec.measure.get("sample_ports")),
     )
 
-    extras = _base_extras(spec, result, net)
-    flow_ids: dict[str, list[int]] = {}
-    for fs in flow_specs:
-        flow_ids.setdefault(fs.tag, []).append(fs.flow_id)
-    extras["flow_ids"] = flow_ids
-    if driver is not None:
-        extras["link_events"] = driver.report()
-    if spec.measure.get("windows"):
-        windows: dict[str, float | None] = {}
+    with maybe_span("collect"):
+        extras = _base_extras(spec, result, net)
+        flow_ids: dict[str, list[int]] = {}
         for fs in flow_specs:
-            flow = net.nics[fs.src].flows.get(fs.flow_id)
-            window = getattr(flow, "window", None) if flow is not None else None
-            windows[str(fs.flow_id)] = window
-        extras["final_windows"] = windows
-    return _finish_record(spec, result, net, extras)
+            flow_ids.setdefault(fs.tag, []).append(fs.flow_id)
+        extras["flow_ids"] = flow_ids
+        if driver is not None:
+            extras["link_events"] = driver.report()
+        if spec.measure.get("windows"):
+            windows: dict[str, float | None] = {}
+            for fs in flow_specs:
+                flow = net.nics[fs.src].flows.get(fs.flow_id)
+                window = getattr(flow, "window", None) \
+                    if flow is not None else None
+                windows[str(fs.flow_id)] = window
+            extras["final_windows"] = windows
+        return _finish_record(spec, result, net, extras)
 
 
 def _run_appendix_a1(spec: ScenarioSpec) -> RunRecord:
@@ -375,12 +388,44 @@ def _resolve_program(spec: ScenarioSpec) -> Callable[[ScenarioSpec], RunRecord]:
     return PROGRAMS[spec.program]
 
 
-def execute_spec(spec: ScenarioSpec) -> RunRecord:
-    """Run one scenario to completion (the process-pool work unit)."""
+def execute_spec(spec: ScenarioSpec, telemetry: bool = False) -> RunRecord:
+    """Run one scenario to completion (the process-pool work unit).
+
+    With ``telemetry=True`` the run executes under a run-scoped,
+    memory-backed :class:`~repro.obs.Telemetry` (programs and engine
+    probes find it via the ambient context); its drained records ride
+    back on ``record.telemetry`` for the sweep's sink.  On an exception
+    or a deadline overrun the flight recorder dumps the last samples to
+    stderr before the record (or the exception) leaves the worker.
+    """
     program = _resolve_program(spec)
     started = time.perf_counter()
-    record = program(spec)
+    if not telemetry:
+        record = program(spec)
+        record.wall_time_s = time.perf_counter() - started
+        return record
+
+    tel = Telemetry(
+        run_id=spec.spec_hash,
+        labels={
+            "label": spec.label or spec.spec_hash,
+            "program": spec.program,
+            "backend": spec.backend,
+            "cc": spec.cc.name,
+        },
+    )
+    try:
+        with using(tel), tel.span("total"):
+            record = program(spec)
+    except BaseException:
+        tel.event("run.exception")
+        tel.flight.dump("exception", spec.label or spec.spec_hash)
+        raise
     record.wall_time_s = time.perf_counter() - started
+    if not record.completed:
+        tel.event("run.deadline_overrun", sim_ns=record.duration_ns)
+        tel.flight.dump("deadline overrun", spec.label or spec.spec_hash)
+    record.telemetry = tel.drain()
     return record
 
 
@@ -400,6 +445,10 @@ class SweepRunner:
     * ``cache`` — a :class:`RunCache` (or a path); hits skip computation
       and completed runs are persisted as soon as they finish.
     * ``progress`` — optional callback ``(record, done, total)``.
+    * ``telemetry`` — optional :class:`~repro.obs.Telemetry`; per-run
+      records are ingested as they land, plus sweep-level counters
+      (cache hits/misses), per-spec wall-time gauges and a worker-
+      utilization gauge.  The caller owns the instance (and closes it).
 
     Duplicate specs (same :attr:`~ScenarioSpec.spec_hash`) are computed
     once and shared.  If the platform refuses to fork a process pool the
@@ -412,22 +461,29 @@ class SweepRunner:
         jobs: int = 1,
         cache: RunCache | str | None = None,
         progress: ProgressFn | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = RunCache(cache) if isinstance(cache, str) else cache
         self.progress = progress
+        self.telemetry = telemetry
 
     def run(self, specs: list[ScenarioSpec]) -> list[RunRecord]:
         """Execute every spec, returning records in input order."""
         total = len(specs)
         records: list[RunRecord | None] = [None] * total
         done = 0
+        tel = self.telemetry
+        sweep_started = time.perf_counter()
 
         def notify(record: RunRecord) -> None:
             nonlocal done
             done += 1
+            if tel is not None:
+                tel.gauge("sweep.spec_wall_s", record.wall_time_s,
+                          label=record.label, cached=record.cached)
             if self.progress is not None:
                 self.progress(record, done, total)
 
@@ -446,13 +502,17 @@ class SweepRunner:
                 notify(cached)
             else:
                 to_run[key] = spec
+        if tel is not None:
+            block = tel.counters("sweep.cache")
+            block.inc("hits", len(indices) - len(to_run))
+            block.inc("misses", len(to_run))
 
         computed: dict[str, RunRecord] = {}
         if len(to_run) > 1 and self.jobs > 1:
             computed = self._run_pool(to_run, notify)
         for key, spec in to_run.items():
             if key not in computed:               # serial path / pool fallback
-                computed[key] = execute_spec(spec)
+                computed[key] = execute_spec(spec, tel is not None)
                 self._store(computed[key])
                 notify(computed[key])
 
@@ -467,11 +527,23 @@ class SweepRunner:
                         else replace(base, spec=specs[i])
                     if i != positions[0]:
                         notify(records[i])
+        if tel is not None:
+            elapsed = time.perf_counter() - sweep_started
+            busy = sum(r.wall_time_s for r in records
+                       if r is not None and not r.cached)
+            tel.gauge("sweep.wall_s", elapsed, specs=total, jobs=self.jobs)
+            if elapsed > 0:
+                tel.gauge("sweep.worker_utilization",
+                          min(1.0, busy / (elapsed * self.jobs)),
+                          jobs=self.jobs)
         return [r for r in records if r is not None]
 
     def _store(self, record: RunRecord) -> None:
         if self.cache is not None:
             self.cache.put(record)
+        if self.telemetry is not None and record.telemetry:
+            self.telemetry.ingest(record.telemetry)
+            record.telemetry = []
 
     def _run_pool(
         self, to_run: dict[str, ScenarioSpec], notify: Callable[[RunRecord], None]
@@ -492,7 +564,8 @@ class SweepRunner:
         with pool:
             try:
                 futures = {
-                    pool.submit(execute_spec, spec): key
+                    pool.submit(execute_spec, spec,
+                                self.telemetry is not None): key
                     for key, spec in to_run.items()
                 }
             except _POOL_ERRORS:

@@ -11,6 +11,8 @@ from dataclasses import dataclass
 
 from ..metrics.queuestats import QueueSampler
 from ..network import Network, NetworkConfig
+from ..obs import current as current_telemetry
+from ..obs import instrument_simulator, maybe_span
 from ..sim.flow import FctRecord, FlowSpec
 from ..topology.base import Topology
 from .spec import CcChoice
@@ -59,13 +61,27 @@ def run_workload(
     sample_interval: float | None = None,
     sample_ports: dict | None = None,
 ) -> RunResult:
-    """Offer flows, optionally sample queues, run to completion/deadline."""
+    """Offer flows, optionally sample queues, run to completion/deadline.
+
+    When an ambient telemetry context is active (``repro.obs``), the
+    simulator gets a :class:`~repro.obs.probes.SimProbe` for the
+    duration of the run and the whole thing is timed as the ``run``
+    span; otherwise this path is telemetry-free.
+    """
     sampler = None
     if sample_interval is not None:
         ports = sample_ports if sample_ports is not None else net.switch_port_labels()
         sampler = QueueSampler(net.sim, ports, sample_interval)
     net.add_flows(specs)
-    completed = net.run_until_done(deadline=deadline)
+    tel = current_telemetry()
+    probe = instrument_simulator(net.sim, tel) if tel is not None else None
+    try:
+        with maybe_span("run"):
+            completed = net.run_until_done(deadline=deadline)
+    finally:
+        if probe is not None:
+            probe.finish(net.sim)
+            net.sim.telemetry = None
     if sampler is not None:
         sampler.stop()
     return RunResult(
@@ -139,23 +155,25 @@ def load_experiment(
     (a :class:`~repro.dynamics.events.Timeline`) schedules mid-run network
     events; its driver rides back on ``RunResult.dynamics``.
     """
-    net = setup_network(topology, cc, base_rtt=base_rtt, seed=seed, **config_kwargs)
-    wire = (net.config.mtu + net.header) / net.config.mtu
-    specs, duration = generate_load_flows(
-        topology, cdf, load=load, n_flows=n_flows,
-        seed=seed, wire_overhead=wire, incast=incast,
-    )
-    driver = None
-    if timeline:
-        from ..dynamics import PacketDynamicsDriver, burst_flow_specs
-
-        next_id = max((s.flow_id for s in specs), default=0) + 1
-        bursts, burst_entries = burst_flow_specs(
-            timeline, topology.hosts, seed, next_id
+    with maybe_span("setup"):
+        net = setup_network(topology, cc, base_rtt=base_rtt, seed=seed,
+                            **config_kwargs)
+        wire = (net.config.mtu + net.header) / net.config.mtu
+        specs, duration = generate_load_flows(
+            topology, cdf, load=load, n_flows=n_flows,
+            seed=seed, wire_overhead=wire, incast=incast,
         )
-        specs = specs + bursts
-        driver = PacketDynamicsDriver(net, timeline, burst_entries)
-        driver.install()
+        driver = None
+        if timeline:
+            from ..dynamics import PacketDynamicsDriver, burst_flow_specs
+
+            next_id = max((s.flow_id for s in specs), default=0) + 1
+            bursts, burst_entries = burst_flow_specs(
+                timeline, topology.hosts, seed, next_id
+            )
+            specs = specs + bursts
+            driver = PacketDynamicsDriver(net, timeline, burst_entries)
+            driver.install()
     result = run_workload(
         net, specs, deadline=duration * deadline_factor,
         sample_interval=sample_interval,

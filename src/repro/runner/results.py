@@ -44,6 +44,9 @@ class RunRecord:
     completed: bool = False
     wall_time_s: float = 0.0
     cached: bool = False        # set by the cache on a hit; not persisted
+    #: Telemetry records drained from the run's obs registry; carried
+    #: across the process pool for the sweep sink, not persisted.
+    telemetry: list = field(default_factory=list)
 
     @property
     def spec_hash(self) -> str:

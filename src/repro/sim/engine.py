@@ -25,11 +25,23 @@ optimization artifacts (an egress port fusing away a serialize-done
 callback nobody listens to) are compensated so the counter is invariant
 to those optimizations.  The golden determinism fixtures pin this counter
 across engine rewrites, so treat it as ABI.
+
+Telemetry hook
+--------------
+:meth:`Simulator.run` is a thin wrapper over the :meth:`Simulator._run`
+loop body.  When a probe is attached (``sim.telemetry``, see
+:mod:`repro.obs.probes`) the wrapper times the whole call and reports
+the wall/event/sim-time deltas; when none is (the default), dispatch is
+a single ``None`` check per ``run()`` call — the hot loops themselves
+carry no instrumentation either way, which is what keeps the off-path
+bit-identical and the measured overhead under the budget enforced by
+``benchmarks/bench_telemetry_overhead.py``.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Any, Callable
 
 
@@ -49,7 +61,8 @@ class Simulator:
     ['b', 'a']
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_stopped", "_live", "events_processed")
+    __slots__ = ("now", "_heap", "_seq", "_stopped", "_live",
+                 "events_processed", "telemetry")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -58,6 +71,7 @@ class Simulator:
         self._stopped: bool = False
         self._live: int = 0
         self.events_processed: int = 0
+        self.telemetry = None        # optional probe; see module docstring
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> list:
         """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now.
@@ -128,6 +142,23 @@ class Simulator:
         ``run`` call already dispatched.  Nothing in the simulation reads
         them mid-run; read them between ``run`` calls.
         """
+        probe = self.telemetry
+        if probe is None:
+            self._run(until, max_events)
+            return
+        started = perf_counter()
+        events0 = self.events_processed
+        sim0 = self.now
+        try:
+            self._run(until, max_events)
+        finally:
+            probe.record_run(self, perf_counter() - started,
+                             self.events_processed - events0,
+                             self.now - sim0)
+
+    def _run(self, until: float | None = None,
+             max_events: int | None = None) -> None:
+        """The :meth:`run` loop body, telemetry dispatch stripped."""
         self._stopped = False
         heap = self._heap
         pop = heappop

@@ -13,6 +13,7 @@ TraceEvent(t=0.0, kind='send', flow_id=1, seq=0, size=1000, node=0)
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -113,3 +114,36 @@ class PacketTracer:
         lines = [e.as_line() for e in self.events]
         Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
         return len(lines)
+
+    def to_jsonl(self, path: str | Path, run_id: str = "packet-trace") -> int:
+        """Export in the ``repro.obs`` telemetry schema; returns the
+        event count.
+
+        Each trace event becomes an ``event`` record named
+        ``trace.<kind>`` with the packet fields as labels, so packet
+        traces land in the same tooling format as run telemetry
+        (``hpcc-repro tele summarize`` reads both).  The timebase is
+        the *sim* clock — ``t`` is sim-seconds and ``sim_ns`` the raw
+        stamp — which the meta header declares via
+        ``labels["timebase"]``.
+        """
+        from ..obs.schema import meta_record
+
+        meta = meta_record(
+            run_id, {"timebase": "sim", "source": "PacketTracer"}
+        )
+        lines = [json.dumps(meta, separators=(",", ":"), sort_keys=True)]
+        for event in self.events:
+            record = {
+                "kind": "event",
+                "name": f"trace.{event.kind}",
+                "t": event.t / 1e9,
+                "sim_ns": event.t,
+                "run_id": run_id,
+                "labels": {"flow": event.flow_id, "seq": event.seq,
+                           "size": event.size, "node": event.node},
+            }
+            lines.append(json.dumps(record, separators=(",", ":"),
+                                    sort_keys=True))
+        Path(path).write_text("\n".join(lines) + "\n")
+        return len(self.events)

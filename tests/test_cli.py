@@ -181,6 +181,100 @@ class TestRunBackend:
         assert called == ["bench"]
 
 
+class TestTelemetryFlag:
+    def test_sweep_telemetry_default_path(self, tmp_path, capsys,
+                                          monkeypatch):
+        from repro.obs import validate_record
+        from repro.obs.summarize import read_jsonl
+
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        out = tmp_path / "results"
+        assert main(["sweep", "tiny", "--quiet", "--out", str(out),
+                     "--telemetry"]) == 0
+        assert f"telemetry -> {out / 'telemetry.jsonl'}" in capsys.readouterr().out
+        records, errors = read_jsonl(out / "telemetry.jsonl")
+        assert not errors and records
+        assert all(validate_record(r) is None for r in records)
+        assert records[0]["kind"] == "meta"
+        assert records[0]["run_id"] == "sweep:tiny"
+        kinds = {r["kind"] for r in records}
+        assert {"span", "gauge", "counter"} <= kinds
+
+    def test_sweep_telemetry_explicit_path(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        path = tmp_path / "deep" / "tel.jsonl"
+        assert main(["sweep", "tiny", "--quiet",
+                     "--out", str(tmp_path / "r"),
+                     "--telemetry", str(path)]) == 0
+        assert path.is_file()
+        assert f"telemetry -> {path}" in capsys.readouterr().out
+
+    def test_sweep_without_flag_writes_no_file(self, tmp_path, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        out = tmp_path / "results"
+        assert main(["sweep", "tiny", "--quiet", "--out", str(out)]) == 0
+        assert not (out / "telemetry.jsonl").exists()
+
+    def test_run_telemetry_routes_packet_through_spec_path(self, tmp_path,
+                                                           capsys,
+                                                           monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        path = tmp_path / "run-tel.jsonl"
+        assert main(["run", "tiny", "--quiet",
+                     "--telemetry", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "packet backend" in out           # spec path, not module.main
+        assert path.is_file()
+
+    def test_tele_summarize_roundtrip(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        path = tmp_path / "tel.jsonl"
+        assert main(["sweep", "tiny", "--quiet",
+                     "--out", str(tmp_path / "r"),
+                     "--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["tele", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "total" in out                    # the per-run span
+
+    def test_unwritable_telemetry_path_exits_cleanly(self, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")                   # a file where a dir must go
+        with pytest.raises(SystemExit, match="cannot write telemetry file"):
+            main(["sweep", "tiny", "--quiet", "--out", str(tmp_path / "r"),
+                  "--telemetry", str(blocker / "tel.jsonl")])
+
+    def test_tele_summarize_missing_file(self, tmp_path, capsys):
+        assert main(["tele", "summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "no telemetry file" in capsys.readouterr().err
+
+    def test_sweep_ticker_carries_eta(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        assert main(["sweep", "tiny", "--out", str(tmp_path / "r")]) == 0
+        err = capsys.readouterr().err
+        first, last = err.splitlines()[0], err.splitlines()[-1]
+        assert "[1/2]" in first and "eta ~" in first
+        assert "[2/2]" in last and "eta ~" not in last   # nothing remains
+
+    def test_profile_out_writes_pstats(self, tmp_path, capsys, monkeypatch):
+        import pstats
+
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        path = tmp_path / "prof" / "run.pstats"
+        assert main(["run", "tiny", "--quiet", "--backend", "fluid",
+                     "--profile-out", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert path.is_file()
+        assert f"profile stats -> {path}" in captured.err
+        assert "cProfile" in captured.err        # --profile is implied
+        stats = pstats.Stats(str(path))          # loadable, non-empty
+        assert stats.total_calls > 0
+
+
 class TestCache:
     def test_stats_and_clear(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))

@@ -71,3 +71,59 @@ class TestTracing:
         net.run_until_done(deadline=100 * MS)
         assert tracer.count("drop") == net.metrics.drop_count
         assert tracer.count("drop") > 0
+
+    def test_pause_resume_events_traced(self):
+        """A shallow-buffer incast with PFC on must pause — and every
+        pause must be matched by a resume once the queue drains."""
+        net = Network(star(4, host_rate="100Gbps"),
+                      NetworkConfig(cc_name="hpcc", base_rtt=9 * US,
+                                    buffer_bytes=20_000))
+        tracer = PacketTracer.attach(net)
+        for s in range(3):
+            net.add_flow(net.make_flow(s, 3, 100_000))
+        assert net.run_until_done(deadline=100 * MS)
+        assert tracer.count("pause") > 0
+        assert tracer.count("resume") == tracer.count("pause")
+        # Pause frames carry no flow payload: they target a port, not a flow.
+        kinds = {e.kind for e in tracer.events}
+        assert {"pause", "resume"} <= kinds
+
+    def test_cnp_events_traced(self):
+        """DCQCN's congestion signal (ECN-echo CNP frames) shows up in
+        the trace under its own kind, distinct from plain ACKs."""
+        net = Network(star(4, host_rate="100Gbps"),
+                      NetworkConfig(cc_name="dcqcn", base_rtt=9 * US,
+                                    seed=3))
+        tracer = PacketTracer.attach(net)
+        net.add_flow(net.make_flow(0, 3, 1_000_000, start_time=1_000.0))
+        net.add_flow(net.make_flow(1, 3, 700_000, start_time=1_003.0))
+        net.add_flow(net.make_flow(2, 3, 500_000, start_time=1_007.0))
+        assert net.run_until_done(deadline=5 * MS)
+        assert tracer.count("cnp") > 0
+        assert tracer.count("cnp") < tracer.count("ack")
+
+
+class TestJsonlExport:
+    def test_to_jsonl_is_schema_valid(self, traced_run, tmp_path):
+        import json
+
+        from repro.obs import SCHEMA_NAME, validate_record
+
+        _, tracer, _ = traced_run
+        path = tmp_path / "trace.jsonl"
+        n = tracer.to_jsonl(path, run_id="trace-test")
+        assert n == len(tracer.events)
+        lines = path.read_text().splitlines()
+        assert len(lines) == n + 1                   # meta header + events
+        records = [json.loads(line) for line in lines]
+        assert all(validate_record(r) is None for r in records)
+        meta, events = records[0], records[1:]
+        assert meta["schema"] == SCHEMA_NAME
+        assert meta["labels"] == {"timebase": "sim",
+                                  "source": "PacketTracer"}
+        assert all(r["kind"] == "event" for r in events)
+        assert all(r["run_id"] == "trace-test" for r in events)
+        assert {r["name"] for r in events} >= {"trace.send", "trace.recv",
+                                               "trace.ack"}
+        # sim timebase: t is sim-seconds, sim_ns the raw stamp.
+        assert all(r["t"] == r["sim_ns"] / 1e9 for r in events)
