@@ -1,0 +1,113 @@
+"""The fault-tolerant sweep fabric must be (nearly) free on clean runs.
+
+The PR-8 resilience machinery — guarded execution, the per-spec
+watchdog deadline, and the fsynced sweep journal — wraps every cell of
+every sweep, so its cost on a *healthy* sweep is pure overhead.  The
+bar: a clean bench-tier Figure-11 fluid sweep with the full fabric
+armed (journal + ``spec_timeout`` + retries) runs within
+:data:`LIMIT` of the bare runner.
+
+Both variants run cache-less and serial-interleaved (min-of-N) so
+machine noise hits them equally; the hardened variant pays the journal
+fsyncs, per-cell guard frames and watchdog bookkeeping.  A small
+absolute grace (:data:`GRACE_S`) keeps sub-second sweeps from failing
+on scheduler jitter alone.
+
+Run standalone for a report::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_resilience.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+#: Overhead bar: hardened / bare sweep wall time (<3% per ISSUE 8).
+LIMIT = 1.03
+
+#: Absolute jitter grace: a delta under this is noise, not overhead.
+GRACE_S = 0.050
+
+REPEATS = 3
+
+
+def _specs():
+    from repro.experiments import figure11
+
+    return [
+        spec.replaced(backend="fluid")
+        for spec in figure11.scenarios(scale="bench")
+    ]
+
+
+def _interleaved_min(variant_a, variant_b, repeats: int = REPEATS):
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        variant_a()
+        best_a = min(best_a, time.perf_counter() - started)
+        started = time.perf_counter()
+        variant_b()
+        best_b = min(best_b, time.perf_counter() - started)
+    return best_a, best_b
+
+
+def run_resilience_overhead() -> dict:
+    from repro.runner import SweepRunner
+
+    specs = _specs()
+
+    def bare():
+        records = SweepRunner().run(specs)
+        assert all(r.ok for r in records)
+
+    def hardened():
+        with tempfile.TemporaryDirectory() as tmp:
+            records = SweepRunner(
+                retries=2, spec_timeout=600.0,
+                journal=str(Path(tmp) / "journal.jsonl"),
+            ).run(specs)
+        assert all(r.ok for r in records)
+
+    bare_s, hardened_s = _interleaved_min(bare, hardened)
+    return {
+        "n_specs": len(specs),
+        "baseline_s": bare_s,
+        "tested_s": hardened_s,
+        "ratio": hardened_s / bare_s,
+        "delta_s": hardened_s - bare_s,
+        "ok": hardened_s / bare_s <= LIMIT
+        or hardened_s - bare_s <= GRACE_S,
+    }
+
+
+def _assert_ok(result: dict) -> None:
+    assert result["ok"], (
+        f"sweep resilience overhead {100 * (result['ratio'] - 1):.1f}% "
+        f"(+{result['delta_s'] * 1e3:.1f}ms) exceeds "
+        f"{100 * (LIMIT - 1):.0f}% + {GRACE_S * 1e3:.0f}ms grace "
+        f"({result['baseline_s']:.3f}s -> {result['tested_s']:.3f}s)"
+    )
+
+
+def test_sweep_resilience_overhead(benchmark):
+    result = run_once(benchmark, run_resilience_overhead)
+    _assert_ok(result)
+
+
+def main() -> None:
+    result = run_resilience_overhead()
+    flag = "ok" if result["ok"] else "FAIL"
+    print(f"sweep_resilience  {result['n_specs']} specs  "
+          f"bare {result['baseline_s']:.3f}s  "
+          f"hardened {result['tested_s']:.3f}s  "
+          f"ratio {result['ratio']:.3f}  [{flag}]")
+    _assert_ok(result)
+
+
+if __name__ == "__main__":
+    main()

@@ -66,6 +66,13 @@ def _telemetry_overhead():
     return run_all()
 
 
+def _sweep_resilience():
+    """Watchdog + journal cost on a clean fluid sweep (the <3% bar
+    itself is asserted by bench_sweep_resilience.py; this records it)."""
+    from bench_sweep_resilience import run_resilience_overhead
+    return run_resilience_overhead()
+
+
 def _appendix_a1():
     from repro.experiments.appendix_a import run_a1
     return run_a1(n_sources=50, rho=0.95)
@@ -188,6 +195,8 @@ REGISTRY: dict[str, tuple] = {
                            {"engines": ["packet", "fluid"],
                             "limit_pct": 2}),
     "appendix_a2": (_appendix_a2, {"n_trials": 50}),
+    "sweep_resilience": (_sweep_resilience,
+                         {"backend": "fluid", "limit_pct": 3}),
     "fig06": (_fig06, {"scale": "bench"}),
     "fig13": (_fig13, {"scale": "bench"}),
     "fig11_fluid": (_fig11_fluid, {"scale": "bench", "backend": "fluid"}),

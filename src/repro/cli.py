@@ -230,14 +230,42 @@ def _cmd_sweep(args) -> int:
         raise SystemExit(f"cannot create --out directory {out}: {exc}")
     cache = None if args.no_cache else RunCache(out)
 
+    spec_timeout = args.spec_timeout
+    if spec_timeout is not None and spec_timeout != "auto":
+        try:
+            spec_timeout = float(spec_timeout)
+        except ValueError:
+            raise SystemExit(
+                f"error: --spec-timeout must be a number of seconds or "
+                f"'auto', got {args.spec_timeout!r}"
+            )
+
+    if args.resume is not None:
+        from .runner import plan_resume
+
+        if not Path(args.resume).is_file():
+            raise SystemExit(f"error: no sweep journal at {args.resume}")
+        to_run, skipped, _ = plan_resume(specs, args.resume)
+        print(
+            f"resuming from {args.resume}: {len(skipped)} ok cells "
+            f"skipped, {len(to_run)} to (re)run", file=sys.stderr,
+        )
+        if skipped and cache is None:
+            print(
+                "warning: --no-cache makes --resume re-run ok cells too "
+                "(their results only live in the cache)", file=sys.stderr,
+            )
+
     tel, tel_path = _make_telemetry(
         args, out / "telemetry.jsonl",
         run_id="sweep:" + "+".join(args.experiments),
     )
     started = time.perf_counter()
+    journal_path = out / "journal.jsonl"
     runner = SweepRunner(
         jobs=args.jobs, cache=cache, progress=_progress_ticker(args),
-        telemetry=tel,
+        telemetry=tel, failures=args.on_error, retries=args.retries,
+        spec_timeout=spec_timeout, journal=str(journal_path),
     )
     try:
         records = runner.run(specs)
@@ -250,15 +278,35 @@ def _cmd_sweep(args) -> int:
             tel.close()
     elapsed = time.perf_counter() - started
 
-    if cache is None:                       # still persist the records
+    if cache is None:                       # still persist the (ok) records
         for record in records:
-            record.write_json(out / f"{record.spec_hash}.json")
+            if record.ok:
+                record.write_json(out / f"{record.spec_hash}.json")
     write_records_csv(records, out / "summary.csv")
     hits = sum(1 for r in records if r.cached)
+    failed = [r for r in records if not r.ok]
     print(
         f"{len(records)} scenarios ({hits} cached) in {elapsed:.2f}s "
         f"with --jobs {args.jobs} -> {out}"
     )
+    if failed:
+        by_status: dict[str, int] = {}
+        for record in failed:
+            by_status[record.status] = by_status.get(record.status, 0) + 1
+        detail = ", ".join(
+            f"{count} {status}" for status, count in sorted(by_status.items())
+        )
+        print(
+            f"warning: {len(failed)} cells failed ({detail}); "
+            f"re-run with --resume {journal_path}", file=sys.stderr,
+        )
+        for record in failed:
+            error = record.error or {}
+            print(
+                f"  {record.status:7s} {record.label}: "
+                f"{error.get('type', '')}: {error.get('message', '')}",
+                file=sys.stderr,
+            )
     if tel_path is not None:
         print(f"telemetry -> {tel_path}")
     return 0
@@ -437,6 +485,8 @@ def _cmd_cache(args) -> int:
         print(f"  {backend:8s} {program:12s} {count}")
     if stats["corrupt"]:
         print(f"  ({stats['corrupt']} unreadable entries)")
+    if stats["quarantined"]:
+        print(f"  ({stats['quarantined']} quarantined *.corrupt files)")
     return 0
 
 
@@ -523,6 +573,27 @@ def main(argv: list[str] | None = None) -> int:
         "--telemetry", nargs="?", const="", default=None, metavar="PATH",
         help="record sweep telemetry JSONL "
              "(default PATH: <out>/telemetry.jsonl)",
+    )
+    sweep.add_argument(
+        "--on-error", choices=("quarantine", "raise"), default="quarantine",
+        help="failing cells become error-status records (quarantine, "
+             "default) or abort the sweep (raise)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra attempts for cells lost to worker deaths "
+             "(default 2; deterministic execution errors never retry)",
+    )
+    sweep.add_argument(
+        "--spec-timeout", default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget; overdue cells are killed and "
+             "recorded as timeouts.  'auto' derives 10x the slowest "
+             "fresh cell (floor 5s).  Needs --jobs >= 2.",
+    )
+    sweep.add_argument(
+        "--resume", default=None, metavar="JOURNAL",
+        help="resume from a sweep journal: cells it records as ok are "
+             "served from the cache, failed cells re-run",
     )
 
     report = sub.add_parser(

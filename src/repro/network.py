@@ -54,6 +54,11 @@ class NetworkConfig:
     ecn: EcnPolicy | None = None
     base_rtt: float | None = None
     rto: float | None = None
+    #: GBN post-rewind retransmission-burst cap in bytes (None disables;
+    #: inert on lossless fabrics, which never rewind).  Bounds the
+    #: full-window retransmission storms that collapse goodput under
+    #: buffers too shallow for ECN marking to bite.
+    gbn_recovery_cap: int | None = 16_000
     goodput_bin: float | None = None    # enable goodput time series
     seed: int = 1
 
@@ -116,6 +121,7 @@ class Network:
                 cnp_interval=cnp_interval,
                 rto=rto,
                 min_rewind_gap=self.base_rtt,
+                gbn_recovery_cap=config.gbn_recovery_cap,
                 irn_window=(
                     rate * self.base_rtt if config.transport == "irn" else None
                 ),

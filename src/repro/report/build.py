@@ -105,6 +105,9 @@ class FigureReport:
     n_specs: int
     n_cached: int
     wall_time_s: float
+    #: Cells quarantined by the sweep fabric (error/timeout records);
+    #: the figure rendered from the surviving cells only.
+    n_failed: int = 0
     #: Engine work summed over the figure's records (packet events or
     #: fluid steps), plus the events and wall time of the *computed*
     #: (non-cached) subset — the report's telemetry panel derives
@@ -161,6 +164,7 @@ class Report:
                 "scale": fig.scale,
                 "scenarios": fig.n_specs,
                 "cached": fig.n_cached,
+                "failed": fig.n_failed,
                 "wall_time_s": round(fig.wall_time_s, 3),
                 "events_processed": fig.events_processed,
                 "events_per_s": _json_number(
@@ -252,9 +256,39 @@ def build_figure(
             else nullcontext():
         records = runner.run(specs)
     wall = time.perf_counter() - started
+    # Quarantined cells (error/timeout) never reach the figure's render —
+    # it sees only the surviving (spec, record) pairs and the report
+    # badges the loss instead of aborting the whole build.
+    failed = [r for r in records if not r.ok]
+    ok_pairs = [(s, r) for s, r in zip(specs, records) if r.ok]
+    ok_specs = [s for s, _ in ok_pairs]
+    ok_records = [r for _, r in ok_pairs]
     with telemetry.span("score", figure=key) if telemetry is not None \
             else nullcontext():
-        render = entry.module.render(specs, records)
+        try:
+            render = entry.module.render(ok_specs, ok_records)
+        except Exception as exc:
+            if not failed:
+                raise         # a real render bug, not missing cells
+            # The failures starved the render of cells it requires:
+            # degrade to an empty figure carrying the failure note.
+            render = FigureRender(
+                figure=key, title=entry.title, panels=[],
+                notes=[f"render skipped: {type(exc).__name__}: {exc}"],
+            )
+        if failed:
+            statuses: dict[str, int] = {}
+            for record in failed:
+                statuses[record.status] = statuses.get(record.status, 0) + 1
+            detail = ", ".join(f"{n} {s}" for s, n in sorted(statuses.items()))
+            render.notes.append(
+                f"{len(failed)} of {len(specs)} cells failed ({detail}); "
+                f"rendered from the {len(ok_records)} surviving cells. "
+                f"Failed: " + "; ".join(
+                    f"{r.label} [{(r.error or {}).get('type', r.status)}]"
+                    for r in failed[:6]
+                ) + ("..." if len(failed) > 6 else "")
+            )
         if effective_backend != backend:
             render.notes.append(
                 f"{key} is packet-only (see README 'Simulation backends'); "
@@ -272,6 +306,7 @@ def build_figure(
         ref=ref,
         n_specs=len(specs),
         n_cached=sum(1 for r in records if r.cached),
+        n_failed=len(failed),
         wall_time_s=wall,
         events_processed=sum(r.events_processed for r in records),
         fresh_events=sum(r.events_processed for r in records if not r.cached),
@@ -435,7 +470,8 @@ def build_report(
     out.mkdir(parents=True, exist_ok=True)
     cache = RunCache(cache_dir if cache_dir is not None else out / "cache")
     runner = SweepRunner(jobs=jobs, cache=cache, progress=progress,
-                         telemetry=telemetry)
+                         telemetry=telemetry,
+                         journal=str(out / "journal.jsonl"))
 
     started = time.perf_counter()
     built = [
@@ -445,6 +481,7 @@ def build_report(
     ]
 
     scored = [f for f in built if f.score is not None]
+    failed_total = sum(f.n_failed for f in built)
     metadata = {
         "backend requested": backend,
         "scale": scale,
@@ -456,6 +493,11 @@ def build_report(
         "total wall time": f"{time.perf_counter() - started:.2f}s",
         "cache": str(cache.root),
     }
+    if failed_total:
+        metadata["failed cells"] = (
+            f"{failed_total} quarantined (error/timeout) — figures "
+            f"rendered from surviving cells; see journal.jsonl"
+        )
     if telemetry is not None:
         sink_path = getattr(telemetry.sink, "path", None)
         metadata["telemetry"] = (

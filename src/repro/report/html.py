@@ -112,11 +112,21 @@ def _fidelity_tables(fig: "FigureReport") -> str:
 
 def _figure_section(fig: "FigureReport") -> str:
     verdict = fig.score.verdict if fig.score is not None else "n/a"
+    failure_badge = ""
+    if fig.n_failed:
+        failure_badge = (
+            f'<span class="badge" style="background:{BADGE_COLORS["fail"]}">'
+            f"{fig.n_failed} CELL{'S' if fig.n_failed != 1 else ''} "
+            f"FAILED</span>"
+        )
     parts = [
-        f'<h2 id="{esc(fig.key)}">{esc(fig.title)}{badge(verdict)}</h2>',
+        f'<h2 id="{esc(fig.key)}">{esc(fig.title)}{badge(verdict)}'
+        f"{failure_badge}</h2>",
         f'<p class="meta">backend: <b>{esc(fig.backend)}</b> &middot; '
         f"scale: {esc(fig.scale)} &middot; {fig.n_specs} scenarios "
-        f"({fig.n_cached} cached) &middot; {fig.wall_time_s:.2f}s</p>",
+        f"({fig.n_cached} cached"
+        + (f", {fig.n_failed} failed" if fig.n_failed else "")
+        + f") &middot; {fig.wall_time_s:.2f}s</p>",
     ]
     for note in fig.notes:
         parts.append(f'<p class="note">{esc(note)}</p>')

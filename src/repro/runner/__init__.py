@@ -18,8 +18,11 @@ from .execute import (
     PROGRAMS,
     TOPOLOGIES,
     SweepRunner,
+    SweepTimeout,
     build_topology,
     execute_spec,
+    execute_spec_guarded,
+    validate_specs,
     workload_cdf,
 )
 from .harness import (
@@ -29,6 +32,7 @@ from .harness import (
     run_workload,
     setup_network,
 )
+from .journal import SweepJournal, plan_resume
 from .results import RunCache, RunRecord, write_records_csv
 from .spec import (
     BACKENDS,
@@ -50,13 +54,18 @@ __all__ = [
     "RunResult",
     "ScenarioGrid",
     "ScenarioSpec",
+    "SweepJournal",
     "SweepRunner",
+    "SweepTimeout",
     "TOPOLOGIES",
     "axis",
     "build_topology",
     "cc_axis",
     "execute_spec",
+    "execute_spec_guarded",
     "generate_load_flows",
+    "plan_resume",
+    "validate_specs",
     "workload_cdf",
     "load_experiment",
     "run_workload",

@@ -1,0 +1,155 @@
+"""The sweep journal: an append-only JSONL log of cell outcomes.
+
+A sweep writes one line per landed cell — ``spec_hash``, terminal
+``status`` (``ok``/``error``/``timeout``), attempts consumed and wall
+time — flushed as each cell finishes, so the journal survives the sweep
+process dying mid-run.  ``hpcc-repro sweep --resume journal.jsonl``
+reads it back and skips every cell that already landed ``ok``; cells
+recorded as ``error`` or ``timeout`` (or never recorded at all) re-run.
+
+The journal is *accounting*, not results: the run cache holds the data,
+the journal holds the ledger of what was attempted and how it went.
+Identity is the content-addressed spec hash, so a resumed sweep matches
+cells even if labels or metadata changed between invocations.
+
+Lines also carry a ``sweep`` header record (first line) with the spec
+count and start timestamp, purely for humans reading the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from .results import RECORD_STATUSES, RunRecord
+from .spec import ScenarioSpec
+
+JOURNAL_FORMAT = 1
+
+
+class SweepJournal:
+    """Append-only JSONL ledger of sweep-cell outcomes.
+
+    Each :meth:`record` call appends one line and flushes it to the OS
+    immediately — a killed sweep leaves at worst one truncated final
+    line, which :meth:`load` skips.  Re-recording a hash supersedes the
+    earlier line (last-wins on load), so retries and resumed runs simply
+    append.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+
+    # -- writing ----------------------------------------------------------------
+
+    def open(self, n_specs: int) -> None:
+        """Start (or continue) the journal file for a sweep of n_specs."""
+        self._handle = self.path.open("a")
+        self._append({
+            "kind": "sweep",
+            "format": JOURNAL_FORMAT,
+            "n_specs": n_specs,
+            "started_at": time.time(),
+            "pid": os.getpid(),
+        })
+
+    def record(self, record: RunRecord) -> None:
+        """Land one cell outcome; flushed before returning."""
+        entry = {
+            "kind": "cell",
+            "spec_hash": record.spec_hash,
+            "label": record.spec.label,
+            "status": record.status,
+            "attempts": record.attempts,
+            "wall_time_s": round(record.wall_time_s, 6),
+            "cached": record.cached,
+        }
+        if record.error is not None:
+            entry["error"] = {
+                "type": record.error.get("type", ""),
+                "message": record.error.get("message", "")[:500],
+            }
+        self._append(entry)
+
+    def _append(self, entry: dict) -> None:
+        if self._handle is None:
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading ----------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> dict[str, dict]:
+        """Latest outcome per spec hash: ``{spec_hash: cell_entry}``.
+
+        Tolerates a truncated final line (the crash case the journal
+        exists for) and unknown statuses from future formats (dropped).
+        """
+        outcomes: dict[str, dict] = {}
+        journal_path = Path(path)
+        if not journal_path.exists():
+            return outcomes
+        with journal_path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue        # truncated tail of a killed sweep
+                if entry.get("kind") != "cell":
+                    continue
+                if entry.get("status") not in RECORD_STATUSES:
+                    continue
+                spec_hash = entry.get("spec_hash")
+                if spec_hash:
+                    outcomes[spec_hash] = entry
+        return outcomes
+
+    @staticmethod
+    def completed_hashes(outcomes: Mapping[str, dict]) -> set[str]:
+        """Hashes whose latest outcome is ``ok`` — the resume skip-set."""
+        return {
+            spec_hash for spec_hash, entry in outcomes.items()
+            if entry.get("status") == "ok"
+        }
+
+
+def plan_resume(
+    specs: Iterable[ScenarioSpec], journal_path: str | Path
+) -> tuple[list[ScenarioSpec], list[str], dict[str, dict]]:
+    """Split a spec list against a prior journal.
+
+    Returns ``(to_run, skipped_hashes, outcomes)``: the specs whose
+    latest journalled outcome is not ``ok`` (plus any never attempted),
+    the hashes being skipped, and the raw outcome map for reporting.
+    """
+    outcomes = SweepJournal.load(journal_path)
+    done = SweepJournal.completed_hashes(outcomes)
+    to_run: list[ScenarioSpec] = []
+    skipped: list[str] = []
+    for spec in specs:
+        if spec.spec_hash in done:
+            skipped.append(spec.spec_hash)
+        else:
+            to_run.append(spec)
+    return to_run, skipped, outcomes

@@ -28,7 +28,14 @@ from ..sim.flow import FctRecord, FlowSpec
 from ..sim.pfc import PauseInterval, PauseTracker
 from .spec import ScenarioSpec
 
-RECORD_FORMAT = 1
+#: 2 added ``status``/``error``/``attempts`` (the fault-tolerance fields);
+#: format-1 records predate them and load with the ``ok`` defaults.
+RECORD_FORMAT = 2
+
+_READABLE_FORMATS = frozenset({1, RECORD_FORMAT})
+
+#: Terminal execution outcomes a record can carry.
+RECORD_STATUSES = ("ok", "error", "timeout")
 
 
 @dataclass
@@ -43,10 +50,23 @@ class RunRecord:
     duration_ns: float = 0.0
     completed: bool = False
     wall_time_s: float = 0.0
+    #: Execution outcome: ``ok`` (results are valid), ``error`` (the
+    #: program raised — see ``error``), ``timeout`` (killed by the sweep
+    #: watchdog).  Only ``ok`` records are ever persisted to the cache.
+    status: str = "ok"
+    #: For non-ok records: ``{"type", "message", "traceback"}`` — the
+    #: exception class name, its message, and a short traceback summary.
+    error: dict | None = None
+    #: Execution attempts consumed (retries after worker deaths included).
+    attempts: int = 1
     cached: bool = False        # set by the cache on a hit; not persisted
     #: Telemetry records drained from the run's obs registry; carried
     #: across the process pool for the sweep sink, not persisted.
     telemetry: list = field(default_factory=list)
+    #: The original exception object (when picklable) behind an ``error``
+    #: status; carried across the process pool so the ``failures="raise"``
+    #: policy can re-raise it verbatim.  Never persisted.
+    exception: BaseException | None = None
 
     @property
     def spec_hash(self) -> str:
@@ -55,6 +75,32 @@ class RunRecord:
     @property
     def label(self) -> str:
         return self.spec.label or self.spec_hash
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @classmethod
+    def failure(cls, spec: ScenarioSpec, status: str,
+                exc: BaseException | None = None,
+                wall_time_s: float = 0.0, attempts: int = 1,
+                detail: str = "") -> "RunRecord":
+        """A quarantined outcome: no results, just the failure accounting."""
+        if status not in RECORD_STATUSES or status == "ok":
+            raise ValueError(f"not a failure status: {status!r}")
+        import traceback as _tb
+
+        if exc is not None:
+            summary = "".join(
+                _tb.format_exception(type(exc), exc, exc.__traceback__,
+                                     limit=8)
+            )
+            error = {"type": type(exc).__name__, "message": str(exc),
+                     "traceback": summary}
+        else:
+            error = {"type": status, "message": detail, "traceback": ""}
+        return cls(spec=spec, status=status, error=error, exception=exc,
+                   wall_time_s=wall_time_s, attempts=attempts)
 
     # -- reconstruction ---------------------------------------------------------
 
@@ -158,10 +204,19 @@ class RunRecord:
             "duration_ns": self.duration_ns,
             "completed": self.completed,
             "wall_time_s": self.wall_time_s,
+            "status": self.status,
+            "error": self.error,
+            "attempts": self.attempts,
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "RunRecord":
+        fmt = data.get("format", 1)
+        if fmt not in _READABLE_FORMATS:
+            raise ValueError(f"unreadable record format {fmt!r}")
+        status = data.get("status", "ok")
+        if status not in RECORD_STATUSES:
+            raise ValueError(f"unknown record status {status!r}")
         return cls(
             spec=ScenarioSpec.from_json(data["spec"]),
             fct=data["fct"],
@@ -171,6 +226,9 @@ class RunRecord:
             duration_ns=data["duration_ns"],
             completed=data["completed"],
             wall_time_s=data["wall_time_s"],
+            status=status,
+            error=data.get("error"),
+            attempts=data.get("attempts", 1),
         )
 
     def write_json(self, path: str | Path) -> Path:
@@ -193,7 +251,7 @@ def write_records_csv(records: Iterable[RunRecord], path: str | Path) -> int:
             "spec_hash", "label", "program", "topology", "cc", "seed", "scale",
             "flows_finished", "completed", "duration_ns", "events_processed",
             "slowdown_p50", "slowdown_p95", "slowdown_p99", "wall_time_s",
-            "cached",
+            "cached", "status", "attempts",
         ])
         for record in records:
             slowdowns = [
@@ -210,6 +268,7 @@ def write_records_csv(records: Iterable[RunRecord], path: str | Path) -> int:
                 f"{percentile(slowdowns, 95):.4f}" if slowdowns else "",
                 f"{percentile(slowdowns, 99):.4f}" if slowdowns else "",
                 f"{record.wall_time_s:.3f}", record.cached,
+                record.status, record.attempts,
             ])
             count += 1
     return count
@@ -232,17 +291,39 @@ class RunCache:
 
     def get(self, spec: ScenarioSpec) -> RunRecord | None:
         path = self.path_for(spec)
-        if not path.exists():
-            return None
         try:
-            record = RunRecord.read_json(path)
-        except (json.JSONDecodeError, KeyError):
-            return None             # corrupt entry: treat as a miss
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return None             # unreadable right now: miss, keep the file
+        try:
+            record = RunRecord.from_json(json.loads(text))
+            if not record.ok:
+                raise ValueError(f"non-ok record cached: {record.status}")
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            self._quarantine(path)  # corrupt/alien entry: sideline it, miss
+            return None
         record.spec = spec          # keep the caller's label/meta
         record.cached = True
         return record
 
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Rename a bad entry to ``*.corrupt`` so it stops shadowing the
+        slot (a rerun can then repopulate it) but stays on disk for
+        inspection.  ``cache stats`` counts the quarantined files."""
+        try:
+            path.replace(path.with_suffix(".corrupt"))
+        except OSError:
+            pass                    # racing cleaner/permission issue: leave it
+
     def put(self, record: RunRecord) -> Path:
+        if not record.ok:
+            raise ValueError(
+                f"refusing to cache a {record.status!r} record "
+                f"({record.spec_hash}): only ok results are reusable"
+            )
         path = self.path_for(record.spec)
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(record.to_json(), sort_keys=True))
@@ -257,9 +338,10 @@ class RunCache:
 
     def clear(self) -> int:
         removed = 0
-        for entry in self.root.glob("*.json"):
-            entry.unlink()
-            removed += 1
+        for pattern in ("*.json", "*.corrupt"):
+            for entry in self.root.glob(pattern):
+                entry.unlink()
+                removed += 1
         return removed
 
     def stats(self) -> dict:
@@ -284,4 +366,5 @@ class RunCache:
             "total_bytes": total_bytes,
             "by_kind": by_kind,
             "corrupt": corrupt,
+            "quarantined": sum(1 for _ in self.root.glob("*.corrupt")),
         }

@@ -43,6 +43,7 @@ class NicConfig:
     cnp_interval: float | None = None   # DCQCN NP min CNP gap, ns
     rto: float = 1_000_000.0            # retransmission timeout, ns
     min_rewind_gap: float = 10_000.0    # GBN rewind suppression window, ns
+    gbn_recovery_cap: int | None = 16_000   # GBN post-rewind burst cap, bytes
     irn_window: float | None = None     # IRN's fixed BDP window cap, bytes
     rate_floor: float = 1e-5            # pacing floor, bytes/ns
 
@@ -134,6 +135,7 @@ class HostNic:
         sender = make_sender(
             self.config.transport, spec.size,
             min_rewind_gap=self.config.min_rewind_gap,
+            recovery_cap=self.config.gbn_recovery_cap,
         )
         flow = SenderFlow(spec, cc, sender)
         cc.install(flow)

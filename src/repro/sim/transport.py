@@ -20,13 +20,27 @@ from __future__ import annotations
 
 
 class GbnSender:
-    """Go-back-N: a NACK (or timeout) rewinds ``snd_nxt`` to the hole."""
+    """Go-back-N: a NACK (or timeout) rewinds ``snd_nxt`` to the hole.
 
-    def __init__(self, size: int, min_rewind_gap: float = 0.0) -> None:
+    ``recovery_cap`` bounds the post-rewind retransmission burst: after a
+    rewind the sender may keep at most that many bytes in flight until the
+    cumulative ack passes the pre-rewind frontier.  Without it, every loss
+    event re-offers the full CC window at once — under a buffer too shallow
+    for ECN marking to bite, the colliding full-window bursts re-lose each
+    other's packets and goodput collapses to near zero (the seed-259
+    congestive-collapse draw in ``tests/test_properties.py``).  A lossless
+    (PFC) fabric never rewinds, so the cap is inert on the paper's default
+    configuration and all determinism goldens.
+    """
+
+    def __init__(self, size: int, min_rewind_gap: float = 0.0,
+                 recovery_cap: int | None = None) -> None:
         self.size = size
         self.snd_una = 0
         self.snd_nxt = 0
         self.min_rewind_gap = min_rewind_gap
+        self.recovery_cap = recovery_cap
+        self._recover_until = 0         # recovery active while snd_una < this
         self._last_rewind = -float("inf")
         self.rewinds = 0
 
@@ -41,10 +55,20 @@ class GbnSender:
     def has_pending(self) -> bool:
         return self.snd_nxt < self.size
 
+    @property
+    def in_recovery(self) -> bool:
+        return self.snd_una < self._recover_until
+
     def peek_next(self, mtu: int) -> tuple[int, int] | None:
         if self.snd_nxt >= self.size:
             return None
-        return self.snd_nxt, min(mtu, self.size - self.snd_nxt)
+        payload = min(mtu, self.size - self.snd_nxt)
+        if self.recovery_cap is not None and self.in_recovery:
+            allowed = self.snd_una + self.recovery_cap - self.snd_nxt
+            if allowed <= 0:
+                return None         # burst cap reached: wait for ack progress
+            payload = min(payload, allowed)
+        return self.snd_nxt, payload
 
     def mark_sent(self, seq: int, payload: int) -> None:
         if seq != self.snd_nxt:
@@ -70,11 +94,13 @@ class GbnSender:
         if now - self._last_rewind < self.min_rewind_gap:
             return
         self._last_rewind = now
+        self._recover_until = max(self._recover_until, self.snd_nxt)
         self.snd_nxt = max(ack_seq, self.snd_una)
         self.rewinds += 1
 
     def on_timeout(self, now: float = 0.0) -> None:
         self._last_rewind = now
+        self._recover_until = max(self._recover_until, self.snd_nxt)
         self.snd_nxt = self.snd_una
         self.rewinds += 1
 
@@ -241,9 +267,11 @@ class IrnReceiver:
                 self.expected = e
 
 
-def make_sender(mode: str, size: int, min_rewind_gap: float = 0.0):
+def make_sender(mode: str, size: int, min_rewind_gap: float = 0.0,
+                recovery_cap: int | None = None):
     if mode == "gbn":
-        return GbnSender(size, min_rewind_gap=min_rewind_gap)
+        return GbnSender(size, min_rewind_gap=min_rewind_gap,
+                         recovery_cap=recovery_cap)
     if mode == "irn":
         return IrnSender(size)
     raise ValueError(f"unknown transport mode {mode!r}")

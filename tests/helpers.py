@@ -1,8 +1,58 @@
-"""Fake flows and hand-built ACKs for CC algorithm unit tests."""
+"""Test fixtures: fake flows, hand-built ACKs, and chaos injection.
+
+``chaos_execute_spec`` is the fault-injection work unit for the sweep
+fabric's chaos tests: it runs in pool workers (picklable by reference —
+the pool forks, so ``tests.helpers`` is already importable there) and
+misbehaves according to ``spec.meta["chaos"]``.  Because ``meta`` is
+excluded from the spec's identity hash, a chaos spec shares its cache
+slot and journal entry with its clean twin — which is exactly what the
+resume-determinism tests need.
+"""
 
 from __future__ import annotations
 
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.runner.execute import execute_spec
 from repro.sim.packet import IntHop, Packet, PacketType
+
+
+class ChaosError(RuntimeError):
+    """The deliberate failure raised by ``chaos: raise`` specs."""
+
+
+def chaos_execute_spec(spec, telemetry: bool = False):
+    """An ``execute_spec`` twin that fails on demand.
+
+    ``spec.meta["chaos"]`` selects the fault:
+
+    * ``"raise"`` — raise :class:`ChaosError` (a deterministic
+      execution error: quarantined, never retried);
+    * ``"hang"`` — sleep forever (the watchdog must SIGKILL us);
+    * ``"die"`` — SIGKILL ourselves (an infrastructure fault: breaks
+      the pool, affected specs are retried);
+    * ``"die_once"`` — SIGKILL on the first attempt only, coordinated
+      through a flag file at ``spec.meta["flag_dir"]`` (retries must
+      then succeed);
+    * absent/anything else — run the spec normally.
+    """
+    mode = (spec.meta or {}).get("chaos")
+    if mode == "raise":
+        raise ChaosError(f"injected failure for {spec.label}")
+    if mode == "hang":
+        while True:             # pragma: no cover — killed from outside
+            time.sleep(3600)
+    if mode == "die":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "die_once":
+        flag = Path(spec.meta["flag_dir"]) / f"{spec.spec_hash}.died"
+        if not flag.exists():
+            flag.write_text("died")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return execute_spec(spec, telemetry)
 
 
 class FakeFlow:

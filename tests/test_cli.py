@@ -151,6 +151,52 @@ class TestSweep:
         assert "[1/2]" not in captured.err
         assert "2 scenarios" in captured.out
 
+    def test_sweep_writes_journal_and_status_column(self, tmp_path, capsys,
+                                                    monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        out = tmp_path / "r"
+        assert main(["sweep", "tiny", "--quiet", "--out", str(out)]) == 0
+        journal = out / "journal.jsonl"
+        assert journal.exists()
+        entries = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        cells = [e for e in entries if e["kind"] == "cell"]
+        assert len(cells) == 2
+        assert all(c["status"] == "ok" for c in cells)
+        header = (out / "summary.csv").read_text().splitlines()[0]
+        assert "status" in header and "attempts" in header
+
+    def test_sweep_resume_skips_ok_cells(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        out = tmp_path / "r"
+        assert main(["sweep", "tiny", "--quiet", "--out", str(out)]) == 0
+        capsys.readouterr()
+        journal = out / "journal.jsonl"
+        entries = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        hashes = [e["spec_hash"] for e in entries if e["kind"] == "cell"]
+        # Pretend one cell failed (a later journal line supersedes).
+        with journal.open("a") as handle:
+            handle.write(json.dumps({
+                "kind": "cell", "spec_hash": hashes[0], "status": "error",
+                "attempts": 1, "wall_time_s": 0.0, "cached": False,
+            }) + "\n")
+        assert main(["sweep", "tiny", "--quiet", "--out", str(out),
+                     "--resume", str(journal)]) == 0
+        captured = capsys.readouterr()
+        assert "1 ok cells skipped, 1 to (re)run" in captured.err
+        assert "2 scenarios" in captured.out        # full record set anyway
+
+    def test_sweep_resume_missing_journal_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no sweep journal"):
+            main(["sweep", "fig13", "--out", str(tmp_path),
+                  "--resume", str(tmp_path / "nope.jsonl")])
+
+    def test_sweep_bad_spec_timeout_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="spec-timeout"):
+            main(["sweep", "fig13", "--out", str(tmp_path),
+                  "--spec-timeout", "soon"])
+
     def test_sweep_backend_fluid(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
         out = tmp_path / "results"

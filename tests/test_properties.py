@@ -2,7 +2,7 @@
 workload thrown at a network."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.network import Network, NetworkConfig
 from repro.sim.units import MS, US
@@ -91,6 +91,11 @@ class TestLossyInvariants:
     @settings(deadline=None, max_examples=8,
               suppress_health_check=[HealthCheck.too_slow])
     @given(st.sampled_from(["gbn", "irn"]), st.integers(0, 1000))
+    @example("gbn", 259)    # the congestive-collapse draw GbnSender's
+    #                         recovery_cap exists to survive (ROADMAP PR-8):
+    #                         4:1 incast, 30KB no-PFC buffer, DCTCP — full-
+    #                         window retransmission bursts used to re-lose
+    #                         each other's packets indefinitely.
     def test_tiny_buffer_never_stalls(self, transport, seed):
         """Heavy loss must delay flows, never deadlock them."""
         import random

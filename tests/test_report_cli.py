@@ -73,6 +73,39 @@ class TestBenchTrajectory:
         assert load_bench_trajectory(tmp_path) is None
 
 
+class TestFailedCells:
+    """Quarantined sweep cells must badge the figure, not kill the build."""
+
+    @pytest.mark.chaos
+    def test_all_cells_failed_degrades_to_empty_figure(self, tmp_path):
+        from repro.report.build import build_figure
+        from repro.runner import SweepRunner
+
+        def explode(spec, telemetry=False):
+            raise RuntimeError("cell down")
+
+        runner = SweepRunner(execute=explode)
+        fig = build_figure("fig13", backend="fluid", scale="bench",
+                           runner=runner)
+        assert fig.n_failed == fig.n_specs > 0
+        assert any("cells failed" in note for note in fig.notes)
+
+    def test_failure_badge_in_html(self):
+        from repro.report.build import FigureReport
+        from repro.report.figures import FigureRender
+        from repro.report.html import _figure_section
+
+        fig = FigureReport(
+            key="figX", title="T", backend="packet", scale="bench",
+            render=FigureRender(figure="figX", title="T", panels=[]),
+            score=None, ref=None, n_specs=3, n_cached=0,
+            wall_time_s=0.1, n_failed=2,
+        )
+        section = _figure_section(fig)
+        assert "2 CELLS FAILED" in section
+        assert "2 failed" in section
+
+
 class TestReportCliSmoke:
     @pytest.fixture(scope="class")
     def report_dir(self, tmp_path_factory):

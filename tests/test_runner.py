@@ -15,11 +15,13 @@ from repro.runner import (
     RunRecord,
     ScenarioGrid,
     ScenarioSpec,
+    SweepJournal,
     SweepRunner,
     axis,
     build_topology,
     cc_axis,
     execute_spec,
+    plan_resume,
 )
 from repro.sim.units import US
 
@@ -247,8 +249,41 @@ class TestRunCache:
         SweepRunner(cache=cache).run([spec])
         cache.path_for(spec).write_text("{not json")
         assert cache.get(spec) is None
+        # The bad entry was quarantined, not left shadowing the slot.
+        assert not cache.path_for(spec).exists()
+        assert cache.path_for(spec).with_suffix(".corrupt").exists()
+        assert cache.stats()["quarantined"] == 1
         [record] = SweepRunner(cache=cache).run([spec])
         assert not record.cached
+        # The rerun repopulated the slot; a second lookup now hits.
+        assert cache.get(spec) is not None
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = tiny_flows_spec()
+        SweepRunner(cache=cache).run([spec])
+        path = cache.path_for(spec)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.get(spec) is None
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_schema_mismatch_is_quarantined(self, tmp_path):
+        cache = RunCache(tmp_path)
+        spec = tiny_flows_spec()
+        SweepRunner(cache=cache).run([spec])
+        path = cache.path_for(spec)
+        data = json.loads(path.read_text())
+        data["format"] = 999
+        path.write_text(json.dumps(data))
+        assert cache.get(spec) is None
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_non_ok_record_refused_by_put(self, tmp_path):
+        cache = RunCache(tmp_path)
+        bad = RunRecord.failure(tiny_flows_spec(), "error",
+                                exc=RuntimeError("boom"))
+        with pytest.raises(ValueError, match="refusing to cache"):
+            cache.put(bad)
 
     def test_clear(self, tmp_path):
         cache = RunCache(tmp_path)
@@ -350,3 +385,192 @@ class TestDeterminism:
         hit = cache.get(spec)
         assert hit.fct == fresh.fct
         assert hit.events_processed == fresh.events_processed
+
+
+class TestFaultTolerance:
+    """The sweep fabric's chaos suite: crashing, hanging and dying
+    workers must land as quarantined records, not torn-down sweeps."""
+
+    def chaos_runner(self, **kwargs):
+        from tests.helpers import chaos_execute_spec
+
+        kwargs.setdefault("jobs", 2)
+        return SweepRunner(execute=chaos_execute_spec, **kwargs)
+
+    @pytest.mark.chaos
+    def test_error_is_quarantined(self, tmp_path):
+        cache = RunCache(tmp_path)
+        specs = [
+            tiny_flows_spec(label="boom", **{"meta.chaos": "raise"}),
+            tiny_flows_spec(label="fine", seed=3),
+        ]
+        records = self.chaos_runner(cache=cache).run(specs)
+        by_label = {r.spec.label: r for r in records}
+        assert by_label["fine"].ok
+        bad = by_label["boom"]
+        assert bad.status == "error" and not bad.ok
+        assert bad.error["type"] == "ChaosError"
+        assert "injected failure" in bad.error["message"]
+        assert "chaos_execute_spec" in bad.error["traceback"]
+        # Only the ok cell was cached; the failure is never persisted.
+        assert len(cache) == 1
+        assert cache.get(specs[1]) is not None
+
+    @pytest.mark.chaos
+    def test_raise_policy_reraises_original(self):
+        from tests.helpers import ChaosError
+
+        specs = [tiny_flows_spec(**{"meta.chaos": "raise"}),
+                 tiny_flows_spec(seed=3)]
+        with pytest.raises(ChaosError, match="injected failure"):
+            self.chaos_runner(failures="raise").run(specs)
+
+    @pytest.mark.chaos
+    def test_serial_path_quarantines_too(self):
+        records = self.chaos_runner(jobs=1).run(
+            [tiny_flows_spec(**{"meta.chaos": "raise"}),
+             tiny_flows_spec(seed=3)]
+        )
+        assert [r.status for r in records] == ["error", "ok"]
+
+    @pytest.mark.chaos
+    def test_hung_spec_times_out(self):
+        specs = [
+            tiny_flows_spec(label="stuck", **{"meta.chaos": "hang"}),
+            tiny_flows_spec(label="fine", seed=3),
+        ]
+        records = self.chaos_runner(spec_timeout=1.0).run(specs)
+        by_label = {r.spec.label: r for r in records}
+        assert by_label["fine"].ok
+        stuck = by_label["stuck"]
+        assert stuck.status == "timeout"
+        assert stuck.wall_time_s >= 1.0
+        assert "wall-clock budget" in stuck.error["message"]
+
+    @pytest.mark.chaos
+    def test_dead_worker_is_retried(self, tmp_path):
+        specs = [
+            tiny_flows_spec(label="flaky", **{"meta.chaos": "die_once",
+                                              "meta.flag_dir": str(tmp_path)}),
+            tiny_flows_spec(label="fine", seed=3),
+        ]
+        records = self.chaos_runner(retries=3).run(specs)
+        by_label = {r.spec.label: r for r in records}
+        assert by_label["fine"].ok
+        assert by_label["flaky"].ok
+        assert by_label["flaky"].attempts >= 2
+
+    @pytest.mark.chaos
+    def test_retries_exhausted_becomes_error(self):
+        specs = [
+            tiny_flows_spec(label="d1", **{"meta.chaos": "die"}),
+            tiny_flows_spec(label="d2", seed=3, **{"meta.chaos": "die"}),
+        ]
+        records = self.chaos_runner(retries=1).run(specs)
+        assert all(r.status == "error" for r in records)
+        assert all("worker lost" in r.error["message"] for r in records)
+        assert all(r.attempts == 2 for r in records)
+
+    @pytest.mark.chaos
+    def test_acceptance_mixed_failure_sweep(self, tmp_path):
+        """The ISSUE acceptance scenario: one crashing spec, one hanging
+        spec and one healthy spec yield exactly one error, one timeout
+        and one ok record — without raising."""
+        journal_path = tmp_path / "journal.jsonl"
+        specs = [
+            tiny_flows_spec(label="crash", **{"meta.chaos": "raise"}),
+            tiny_flows_spec(label="hang", seed=3, **{"meta.chaos": "hang"}),
+            tiny_flows_spec(label="ok", seed=4),
+        ]
+        runner = self.chaos_runner(cache=RunCache(tmp_path / "cache"),
+                                   spec_timeout=1.5, journal=str(journal_path))
+        records = runner.run(specs)
+        statuses = {r.spec.label: r.status for r in records}
+        assert statuses == {"crash": "error", "hang": "timeout", "ok": "ok"}
+        # The journal landed one cell per spec, last status wins.
+        outcomes = SweepJournal.load(journal_path)
+        assert {e["status"] for e in outcomes.values()} == \
+            {"error", "timeout", "ok"}
+
+    @pytest.mark.chaos
+    def test_resume_reruns_only_failed_cells(self, tmp_path):
+        """A resumed sweep re-runs error/timeout cells only and matches
+        an uninterrupted sweep record-for-record."""
+        journal_path = tmp_path / "journal.jsonl"
+        cache = RunCache(tmp_path / "cache")
+        # Chaos twins share spec hashes with the clean specs below
+        # (meta is excluded from identity).
+        chaos_specs = [
+            tiny_flows_spec(label="a", **{"meta.chaos": "raise"}),
+            tiny_flows_spec(label="b", seed=3, **{"meta.chaos": "raise"}),
+            tiny_flows_spec(label="c", seed=4),
+        ]
+        clean_specs = [tiny_flows_spec(label="a"),
+                       tiny_flows_spec(label="b", seed=3),
+                       tiny_flows_spec(label="c", seed=4)]
+        first = self.chaos_runner(cache=cache,
+                                  journal=str(journal_path)).run(chaos_specs)
+        assert [r.status for r in first] == ["error", "error", "ok"]
+
+        to_run, skipped, _ = plan_resume(clean_specs, journal_path)
+        assert [s.label for s in to_run] == ["a", "b"]   # failed cells only
+        assert skipped == [clean_specs[2].spec_hash]
+
+        executed = []
+        resumed = SweepRunner(
+            jobs=2, cache=cache, journal=str(journal_path),
+            progress=lambda r, d, t: executed.append((r.label, r.cached)),
+        ).run(clean_specs)
+        # The previously-ok cell came back from the cache, bit-identical.
+        assert dict(executed)["c"] is True
+        assert resumed[2].to_json() == first[2].to_json()
+
+        # Record-for-record identical to a sweep that never failed.
+        pristine = SweepRunner(jobs=2,
+                               cache=RunCache(tmp_path / "c2")).run(clean_specs)
+
+        def canonical(record):
+            data = record.to_json()
+            data.pop("wall_time_s")      # the only nondeterministic field
+            return data
+
+        assert [canonical(r) for r in resumed] == \
+            [canonical(r) for r in pristine]
+        assert all(r.ok for r in resumed)
+
+    @pytest.mark.chaos
+    def test_journal_survives_truncation(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        journal = SweepJournal(journal_path)
+        journal.open(2)
+        record = execute_spec(tiny_flows_spec())
+        journal.record(record)
+        journal.close()
+        # A killed sweep leaves a torn final line; load() must shrug it off.
+        with journal_path.open("a") as handle:
+            handle.write('{"kind": "cell", "spec_hash": "tr')
+        outcomes = SweepJournal.load(journal_path)
+        assert outcomes[record.spec_hash]["status"] == "ok"
+
+    @pytest.mark.chaos
+    def test_fault_telemetry_counters(self, tmp_path):
+        from repro.obs import Telemetry
+        from repro.obs.sinks import MemorySink
+
+        sink = MemorySink()
+        tel = Telemetry(run_id="chaos-sweep", sink=sink)
+        self.chaos_runner(telemetry=tel, spec_timeout=1.0).run([
+            tiny_flows_spec(label="boom", **{"meta.chaos": "raise"}),
+            tiny_flows_spec(label="stuck", seed=3, **{"meta.chaos": "hang"}),
+            tiny_flows_spec(label="fine", seed=4),
+        ])
+        tel.flush_counters()
+        records = sink.drain()
+        counters = {r["name"]: r["value"] for r in records
+                    if r["kind"] == "counter"}
+        assert counters.get("sweep.fault.quarantined") == 2
+        assert counters.get("sweep.fault.timeouts") == 1
+        events = [r["name"] for r in records if r["kind"] == "event"]
+        assert "sweep.spec_failed" in events
+        spans = [r["name"] for r in records if r["kind"] == "span"]
+        assert "sweep.watchdog" in spans
