@@ -13,6 +13,8 @@ Examples::
     hpcc-repro report --fastest
     hpcc-repro report --figures fig11 fig13 --backend fluid --out report/
     hpcc-repro tele summarize sweep-results/telemetry.jsonl
+    hpcc-repro tele summarize sweep-results/telemetry.jsonl --json
+    hpcc-repro trace diff fig13 --scenario HPCC --out divergence.json
     hpcc-repro cache stats --dir results/
     hpcc-repro cache clear --dir results/
     hpcc-repro schemes
@@ -39,7 +41,15 @@ subset CI uploads on every PR.
 the run-telemetry JSONL stream (``repro.obs``: phase spans, engine
 probes, cache/utilization stats) alongside the primary output;
 ``tele summarize PATH`` renders any such file — including
-``PacketTracer.to_jsonl`` exports — as a text digest.
+``PacketTracer.to_jsonl`` exports — as a text digest (``--json`` for
+machine-readable aggregates).
+
+``trace diff SPEC`` is the control-loop flight recorder's analyzer:
+it runs one scenario on *both* execution backends with the per-flow
+:class:`~repro.obs.DecisionTap` attached, aligns the CC decision
+timelines, and reports per-flow time-weighted rate error, time of
+first divergence, and (for INT schemes) bottleneck-attribution
+agreement.  ``--out`` writes the machine-readable ``divergence.json``.
 """
 
 from __future__ import annotations
@@ -459,9 +469,76 @@ def _cmd_tele(args) -> int:
     if not Path(args.path).is_file():
         print(f"no telemetry file at {args.path}", file=sys.stderr)
         return 1
-    text, status = summarize_file(args.path)
+    text, status = summarize_file(args.path, as_json=args.json)
     print(text)
     return status
+
+
+def _load_trace_spec(args):
+    """Resolve ``trace diff``'s SPEC: a spec-JSON path or experiment name."""
+    import json
+
+    from .runner.spec import ScenarioSpec
+
+    path = Path(args.spec)
+    if path.is_file():
+        try:
+            return ScenarioSpec.from_json(json.loads(path.read_text()))
+        except (ValueError, TypeError, KeyError) as exc:
+            raise SystemExit(f"error: cannot load spec from {path}: {exc}")
+    module = EXPERIMENTS[_resolve(args.spec)][1]
+    try:
+        specs = module.scenarios(scale=args.scale)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    if args.scenario is not None:
+        wanted = args.scenario.lower()
+        matches = [s for s in specs if wanted in (s.label or "").lower()]
+        if not matches:
+            known = ", ".join(s.label or s.spec_hash for s in specs)
+            raise SystemExit(
+                f"error: no scenario matching {args.scenario!r}; known: {known}"
+            )
+        specs = matches
+    return specs[0]
+
+
+def _cmd_trace(args) -> int:
+    """``trace diff``: one spec, both backends, decision-stream diff."""
+    import json
+
+    from .obs import compare_decisions, format_divergence
+    from .runner.execute import execute_spec
+
+    spec = _load_trace_spec(args)
+    label = spec.label or spec.spec_hash
+    streams = {}
+    for backend in ("packet", "fluid"):
+        print(f"running {label} on the {backend} backend ...",
+              file=sys.stderr, flush=True)
+        try:
+            record = execute_spec(spec.replaced(backend=backend),
+                                  decisions=True)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        if not record.completed:
+            print(f"warning: {backend} run hit its deadline before all "
+                  f"flows finished; diffing the partial trace",
+                  file=sys.stderr)
+        streams[backend] = record.telemetry or []
+    div = compare_decisions(streams["packet"], streams["fluid"],
+                            threshold=args.threshold)
+    div["spec"] = {"label": spec.label, "spec_hash": spec.spec_hash,
+                   "program": spec.program, "cc": spec.cc.name}
+    print(format_divergence(div))
+    if args.out is not None:
+        out = Path(args.out)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(div, indent=2, sort_keys=True,
+                                  allow_nan=False) + "\n")
+        print(f"divergence -> {out}")
+    return 0
 
 
 def _cmd_cache(args) -> int:
@@ -654,6 +731,42 @@ def main(argv: list[str] | None = None) -> int:
         help="summarize = aggregate spans/counters/gauges as text",
     )
     tele.add_argument("path", metavar="PATH", help="telemetry JSONL file")
+    tele.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregates as a JSON document instead of text",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="diff the CC decision traces of both execution backends",
+    )
+    trace.add_argument(
+        "action", choices=("diff",),
+        help="diff = run one scenario on the packet AND fluid engines "
+             "with the decision tap attached, then align the traces",
+    )
+    trace.add_argument(
+        "spec", metavar="SPEC",
+        help="a ScenarioSpec JSON file, or an experiment name (e.g. "
+             "fig13) whose first/--scenario grid cell is used",
+    )
+    trace.add_argument(
+        "--scenario", default=None, metavar="LABEL",
+        help="with an experiment name: pick the grid cell whose label "
+             "contains LABEL (case-insensitive), e.g. --scenario HPCC",
+    )
+    trace.add_argument(
+        "--scale", choices=("bench", "full", "large"), default="bench",
+        help="scenario scale for experiment-name specs (default bench)",
+    )
+    trace.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRAC",
+        help="relative rate gap that counts as divergence (default 0.25)",
+    )
+    trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="additionally write the machine-readable divergence.json",
+    )
 
     cache = sub.add_parser(
         "cache", help="inspect or prune a sweep's RunCache directory"
@@ -685,6 +798,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "tele":
         return _cmd_tele(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
     parser.print_help()

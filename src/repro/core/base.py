@@ -13,12 +13,102 @@ at line rate"), which is why DCTCP's slow start is removed for fairness
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported only for annotations, to avoid import cycles
     from ..sim.engine import Simulator
     from ..sim.packet import Packet
+
+
+class FlowTrace:
+    """Bounded ring of one flow's control decisions.
+
+    Algorithms append raw tuples (no dict allocation on the hot path);
+    :meth:`decisions` renders them as JSON-able records at export time.
+    When the ring is full the oldest decision is evicted and counted in
+    ``dropped`` — the trace always holds the *latest* window of activity.
+    """
+
+    __slots__ = ("flow_id", "scheme", "ring", "dropped")
+
+    def __init__(self, flow_id: int, scheme: str, maxlen: int) -> None:
+        self.flow_id = flow_id
+        self.scheme = scheme
+        self.ring: deque = deque(maxlen=maxlen)
+        self.dropped = 0
+
+    def record(self, now: float, event: str, branch: str | None,
+               rate_before: float, window_before: float | None,
+               rate_after: float, window_after: float | None,
+               inputs: dict) -> None:
+        """Append one decision; purely observational (no flow mutation)."""
+        ring = self.ring
+        if len(ring) == ring.maxlen:
+            self.dropped += 1
+        ring.append((now, event, branch, rate_before, window_before,
+                     rate_after, window_after, inputs))
+
+    def decisions(self) -> list[dict]:
+        """The ring's contents as JSON-able decision dicts (oldest first)."""
+        return [
+            {
+                "flow": self.flow_id,
+                "scheme": self.scheme,
+                "sim_ns": now,
+                "event": event,
+                "branch": branch,
+                "rate_before": rate_before,
+                "rate_after": rate_after,
+                "window_before": window_before,
+                "window_after": window_after,
+                "inputs": dict(inputs),
+            }
+            for (now, event, branch, rate_before, window_before,
+                 rate_after, window_after, inputs) in self.ring
+        ]
+
+
+class DecisionTap:
+    """The control-loop flight recorder: per-flow decision traces.
+
+    Attach one to a :class:`~repro.network.Network` (packet) or a
+    :class:`~repro.fluid.engine.FluidEngine` (fluid) via their
+    ``decision_tap`` attribute *before* flows start; each flow's CC
+    instance then records one structured entry per control decision —
+    the inputs it saw, the branch it took and the rate/window movement —
+    into a bounded per-flow ring.  With no tap attached the hot-path
+    cost is a single ``None`` check per CC hook.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self.maxlen = maxlen
+        self.traces: dict[int, FlowTrace] = {}
+
+    def trace(self, flow_id: int, scheme: str) -> FlowTrace:
+        """The (new or existing) trace for one flow."""
+        trace = self.traces.get(flow_id)
+        if trace is None:
+            trace = FlowTrace(flow_id, scheme, self.maxlen)
+            self.traces[flow_id] = trace
+        return trace
+
+    def decisions(self) -> list[dict]:
+        """Every recorded decision across flows, in (sim_ns, flow) order."""
+        out: list[dict] = []
+        for flow_id in sorted(self.traces):
+            out.extend(self.traces[flow_id].decisions())
+        out.sort(key=lambda d: (d["sim_ns"], d["flow"]))
+        return out
+
+    @property
+    def total_recorded(self) -> int:
+        return sum(len(t.ring) for t in self.traces.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(t.dropped for t in self.traces.values())
 
 
 @dataclass(frozen=True)
@@ -52,6 +142,10 @@ class CcAlgorithm:
     needs_int: bool = False
     #: Receiver-side minimum CNP spacing (ns); None disables CNP generation.
     cnp_interval: float | None = None
+    #: Decision recorder (a :class:`FlowTrace`), attached per flow by the
+    #: engines when a :class:`DecisionTap` is installed; ``None`` keeps
+    #: every hook's recording cost at one attribute load + ``None`` check.
+    tap: "FlowTrace | None" = None
 
     def __init__(self, env: CcEnv) -> None:
         self.env = env

@@ -87,6 +87,10 @@ class Dcqcn(CcAlgorithm):
     # -- rate decrease -------------------------------------------------------------
 
     def on_cnp(self, flow, now: float) -> None:
+        tap = self.tap
+        if tap is not None:
+            rate0, win0 = flow.rate, flow.window
+            alpha0 = self.alpha
         self.rt = self.rc
         self.rc = self.clamp_rate(self.rc * (1.0 - self.alpha / 2.0), self.min_rate)
         self.alpha = (1.0 - self.g) * self.alpha + self.g
@@ -97,6 +101,9 @@ class Dcqcn(CcAlgorithm):
         if self._inc_task is not None:
             self._inc_task.reset()
         flow.rate = self.rc
+        if tap is not None:
+            tap.record(now, "cnp", "md", rate0, win0, flow.rate, flow.window,
+                       {"alpha": alpha0, "rt": self.rt, "rc": self.rc})
 
     # -- rate increase ---------------------------------------------------------------
 
@@ -104,26 +111,36 @@ class Dcqcn(CcAlgorithm):
         if flow.done:
             return
         self.t_stage += 1
-        self._increase(flow)
+        self._increase(flow, "timer")
 
     def on_packet_sent(self, flow, pkt: Packet, now: float) -> None:
         self.bytes_since += pkt.wire_size
         while self.bytes_since >= self.byte_counter:
             self.bytes_since -= self.byte_counter
             self.b_stage += 1
-            self._increase(flow)
+            self._increase(flow, "bytes")
 
-    def _increase(self, flow) -> None:
+    def _increase(self, flow, trigger: str = "timer") -> None:
         """One stage of DCQCN's increase ladder."""
+        tap = self.tap
+        if tap is not None:
+            rate0, win0 = flow.rate, flow.window
         if self.t_stage < self.stages and self.b_stage < self.stages:
-            pass                                # fast recovery: approach Rt
+            branch = "fast_recovery"            # approach Rt
         elif self.t_stage >= self.stages and self.b_stage >= self.stages:
             self.rt += self.rhai                # hyper increase
+            branch = "hyper"
         else:
             self.rt += self.rai                 # additive increase
+            branch = "additive"
         self.rt = min(self.rt, self.env.line_rate)
         self.rc = self.clamp_rate((self.rt + self.rc) / 2.0, self.min_rate)
         flow.rate = self.rc
+        if tap is not None:
+            tap.record(self.env.sim.now, trigger, branch, rate0, win0,
+                       flow.rate, flow.window,
+                       {"alpha": self.alpha, "rt": self.rt,
+                        "t_stage": self.t_stage, "b_stage": self.b_stage})
 
     # -- alpha decay -----------------------------------------------------------------
 

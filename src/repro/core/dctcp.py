@@ -51,16 +51,30 @@ class Dctcp(CcAlgorithm):
         if ack.ack_seq < self.window_end:
             return
         # One window of data acknowledged: update alpha, adjust cwnd.
+        tap = self.tap
+        decided = False
         if self.acked_bytes > 0:
+            if tap is not None:
+                rate0, win0 = flow.rate, flow.window
+                decided = True
             fraction = self.marked_bytes / self.acked_bytes
             self.alpha = (1.0 - self.g) * self.alpha + self.g * fraction
             if self.marked_bytes > 0:
                 flow.window = self.clamp_window(
                     flow.window * (1.0 - self.alpha / 2.0)
                 )
+                branch = "md"
             else:
                 flow.window = self.clamp_window(flow.window + self.env.mtu)
+                branch = "ai"
+            if tap is not None:
+                inputs = {"mark_fraction": fraction, "alpha": self.alpha,
+                          "acked_bytes": self.acked_bytes,
+                          "marked_bytes": self.marked_bytes}
         self.acked_bytes = 0
         self.marked_bytes = 0
         self.window_end = flow.snd_nxt
         flow.rate = self.clamp_rate(flow.window / self.env.base_rtt)
+        if decided:
+            tap.record(now, "window", branch, rate0, win0,
+                       flow.rate, flow.window, inputs)

@@ -55,6 +55,9 @@ class Hpcc(CcAlgorithm):
         self.inc_stage = 0
         self.last_update_seq = 0
         self.last_hops: list[IntHop] | None = None   # L in Algorithm 1
+        # Decision-trace inputs from the last measure_inflight call;
+        # written only when a tap is attached (see DecisionTap).
+        self._bn_inputs: dict | None = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -73,7 +76,12 @@ class Hpcc(CcAlgorithm):
         T = self.env.base_rtt
         u_max = -1.0
         tau = T
+        bn = -1
+        bn_qlen = 0.0
+        bn_tx = 0.0
+        i = -1
         for hop, prev in zip(hops, last):
+            i += 1
             dt = hop.ts - prev.ts
             if dt <= 0:
                 continue
@@ -85,11 +93,19 @@ class Hpcc(CcAlgorithm):
             if u_prime > u_max:
                 u_max = u_prime
                 tau = dt
+                bn = i
+                bn_qlen = min(hop.qlen, prev.qlen)
+                bn_tx = tx_rate
         if u_max < 0:
             return None
         tau = min(tau, T)
         weight = tau / T
         self.u = (1.0 - weight) * self.u + weight * u_max
+        if self.tap is not None:
+            self._bn_inputs = {
+                "u_instant": u_max, "bottleneck_hop": bn,
+                "qlen": bn_qlen, "tx_rate": bn_tx, "n_hops": len(hops),
+            }
         return self.u
 
     def compute_wind(self, u: float, update_wc: bool) -> float:
@@ -111,11 +127,24 @@ class Hpcc(CcAlgorithm):
         if ack.int_hops is None:
             return
         update_wc = ack.seq > self.last_update_seq
+        tap = self.tap
         u = self.measure_inflight(ack)
         if u is not None:
+            if tap is not None:
+                rate0, win0 = flow.rate, flow.window
+                branch = ("MI" if u >= self.eta
+                          or self.inc_stage >= self.max_stage else "AI")
             w = self.compute_wind(u, update_wc)
             flow.window = self.clamp_window(w)
             flow.rate = self.clamp_rate(flow.window / self.env.base_rtt)
+            if tap is not None:
+                inputs = self._bn_inputs or {}
+                inputs["u"] = u
+                inputs["wc"] = self.wc
+                inputs["inc_stage"] = self.inc_stage
+                inputs["wc_synced"] = int(update_wc)
+                tap.record(now, "ack", branch, rate0, win0,
+                           flow.rate, flow.window, inputs)
         if update_wc:
             self.last_update_seq = flow.snd_nxt
         self._remember_hops(ack.int_hops)

@@ -23,13 +23,26 @@ class HpccPerAck(Hpcc):
     def on_ack(self, flow, ack: Packet, now: float) -> None:
         if ack.int_hops is None:
             return
+        tap = self.tap
         u = self.measure_inflight(ack)
         if u is not None:
+            if tap is not None:
+                rate0, win0 = flow.rate, flow.window
+                branch = ("MI" if u >= self.eta
+                          or self.inc_stage >= self.max_stage else "AI")
             # The reference window tracks the live window on *every* ACK,
             # so reactions to ACKs describing the same queue compound.
             w = self.compute_wind(u, update_wc=True)
             flow.window = self.clamp_window(w)
             flow.rate = self.clamp_rate(flow.window / self.env.base_rtt)
+            if tap is not None:
+                inputs = self._bn_inputs or {}
+                inputs["u"] = u
+                inputs["wc"] = self.wc
+                inputs["inc_stage"] = self.inc_stage
+                inputs["wc_synced"] = 1
+                tap.record(now, "ack", branch, rate0, win0,
+                           flow.rate, flow.window, inputs)
         self._remember_hops(ack.int_hops)
 
 
@@ -40,11 +53,24 @@ class HpccPerRtt(Hpcc):
         if ack.int_hops is None:
             return
         update = ack.seq > self.last_update_seq
+        tap = self.tap
         u = self.measure_inflight(ack)
         if u is not None and update:
+            if tap is not None:
+                rate0, win0 = flow.rate, flow.window
+                branch = ("MI" if u >= self.eta
+                          or self.inc_stage >= self.max_stage else "AI")
             w = self.compute_wind(u, update_wc=True)
             flow.window = self.clamp_window(w)
             flow.rate = self.clamp_rate(flow.window / self.env.base_rtt)
+            if tap is not None:
+                inputs = self._bn_inputs or {}
+                inputs["u"] = u
+                inputs["wc"] = self.wc
+                inputs["inc_stage"] = self.inc_stage
+                inputs["wc_synced"] = 1
+                tap.record(now, "ack", branch, rate0, win0,
+                           flow.rate, flow.window, inputs)
         if update:
             self.last_update_seq = flow.snd_nxt
         self._remember_hops(ack.int_hops)
@@ -61,7 +87,12 @@ class HpccRxRate(Hpcc):
         T = self.env.base_rtt
         u_max = -1.0
         tau = T
+        bn = -1
+        bn_qlen = 0.0
+        bn_rx = 0.0
+        i = -1
         for hop, prev in zip(hops, last):
+            i += 1
             dt = hop.ts - prev.ts
             if dt <= 0:
                 continue
@@ -73,9 +104,17 @@ class HpccRxRate(Hpcc):
             if u_prime > u_max:
                 u_max = u_prime
                 tau = dt
+                bn = i
+                bn_qlen = min(hop.qlen, prev.qlen)
+                bn_rx = rx_rate
         if u_max < 0:
             return None
         tau = min(tau, T)
         weight = tau / T
         self.u = (1.0 - weight) * self.u + weight * u_max
+        if self.tap is not None:
+            self._bn_inputs = {
+                "u_instant": u_max, "bottleneck_hop": bn,
+                "qlen": bn_qlen, "rx_rate": bn_rx, "n_hops": len(hops),
+            }
         return self.u

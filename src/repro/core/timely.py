@@ -70,14 +70,26 @@ class Timely(CcAlgorithm):
         if rtt < self.t_low:
             rate += self.delta
             self.neg_gradient_count = 0
+            branch = "ai_low"
         elif rtt > self.t_high:
             rate *= 1.0 - self.beta * (1.0 - self.t_high / rtt)
             self.neg_gradient_count = 0
+            branch = "md_high"
         elif gradient <= 0:
             self.neg_gradient_count += 1
             steps = 5 if self.neg_gradient_count >= self.hai_threshold else 1
             rate += steps * self.delta
+            branch = "hai" if steps > 1 else "ai_gradient"
         else:
             rate *= max(0.5, 1.0 - self.beta * min(gradient, 1.0))
             self.neg_gradient_count = 0
+            branch = "md_gradient"
+        tap = self.tap
+        if tap is not None:
+            rate0, win0 = flow.rate, flow.window
         flow.rate = self.clamp_rate(rate, self.min_rate)
+        if tap is not None:
+            tap.record(now, "ack", branch, rate0, win0,
+                       flow.rate, flow.window,
+                       {"rtt": rtt, "gradient": gradient,
+                        "rtt_diff": self.rtt_diff})

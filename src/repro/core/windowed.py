@@ -25,6 +25,17 @@ class WindowedCc(CcAlgorithm):
     def cnp_interval(self) -> float | None:  # type: ignore[override]
         return self.inner.cnp_interval
 
+    @property
+    def tap(self):  # type: ignore[override]
+        # Decisions belong to the wrapped algorithm: attaching a trace to
+        # the +win wrapper records the inner scheme's rate decisions (the
+        # window cap itself is constant and makes no decisions).
+        return self.inner.tap
+
+    @tap.setter
+    def tap(self, value) -> None:
+        self.inner.tap = value
+
     def _enforce(self, flow) -> None:
         flow.window = self.env.bdp
 

@@ -182,6 +182,10 @@ class FluidEngine:
         #: Optional :class:`repro.obs.probes.FluidProbe`; when ``None``
         #: (the default) the step loop calls ``_advance`` directly.
         self.telemetry = None
+        #: Optional control-loop flight recorder (a
+        #: :class:`~repro.core.base.DecisionTap`), mirroring
+        #: ``Network.decision_tap``; attach before ``add_flows``.
+        self.decision_tap = None
 
         self._starts: list[FluidFlow] = []      # sorted by start_time
         self._next_idx = 0
@@ -265,6 +269,15 @@ class FluidEngine:
         adapter = adapter_for(self.scheme, env, self.cc_params)
         proxy = FlowProxy()
         adapter.install(proxy)
+        tap = self.decision_tap
+        if tap is not None:
+            # Same wiring as HostNic.start_flow: attach the per-flow
+            # trace and anchor it at the line-rate start state (stamped
+            # at the flow's start time — fluid admits flows lazily).
+            trace = tap.trace(spec.flow_id, self.scheme.name)
+            adapter.algo.tap = trace
+            trace.record(spec.start_time, "install", None, proxy.rate,
+                         proxy.window, proxy.rate, proxy.window, {})
         bottleneck = min(line_rate, self.topology.host_rate(spec.dst))
         flow = FluidFlow(
             spec, path, proxy, adapter, line_rate,

@@ -63,6 +63,9 @@ def _make_engine(
         sample_interval=spec.measure.get("sample_interval"),
         goodput_bin=config.pop("goodput_bin", None),
     )
+    tel = current_telemetry()
+    if tel is not None and tel.decisions is not None:
+        engine.decision_tap = tel.decisions
     return engine, sorted(config)       # leftovers have no fluid meaning
 
 

@@ -87,6 +87,9 @@ class ScalarFluidEngine:
         self.flow_steps = 0             # sum of active flows over steps
         self.completed = False
         self.fct_records: list[FctRecord] = []
+        #: Optional control-loop flight recorder, mirroring
+        #: ``FluidEngine.decision_tap``; attach before ``add_flows``.
+        self.decision_tap = None
 
         self._starts: list[FluidFlow] = []      # sorted by start_time
         self._next_idx = 0
@@ -129,6 +132,12 @@ class ScalarFluidEngine:
         adapter = adapter_for(self.scheme, env, self.cc_params)
         proxy = FlowProxy()
         adapter.install(proxy)
+        tap = self.decision_tap
+        if tap is not None:
+            trace = tap.trace(spec.flow_id, self.scheme.name)
+            adapter.algo.tap = trace
+            trace.record(spec.start_time, "install", None, proxy.rate,
+                         proxy.window, proxy.rate, proxy.window, {})
         bottleneck = min(line_rate, self.topology.host_rate(spec.dst))
         flow = FluidFlow(
             spec, path, proxy, adapter, line_rate,

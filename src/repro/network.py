@@ -71,6 +71,10 @@ class Network:
         self.config = config
         self.sim = Simulator()
         self.scheme = get_scheme(config.cc_name)
+        #: Optional control-loop flight recorder (a
+        #: :class:`~repro.core.base.DecisionTap`).  Attach before flows
+        #: start; each flow's CC instance then records its decisions.
+        self.decision_tap = None
 
         int_enabled = (
             config.int_enabled
@@ -269,7 +273,11 @@ class Network:
         params = self.config.cc_params
 
         def factory(spec: FlowSpec):
-            return scheme.make(env, params)
+            algo = scheme.make(env, params)
+            tap = self.decision_tap
+            if tap is not None:
+                algo.tap = tap.trace(spec.flow_id, scheme.name)
+            return algo
 
         return factory
 

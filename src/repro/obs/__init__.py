@@ -11,6 +11,10 @@ surface for everything instrumented code needs:
   :class:`~repro.obs.sinks.FlightRecorder` — where records go.
 * :func:`instrument_simulator` / :func:`instrument_fluid` — attach the
   engine probes.
+* :class:`DecisionTap` (re-exported from :mod:`repro.core.base`) and
+  :mod:`repro.obs.divergence` — the control-loop flight recorder and
+  the packet-vs-fluid decision-timeline analyzer behind
+  ``hpcc-repro trace diff``.
 * :mod:`repro.obs.schema` — the versioned JSONL record layout shared
   with ``PacketTracer.to_jsonl`` and validated by ``tele summarize``.
 
@@ -20,6 +24,8 @@ runner take branch-free (or single-``None``-check) paths; see
 ``docs/observability.md`` for the probe catalog.
 """
 
+from ..core.base import DecisionTap, FlowTrace
+from .divergence import compare_decisions, decision_records, format_divergence
 from .probes import (FluidProbe, SimProbe, instrument_fluid,
                      instrument_simulator)
 from .schema import SCHEMA_NAME, SCHEMA_VERSION, meta_record, validate_record
@@ -27,8 +33,10 @@ from .sinks import FlightRecorder, JsonlSink, MemorySink
 from .telemetry import CounterBlock, Telemetry, current, maybe_span, using
 
 __all__ = [
-    "CounterBlock", "FlightRecorder", "FluidProbe", "JsonlSink",
-    "MemorySink", "SCHEMA_NAME", "SCHEMA_VERSION", "SimProbe", "Telemetry",
-    "current", "instrument_fluid", "instrument_simulator", "maybe_span",
-    "meta_record", "using", "validate_record",
+    "CounterBlock", "DecisionTap", "FlightRecorder", "FlowTrace",
+    "FluidProbe", "JsonlSink", "MemorySink", "SCHEMA_NAME", "SCHEMA_VERSION",
+    "SimProbe", "Telemetry", "compare_decisions", "current",
+    "decision_records", "format_divergence", "instrument_fluid",
+    "instrument_simulator", "maybe_span", "meta_record", "using",
+    "validate_record",
 ]

@@ -36,10 +36,19 @@ from typing import Any
 SCHEMA_NAME = "hpcc-repro-telemetry"
 
 #: Version of the record layout described in this module's docstring.
-SCHEMA_VERSION = 1
+#: Version 2 adds the ``decision`` kind (CC control-loop decision
+#: records from :class:`~repro.core.base.DecisionTap`); version-1
+#: streams remain fully readable (see :data:`READABLE_VERSIONS`).
+SCHEMA_VERSION = 2
+
+#: Meta versions this reader accepts.  Version 1 predates the
+#: ``decision`` kind but is otherwise identical, so v1 files stay valid.
+READABLE_VERSIONS = frozenset({1, SCHEMA_VERSION})
 
 #: Every record kind a writer may emit.
-KINDS = frozenset({"meta", "counter", "gauge", "hist", "span", "event"})
+KINDS = frozenset(
+    {"meta", "counter", "gauge", "hist", "span", "event", "decision"}
+)
 
 #: String spellings of non-finite floats (mirrors ``report.json``).
 _NON_FINITE = {"inf", "-inf", "nan"}
@@ -99,8 +108,11 @@ def validate_record(obj: Any) -> str | None:
     if kind == "meta":
         if obj.get("schema") != SCHEMA_NAME:
             return f"meta schema is {obj.get('schema')!r}, not {SCHEMA_NAME!r}"
-        if obj.get("version") != SCHEMA_VERSION:
-            return f"meta version {obj.get('version')!r} != {SCHEMA_VERSION}"
+        if obj.get("version") not in READABLE_VERSIONS:
+            return (
+                f"meta version {obj.get('version')!r} not in "
+                f"{sorted(READABLE_VERSIONS)}"
+            )
         if not isinstance(obj.get("run_id"), str):
             return "meta missing run_id"
         if "labels" in obj:
@@ -136,4 +148,22 @@ def validate_record(obj: Any) -> str | None:
             return "span record missing numeric dur"
         if isinstance(dur, (int, float)) and dur < 0:
             return "span dur is negative"
+    elif kind == "decision":
+        if not _is_number(obj.get("flow")):
+            return "decision record missing numeric flow"
+        for key in ("scheme", "event"):
+            if not isinstance(obj.get(key), str) or not obj[key]:
+                return f"decision record missing {key}"
+        branch = obj.get("branch")
+        if branch is not None and not isinstance(branch, str):
+            return "decision branch must be a string or null"
+        for key in ("rate_before", "rate_after",
+                    "window_before", "window_after"):
+            value = obj.get(key)
+            if value is not None and not _is_number(value):
+                return f"decision {key} must be a number or null"
+        if "inputs" in obj:
+            err = _check_labels(obj["inputs"])
+            if err:
+                return err.replace("labels", "inputs", 1)
     return None

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from .schema import validate_record
+from .schema import json_number, validate_record
 
 
 def read_jsonl(path: str | Path) -> tuple[list[dict], list[tuple[int, str]]]:
@@ -57,6 +57,7 @@ def summarize(records: list[dict]) -> dict:
     counters: dict[str, float] = {}
     events: dict[str, int] = {}
     hists: dict[str, dict[str, float]] = {}
+    decisions: dict[str, dict] = {}
     for rec in records:
         kind = rec["kind"]
         if kind == "meta":
@@ -76,8 +77,18 @@ def summarize(records: list[dict]) -> dict:
             total = hists.setdefault(name, {})
             for bucket, count in rec["buckets"].items():
                 total[bucket] = total.get(bucket, 0) + _num(count)
+        elif kind == "decision":
+            scheme = rec["scheme"]
+            agg = decisions.setdefault(
+                scheme, {"count": 0, "flows": set(), "branches": {}}
+            )
+            agg["count"] += 1
+            agg["flows"].add(rec["flow"])
+            branch = rec.get("branch") or rec["event"]
+            agg["branches"][branch] = agg["branches"].get(branch, 0) + 1
     return {"runs": runs, "spans": spans, "gauges": gauges,
-            "counters": counters, "events": events, "hists": hists}
+            "counters": counters, "events": events, "hists": hists,
+            "decisions": decisions}
 
 
 def format_summary(path: str | Path, summary: dict,
@@ -115,15 +126,88 @@ def format_summary(path: str | Path, summary: dict,
         lines.append("events:")
         for name in sorted(summary["events"]):
             lines.append(f"  {name:<32} {summary['events'][name]:>6}")
+    if summary.get("decisions"):
+        lines.append("decisions (scheme: n / flows / branches):")
+        for scheme in sorted(summary["decisions"]):
+            agg = summary["decisions"][scheme]
+            branches = "  ".join(
+                f"{b}={n}" for b, n in sorted(agg["branches"].items())
+            )
+            lines.append(f"  {scheme:<24} {agg['count']:>6}  "
+                         f"{len(agg['flows']):>4} flows  {branches}")
     return "\n".join(lines)
 
 
-def summarize_file(path: str | Path) -> tuple[str, int]:
-    """Summarize ``path``; return (text, exit status for the CLI)."""
+def summary_to_json(path: str | Path, summary: dict,
+                    errors: list[tuple[int, str]]) -> dict:
+    """The aggregate as a JSON-able structure (``tele summarize --json``).
+
+    Per-kind, per-metric aggregates: spans and gauges carry their
+    distribution stats, counters/events their totals, histograms their
+    summed buckets, decisions their per-scheme branch tallies.
+    """
+    spans = {
+        name: {"count": len(durs), "total_s": json_number(sum(durs)),
+               "max_s": json_number(max(durs))}
+        for name, durs in sorted(summary["spans"].items())
+    }
+    gauges = {
+        name: {
+            "samples": len(vals), "min": json_number(min(vals)),
+            "mean": json_number(sum(vals) / len(vals)),
+            "max": json_number(max(vals)),
+        }
+        for name, vals in sorted(summary["gauges"].items())
+    }
+    decisions = {
+        scheme: {
+            "count": agg["count"],
+            "flows": len(agg["flows"]),
+            "branches": dict(sorted(agg["branches"].items())),
+        }
+        for scheme, agg in sorted(summary.get("decisions", {}).items())
+    }
+    return {
+        "path": str(path),
+        "runs": {run: dict(labels) for run, labels in summary["runs"].items()},
+        "invalid_lines": [
+            {"line": lineno, "error": err} for lineno, err in errors
+        ],
+        "spans": spans,
+        "gauges": gauges,
+        "counters": {
+            name: json_number(value)
+            for name, value in sorted(summary["counters"].items())
+        },
+        "events": dict(sorted(summary["events"].items())),
+        "hists": {
+            name: {b: json_number(n) for b, n in buckets.items()}
+            for name, buckets in sorted(summary["hists"].items())
+        },
+        "decisions": decisions,
+    }
+
+
+def summarize_file(path: str | Path,
+                   as_json: bool = False) -> tuple[str, int]:
+    """Summarize ``path``; return (text, exit status for the CLI).
+
+    With ``as_json`` the text is a machine-readable JSON document of
+    per-kind/per-metric aggregates instead of the human rendering.
+    """
     try:
         records, errors = read_jsonl(path)
     except OSError as exc:
+        if as_json:
+            return json.dumps({"path": str(path), "error": str(exc)}), 1
         return f"cannot read {path}: {exc}", 1
     if not records:
+        if as_json:
+            return json.dumps({"path": str(path),
+                               "error": "no valid telemetry records"}), 1
         return f"{path}: no valid telemetry records", 1
-    return format_summary(path, summarize(records), errors), 0
+    summary = summarize(records)
+    if as_json:
+        return json.dumps(summary_to_json(path, summary, errors),
+                          indent=2, sort_keys=True, allow_nan=False), 0
+    return format_summary(path, summary, errors), 0

@@ -36,6 +36,8 @@ and a plain global keeps the off-path check to one load.
 from __future__ import annotations
 
 import contextlib
+import math
+import operator
 import time
 from typing import Iterator
 
@@ -94,6 +96,11 @@ class Telemetry:
     seconds since this instance was created; its ``meta`` record
     anchors that timebase for readers.
     """
+
+    #: Optional :class:`~repro.core.base.DecisionTap` riding this
+    #: instance: the execution layer attaches it to the engines and
+    #: exports its traces via :meth:`export_decisions` after the run.
+    decisions = None
 
     def __init__(self, run_id: str, sink=None, labels: dict | None = None,
                  flight_maxlen: int = 256) -> None:
@@ -155,6 +162,66 @@ class Telemetry:
     def span(self, name: str, **labels) -> Span:
         """Time a phase: ``with tel.span("run"): ...`` emits on exit."""
         return Span(self, name, labels)
+
+    def export_decisions(self, tap) -> int:
+        """Emit a :class:`~repro.core.base.DecisionTap`'s traces.
+
+        One ``decision`` record per control decision, in (sim_ns, flow)
+        order; returns the number emitted.  Ring evictions are surfaced
+        as a ``decisions_dropped`` event so truncation is never silent.
+
+        Decision records go straight to the sink: a batch export of
+        thousands of records would otherwise both dominate the export's
+        own cost and flush every *other* record out of the flight ring
+        (the ring exists for incident context, which a bulk historical
+        dump is not).  Records are built inline from the ring tuples —
+        one dict per decision, non-finite encoding only where a value
+        actually is non-finite — because this runs once per traced
+        run over potentially tens of thousands of decisions.
+        """
+        t = round(time.perf_counter() - self._t0, 6)
+        run_id = self.run_id
+        sink_write = self.sink.write
+        isfinite = math.isfinite
+        rows = []
+        for flow_id, trace in tap.traces.items():
+            scheme = trace.scheme
+            rows.extend([(rec[0], flow_id, scheme, rec)
+                         for rec in trace.ring])
+        rows.sort(key=operator.itemgetter(0, 1))
+        for now, flow_id, scheme, rec in rows:
+            _, event, branch, rate0, win0, rate1, win1, inputs = rec
+            # The ring owns each inputs dict exclusively (algorithms
+            # build a fresh one per decision), so the clean common case
+            # passes it through without a copy.
+            for v in inputs.values():
+                if isinstance(v, float) and not isfinite(v):
+                    inputs = {
+                        k: v if not isinstance(v, float) or isfinite(v)
+                        else json_number(v)
+                        for k, v in inputs.items()
+                    }
+                    break
+            sink_write({
+                "kind": "decision", "name": "cc.decision",
+                "t": t, "run_id": run_id,
+                "sim_ns": now if isfinite(now) else json_number(now),
+                "flow": flow_id, "scheme": scheme,
+                "event": event, "branch": branch,
+                "rate_before": rate0 if rate0 is None or isfinite(rate0)
+                else json_number(rate0),
+                "rate_after": rate1 if rate1 is None or isfinite(rate1)
+                else json_number(rate1),
+                "window_before": win0 if win0 is None or isfinite(win0)
+                else json_number(win0),
+                "window_after": win1 if win1 is None or isfinite(win1)
+                else json_number(win1),
+                "inputs": inputs,
+            })
+        dropped = tap.total_dropped
+        if dropped:
+            self.event("decisions_dropped", dropped=dropped)
+        return len(rows)
 
     # -- lifecycle ----------------------------------------------------
 

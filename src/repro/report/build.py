@@ -108,6 +108,10 @@ class FigureReport:
     #: Cells quarantined by the sweep fabric (error/timeout records);
     #: the figure rendered from the surviving cells only.
     n_failed: int = 0
+    #: ``compare_decisions`` output for the figure's drilldown (fig13
+    #: only): the packet-vs-fluid CC decision-trace divergence, also
+    #: written as ``divergence.json``.  ``None`` when not built.
+    divergence: dict | None = None
     #: Engine work summed over the figure's records (packet events or
     #: fluid steps), plus the events and wall time of the *computed*
     #: (non-cached) subset — the report's telemetry panel derives
@@ -176,6 +180,11 @@ class Report:
                     k: _json_number(v) for k, v in fig.render.stats.items()
                 },
             }
+            if fig.divergence is not None:
+                entry["divergence"] = {
+                    k: _json_number(v)
+                    for k, v in fig.divergence["summary"].items()
+                }
             if fig.score is not None:
                 entry.update({
                     "verdict": fig.score.verdict,
@@ -317,14 +326,94 @@ def build_figure(
     )
 
 
+# -- fig13 divergence drilldown ---------------------------------------------------
+
+def _stride(values: list, cap: int) -> list:
+    """Every n-th element so the result stays under ``cap`` points."""
+    step = max(1, -(-len(values) // cap))
+    return values[::step]
+
+
+def _divergence_panel(streams: dict[str, list[dict]]) -> Panel:
+    """The decision-marked rate timeline: both backends, every flow.
+
+    Lines are each flow's rate trajectory (the ``rate_after`` step
+    function, decimated for SVG size); markers sit at individual
+    decision instants, so the chart shows *when* each control loop
+    acted, not just where its rate ended up.
+    """
+    from ..obs.divergence import by_flow, decision_records, rate_trajectory
+
+    series = []
+    for backend in ("packet", "fluid"):
+        flows = by_flow(decision_records(streams[backend]))
+        marker_pts: list[tuple[float, float]] = []
+        for flow_id in sorted(flows):
+            times, rates = rate_trajectory(flows[flow_id])
+            pts = _stride(list(zip(times, rates)), 400)
+            series.append(Series(
+                name=f"{backend} flow {flow_id}",
+                x=[t / 1000.0 for t, _ in pts],        # ns -> us
+                y=[r * 8.0 for _, r in pts],           # B/ns -> Gbps
+            ))
+            marker_pts.extend(zip(times, rates))
+        marker_pts.sort()
+        marker_pts = _stride(marker_pts, 150)
+        series.append(Series(
+            name=f"{backend} decisions",
+            x=[t / 1000.0 for t, _ in marker_pts],
+            y=[r * 8.0 for _, r in marker_pts],
+            kind="marker",
+        ))
+    return Panel(
+        key="cc-divergence",
+        title="CC decision timeline: packet vs fluid (HPCC, 2-to-1 incast)",
+        series=series,
+        x_label="time (us)",
+        y_label="rate (Gbps)",
+    )
+
+
+def build_divergence_drilldown(
+    scale: str = "bench", threshold: float = 0.25
+) -> tuple[dict, Panel]:
+    """Run fig13's HPCC cell on both backends and diff the decisions.
+
+    Uses a 2-to-1 incast (fig13's strategy comparison shrunk to two
+    senders) so the packet run stays cheap inside a report build.
+    Returns ``(compare_decisions output, timeline panel)``.
+    """
+    from ..experiments import figure13
+    from ..obs.divergence import compare_decisions
+    from ..runner.execute import execute_spec
+
+    specs = figure13.scenarios(scale=scale, params={"fan_in": 2})
+    spec = next(s for s in specs if (s.label or "") == "HPCC")
+    streams = {}
+    for backend in ("packet", "fluid"):
+        record = execute_spec(spec.replaced(backend=backend), decisions=True)
+        streams[backend] = record.telemetry or []
+    div = compare_decisions(streams["packet"], streams["fluid"],
+                            threshold=threshold)
+    div["spec"] = {"label": spec.label, "spec_hash": spec.spec_hash,
+                   "program": spec.program, "cc": spec.cc.name}
+    return div, _divergence_panel(streams)
+
+
 # -- benchmark trajectory ---------------------------------------------------------
 
-def load_bench_trajectory(root: Path) -> Panel | None:
-    """Wall time per run_all.py workload across BENCH_pr<N>.json files.
+#: Bench-snapshot payload versions this reader understands.  ``None``
+#: is the unstamped v1 payload (the PR 3/4 files predate the ``schema``
+#: key); a future stamp this code does not know is skipped, not fatal.
+_BENCH_SCHEMAS = (None, 1, 2)
 
-    The series starts at PR 3 (PR 0-2 predate the snapshot convention,
-    so ``BENCH_pr1.json``/``BENCH_pr2.json`` intentionally do not
-    exist); unknown or unparsable files are skipped, not fatal.
+
+def _load_bench_snapshots(root: Path) -> list[tuple[int, dict]]:
+    """``BENCH_pr<N>.json`` snapshots, schema-checked and PR-sorted.
+
+    Unparsable files, non-object payloads and unknown schema stamps are
+    skipped — a perf trajectory built from surviving snapshots beats an
+    aborted report.
     """
     snapshots: list[tuple[int, dict]] = []
     for path in root.glob("BENCH_pr*.json"):
@@ -335,20 +424,48 @@ def load_bench_trajectory(root: Path) -> Panel | None:
             data = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             continue
+        if not isinstance(data, dict) \
+                or data.get("schema") not in _BENCH_SCHEMAS:
+            continue
         snapshots.append((int(match.group(1)), data))
+    snapshots.sort()
+    return snapshots
+
+
+def _pr_axis(snapshots: list[tuple[int, dict]]) -> list[int]:
+    """Every PR number from first to last snapshot, present or not.
+
+    The axis deliberately includes the missing PRs (a PR that shipped
+    no snapshot, e.g. a docs- or infra-only change): series carry NaN
+    there, which the SVG renderer draws as a visible gap instead of a
+    bridging line segment that would fake a measurement.
+    """
+    prs = [pr for pr, _ in snapshots]
+    return list(range(min(prs), max(prs) + 1))
+
+
+def load_bench_trajectory(root: Path) -> Panel | None:
+    """Wall time per run_all.py workload across BENCH_pr<N>.json files.
+
+    The series starts at PR 3 (PR 0-2 predate the snapshot convention,
+    so ``BENCH_pr1.json``/``BENCH_pr2.json`` intentionally do not
+    exist); snapshots missing in between render as explicit gaps.
+    """
+    snapshots = _load_bench_snapshots(root)
     if not snapshots:
         return None
-    snapshots.sort()
-    per_bench: dict[str, list[tuple[float, float]]] = {}
+    per_bench: dict[str, dict[int, float]] = {}
     for pr, data in snapshots:
         for result in data.get("results", []):
             name = result.get("name")
             wall = result.get("wall_time_s")
             if isinstance(name, str) and isinstance(wall, (int, float)):
-                per_bench.setdefault(name, []).append((float(pr), float(wall)))
+                per_bench.setdefault(name, {})[pr] = float(wall)
+    axis = _pr_axis(snapshots)
     series = [
-        Series(name=name, x=[p for p, _ in points], y=[w for _, w in points])
-        for name, points in sorted(per_bench.items())
+        Series(name=name, x=[float(p) for p in axis],
+               y=[by_pr.get(p, math.nan) for p in axis])
+        for name, by_pr in sorted(per_bench.items())
     ]
     return Panel(
         key="bench-trajectory",
@@ -364,21 +481,13 @@ def load_engine_rate_trajectory(root: Path) -> Panel | None:
     The ``engine_events`` entry records wall time for a fixed
     200k-event chain workload; dividing gives the substrate throughput
     trend the telemetry panel plots next to the live per-figure rates.
+    Missing PR snapshots render as explicit gaps, like the wall-time
+    trajectory.
     """
-    snapshots: list[tuple[int, dict]] = []
-    for path in root.glob("BENCH_pr*.json"):
-        match = re.fullmatch(r"BENCH_pr(\d+)", path.stem)
-        if not match:
-            continue
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            continue
-        snapshots.append((int(match.group(1)), data))
+    snapshots = _load_bench_snapshots(root)
     if not snapshots:
         return None
-    snapshots.sort()
-    points: list[tuple[float, float]] = []
+    by_pr: dict[int, float] = {}
     for pr, data in snapshots:
         for result in data.get("results", []):
             if result.get("name") != "engine_events":
@@ -387,14 +496,16 @@ def load_engine_rate_trajectory(root: Path) -> Panel | None:
             events = result.get("params", {}).get("events")
             if isinstance(wall, (int, float)) and wall > 0 \
                     and isinstance(events, (int, float)):
-                points.append((float(pr), float(events) / float(wall)))
-    if not points:
+                by_pr[pr] = float(events) / float(wall)
+    if not by_pr:
         return None
+    axis = _pr_axis(snapshots)
     return Panel(
         key="engine-rate-trajectory",
         title="packet-engine throughput per PR snapshot",
         series=[Series(name="engine events/s",
-                       x=[p for p, _ in points], y=[r for _, r in points])],
+                       x=[float(p) for p in axis],
+                       y=[by_pr.get(p, math.nan) for p in axis])],
         x_label="PR", y_label="events/s",
     )
 
@@ -480,6 +591,26 @@ def build_report(
         for key in figures
     ]
 
+    # fig13 drilldown: the control-loop flight recorder's backend diff.
+    # Best-effort — a drilldown failure becomes a figure note, never a
+    # failed report build.
+    for fig_report in built:
+        if fig_report.key != "fig13":
+            continue
+        try:
+            div, div_panel = build_divergence_drilldown(scale=scale)
+        except Exception as exc:
+            fig_report.render.notes.append(
+                f"divergence drilldown skipped: {type(exc).__name__}: {exc}"
+            )
+            continue
+        fig_report.divergence = div
+        fig_report.render.panels.append(div_panel)
+        fig_report.panel_svgs.append(render_panel(div_panel))
+        (out / "divergence.json").write_text(
+            json.dumps(div, indent=2, sort_keys=True, allow_nan=False) + "\n"
+        )
+
     scored = [f for f in built if f.score is not None]
     failed_total = sum(f.n_failed for f in built)
     metadata = {
@@ -493,6 +624,17 @@ def build_report(
         "total wall time": f"{time.perf_counter() - started:.2f}s",
         "cache": str(cache.root),
     }
+    diverged = next((f.divergence for f in built if f.divergence), None)
+    if diverged is not None:
+        s = diverged["summary"]
+        agreement = s["attribution_agreement"]
+        metadata["decision divergence"] = (
+            f"{s['flows_compared']} flows diffed across backends "
+            f"({s['flows_diverged']} diverged"
+            + (f", bottleneck attribution {agreement:.0%} agree"
+               if agreement is not None else "")
+            + "); see divergence.json"
+        )
     if failed_total:
         metadata["failed cells"] = (
             f"{failed_total} quarantined (error/timeout) — figures "

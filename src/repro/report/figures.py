@@ -35,11 +35,14 @@ __all__ = [
 class Series:
     """One plotted curve (or bar group member).
 
-    ``kind`` selects the mark: ``"line"`` (polyline over x/y) or
-    ``"bar"`` (categorical bars; ``x`` is the ordinal position and
-    ``labels`` names each position).  ``band`` optionally carries a
-    ``(lo, hi)`` envelope drawn as a translucent error band behind the
-    line.
+    ``kind`` selects the mark: ``"line"`` (polyline over x/y),
+    ``"ref"`` (dashed polyline, for digitized paper curves),
+    ``"marker"`` (unconnected circles — e.g. decision instants on a
+    timeline) or ``"bar"`` (categorical bars; ``x`` is the ordinal
+    position and ``labels`` names each position).  ``band`` optionally
+    carries a ``(lo, hi)`` envelope drawn as a translucent error band
+    behind the line.  Non-finite ``y`` values split a line into
+    visibly separate segments (a rendered gap, not an interpolation).
     """
 
     name: str

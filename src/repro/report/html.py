@@ -110,6 +110,55 @@ def _fidelity_tables(fig: "FigureReport") -> str:
     return "".join(parts)
 
 
+def _divergence_table(fig: "FigureReport") -> str:
+    """The fig13 drilldown: per-flow packet-vs-fluid decision diff."""
+    div = fig.divergence
+    if not div:
+        return ""
+    s = div["summary"]
+    agreement = s.get("attribution_agreement")
+    intro = (
+        f'<p class="note">Control-loop flight recorder: the same scenario '
+        f"({esc(div.get('spec', {}).get('cc', ''))}, "
+        f"{s['flows_compared']} flows) run on both backends with the "
+        f"decision tap attached; rate trajectories compared at a "
+        f"{div['threshold']:.0%} relative-gap threshold. "
+        "Machine-readable copy: <code>divergence.json</code>; "
+        "rerun ad hoc with <code>hpcc-repro trace diff</code>.</p>"
+    )
+    rows = []
+    for flow_id, entry in div["flows"].items():
+        err = entry["time_weighted_rate_error"]
+        first = entry["first_divergence_ns"]
+        attr = entry["attribution"]
+        err_cell = f"{err:.2%}" if err is not None else "&mdash;"
+        first_cell = (f"{first / 1000.0:.2f}us" if first is not None
+                      else "never")
+        attr_cell = (f"{attr['agree']}/{attr['compared']}" if attr
+                     else "&mdash;")
+        rows.append(
+            f"<tr><td>{esc(flow_id)}</td>"
+            f"<td>{entry['packet_decisions']}</td>"
+            f"<td>{entry['fluid_decisions']}</td>"
+            f"<td>{err_cell}</td><td>{first_cell}</td>"
+            f"<td>{attr_cell}</td></tr>"
+        )
+    foot = ""
+    if agreement is not None:
+        foot = (
+            f'<p class="note">Bottleneck attribution: both backends blamed '
+            f"the same hop for {agreement:.1%} of "
+            f"{s['attribution_compared']} compared decisions.</p>"
+        )
+    return (
+        "<h3>Backend decision divergence</h3>" + intro
+        + '<table class="fidelity"><tr><th>flow</th><th>packet decisions</th>'
+        "<th>fluid decisions</th><th>time-weighted rate error</th>"
+        "<th>first divergence</th><th>attribution agree</th></tr>"
+        + "".join(rows) + "</table>" + foot
+    )
+
+
 def _figure_section(fig: "FigureReport") -> str:
     verdict = fig.score.verdict if fig.score is not None else "n/a"
     failure_badge = ""
@@ -145,6 +194,7 @@ def _figure_section(fig: "FigureReport") -> str:
             f"<h3>reproduction</h3>{repro_svgs}</div></div>"
         )
     parts.append(_fidelity_tables(fig))
+    parts.append(_divergence_table(fig))
     if fig.extraction:
         parts.append(
             f'<div class="extraction"><b>extraction notes:</b> '

@@ -1,9 +1,10 @@
 """Dependency-free SVG chart emitter for the reproduction report.
 
 Renders a :class:`~repro.report.figures.Panel` into a standalone
-``<svg>`` string: line charts (with optional translucent error bands),
-empirical CDFs (just lines), grouped bar charts, linear or log-10 x
-axes, nice-number ticks and a legend.  No matplotlib, no numpy — the
+``<svg>`` string: line charts (with optional translucent error bands
+and visible gaps at non-finite samples), empirical CDFs (just lines),
+marker scatters (e.g. decision instants), grouped bar charts, linear
+or log-10 x axes, nice-number ticks and a legend.  No matplotlib, no numpy — the
 report builds offline on a bare CPython, and the output is byte-stable
 (fixed-precision coordinates, deterministic iteration order), which is
 what lets the test suite pin a golden snapshot.
@@ -186,13 +187,40 @@ def _axis_elements(panel: Panel, sx: _Scale, sy: _Scale,
     return parts
 
 
+def _segments(series: Series, sx: _Scale,
+              sy: _Scale) -> list[list[tuple[float, float]]]:
+    """Finite runs of the series as pixel points, split at gaps.
+
+    A non-finite x or y ends the current run, so missing samples render
+    as a visible break in the polyline instead of a bridging segment.
+    """
+    segments: list[list[tuple[float, float]]] = []
+    run: list[tuple[float, float]] = []
+    for x, y in zip(series.x, series.y):
+        if math.isfinite(x) and math.isfinite(y):
+            run.append((sx(x), sy(y)))
+        elif run:
+            segments.append(run)
+            run = []
+    if run:
+        segments.append(run)
+    return segments
+
+
+def _marker_elements(series: Series, color: str, sx: _Scale,
+                     sy: _Scale) -> list[str]:
+    """Unconnected circles, one per finite point (``kind="marker"``)."""
+    return [
+        f'<circle cx="{_fmt(sx(x))}" cy="{_fmt(sy(y))}" r="2.5" '
+        f'fill="{color}" opacity="0.8"/>'
+        for x, y in zip(series.x, series.y)
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+
+
 def _line_elements(series: Series, color: str, sx: _Scale,
                    sy: _Scale, dashed: bool) -> list[str]:
     parts = []
-    points = [
-        (sx(x), sy(y)) for x, y in zip(series.x, series.y)
-        if math.isfinite(x) and math.isfinite(y)
-    ]
     if series.band is not None:
         lo, hi = series.band
         band_pts = [
@@ -207,20 +235,20 @@ def _line_elements(series: Series, color: str, sx: _Scale,
             parts.append(
                 f'<polygon points="{path}" fill="{color}" opacity="0.15"/>'
             )
-    if not points:
-        return parts
-    if len(points) == 1:
-        px, py = points[0]
-        parts.append(
-            f'<circle cx="{_fmt(px)}" cy="{_fmt(py)}" r="3" fill="{color}"/>'
-        )
-        return parts
-    path = " ".join(f"{_fmt(px)},{_fmt(py)}" for px, py in points)
     dash = ' stroke-dasharray="5,3"' if dashed else ""
-    parts.append(
-        f'<polyline points="{path}" fill="none" stroke="{color}" '
-        f'stroke-width="1.8"{dash}/>'
-    )
+    for points in _segments(series, sx, sy):
+        if len(points) == 1:
+            px, py = points[0]
+            parts.append(
+                f'<circle cx="{_fmt(px)}" cy="{_fmt(py)}" r="3" '
+                f'fill="{color}"/>'
+            )
+            continue
+        path = " ".join(f"{_fmt(px)},{_fmt(py)}" for px, py in points)
+        parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"{dash}/>'
+        )
     return parts
 
 
@@ -316,6 +344,9 @@ def render_panel(panel: Panel) -> str:
         if series.kind == "bar":
             continue
         color = PALETTE[i % len(PALETTE)]
+        if series.kind == "marker":
+            parts.extend(_marker_elements(series, color, sx, sy))
+            continue
         parts.extend(_line_elements(series, color, sx, sy,
                                     dashed=series.kind == "ref"))
     parts.extend(_legend_elements(panel))

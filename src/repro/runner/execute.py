@@ -395,7 +395,8 @@ def _resolve_program(spec: ScenarioSpec) -> Callable[[ScenarioSpec], RunRecord]:
     return PROGRAMS[spec.program]
 
 
-def execute_spec(spec: ScenarioSpec, telemetry: bool = False) -> RunRecord:
+def execute_spec(spec: ScenarioSpec, telemetry: bool = False,
+                 decisions: bool = False) -> RunRecord:
     """Run one scenario to completion (the process-pool work unit).
 
     With ``telemetry=True`` the run executes under a run-scoped,
@@ -404,10 +405,15 @@ def execute_spec(spec: ScenarioSpec, telemetry: bool = False) -> RunRecord:
     back on ``record.telemetry`` for the sweep's sink.  On an exception
     or a deadline overrun the flight recorder dumps the last samples to
     stderr before the record (or the exception) leaves the worker.
+
+    ``decisions=True`` (implies telemetry) additionally attaches a
+    :class:`~repro.obs.DecisionTap` — the execution layer hands it to
+    whichever engine the spec selects — and exports one ``decision``
+    record per CC control decision into the telemetry stream.
     """
     program = _resolve_program(spec)
     started = time.perf_counter()
-    if not telemetry:
+    if not (telemetry or decisions):
         record = program(spec)
         record.wall_time_s = time.perf_counter() - started
         return record
@@ -421,6 +427,10 @@ def execute_spec(spec: ScenarioSpec, telemetry: bool = False) -> RunRecord:
             "cc": spec.cc.name,
         },
     )
+    if decisions:
+        from ..obs import DecisionTap
+
+        tel.decisions = DecisionTap()
     try:
         with using(tel), tel.span("total"):
             record = program(spec)
@@ -432,6 +442,8 @@ def execute_spec(spec: ScenarioSpec, telemetry: bool = False) -> RunRecord:
     if not record.completed:
         tel.event("run.deadline_overrun", sim_ns=record.duration_ns)
         tel.flight.dump("deadline overrun", spec.label or spec.spec_hash)
+    if tel.decisions is not None:
+        tel.export_decisions(tel.decisions)
     record.telemetry = tel.drain()
     return record
 

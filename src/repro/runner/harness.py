@@ -51,7 +51,11 @@ def setup_network(
         seed=seed,
         **config_kwargs,
     )
-    return Network(topology, config)
+    net = Network(topology, config)
+    tel = current_telemetry()
+    if tel is not None and tel.decisions is not None:
+        net.decision_tap = tel.decisions
+    return net
 
 
 def run_workload(

@@ -139,6 +139,10 @@ class HostNic:
         )
         flow = SenderFlow(spec, cc, sender)
         cc.install(flow)
+        if cc.tap is not None:
+            # Anchor the decision trace at the line-rate start state.
+            cc.tap.record(self.sim.now, "install", None, flow.rate,
+                          flow.window, flow.rate, flow.window, {})
         if self.config.irn_window is not None:
             cap = self.config.irn_window
             flow.window = cap if flow.window is None else min(flow.window, cap)

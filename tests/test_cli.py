@@ -298,6 +298,20 @@ class TestTelemetryFlag:
         assert main(["tele", "summarize", str(tmp_path / "nope.jsonl")]) == 1
         assert "no telemetry file" in capsys.readouterr().err
 
+    def test_tele_summarize_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        path = tmp_path / "tel.jsonl"
+        assert main(["sweep", "tiny", "--quiet",
+                     "--out", str(tmp_path / "r"),
+                     "--telemetry", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["tele", "summarize", str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["path"] == str(path)
+        assert "total" in doc["spans"]
+        assert doc["spans"]["total"]["count"] >= 2   # one per scenario
+        assert doc["invalid_lines"] == []
+
     def test_sweep_ticker_carries_eta(self, tmp_path, capsys, monkeypatch):
         monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
         assert main(["sweep", "tiny", "--out", str(tmp_path / "r")]) == 0
@@ -342,3 +356,60 @@ class TestCache:
     def test_missing_directory_fails(self, tmp_path, capsys):
         assert main(["cache", "stats", "--dir", str(tmp_path / "nope")]) == 1
         assert "no cache directory" in capsys.readouterr().out
+
+
+class TestTrace:
+    """``trace diff``: the control-loop flight recorder's analyzer."""
+
+    def _spec_file(self, tmp_path):
+        from repro.sim.units import US
+
+        spec = ScenarioSpec(
+            program="flows",
+            topology="star",
+            topology_params={"n_hosts": 3, "host_rate": "10Gbps"},
+            workload={"flows": [[0, 2, 40_000], [1, 2, 40_000]],
+                      "deadline": 5e6},
+            config={"base_rtt": 9 * US},
+            seed=1,
+            label="trace-tiny",
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_json()))
+        return path
+
+    def test_diff_from_spec_file_writes_divergence_json(self, tmp_path,
+                                                        capsys):
+        out = tmp_path / "div" / "divergence.json"
+        assert main(["trace", "diff", str(self._spec_file(tmp_path)),
+                     "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "decision-trace diff (hpcc" in captured.out
+        assert "flows compared: 2" in captured.out
+        assert f"divergence -> {out}" in captured.out
+        assert "packet backend" in captured.err
+        assert "fluid backend" in captured.err
+        div = json.loads(out.read_text())        # strict JSON, no NaN
+        assert div["spec"]["label"] == "trace-tiny"
+        assert div["spec"]["cc"] == "hpcc"
+        assert div["summary"]["flows_compared"] == 2
+        assert set(div["flows"]) == {"1", "2"}
+
+    def test_diff_by_experiment_name_and_scenario(self, tmp_path, capsys,
+                                                  monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        assert main(["trace", "diff", "tiny", "--scenario", "tiny2"]) == 0
+        out = capsys.readouterr().out
+        assert "decision-trace diff" in out
+        assert "flows compared: 1" in out        # tiny2 has a single flow
+
+    def test_unknown_scenario_label_lists_known(self, monkeypatch):
+        monkeypatch.setitem(EXPERIMENTS, "tiny", ("stub grid", _tiny_grid_module()))
+        with pytest.raises(SystemExit, match="tiny2"):
+            main(["trace", "diff", "tiny", "--scenario", "nope"])
+
+    def test_corrupt_spec_file_exits_cleanly(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit, match="cannot load spec"):
+            main(["trace", "diff", str(path)])

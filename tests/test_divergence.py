@@ -1,0 +1,171 @@
+"""The backend divergence analyzer (``repro.obs.divergence``).
+
+Unit tests on synthetic decision streams — step alignment, first
+divergence, attribution agreement — plus one end-to-end check that
+``compare_decisions`` digests real ``execute_spec(decisions=True)``
+output from both backends.
+"""
+
+import math
+
+from repro.obs.divergence import (
+    _step_value,
+    by_flow,
+    compare_decisions,
+    decision_records,
+    format_divergence,
+    rate_trajectory,
+)
+
+
+def dec(flow, sim_ns, rate, hop=None, scheme="hpcc", event="ack"):
+    """One synthetic decision record (only the fields the analyzer reads)."""
+    inputs = {} if hop is None else {"bottleneck_hop": hop}
+    return {"kind": "decision", "name": "cc.decision", "t": 0.0,
+            "run_id": "r", "sim_ns": sim_ns, "flow": flow,
+            "scheme": scheme, "event": event, "branch": "AI",
+            "rate_before": rate, "rate_after": rate,
+            "window_before": None, "window_after": None, "inputs": inputs}
+
+
+class TestPrimitives:
+    def test_decision_records_filters_kinds(self):
+        stream = [{"kind": "gauge", "name": "g"}, dec(1, 0.0, 1.0),
+                  {"kind": "span", "name": "s"}]
+        assert decision_records(stream) == [stream[1]]
+
+    def test_by_flow_groups_and_sorts(self):
+        flows = by_flow([dec(2, 5.0, 1.0), dec(1, 9.0, 1.0),
+                         dec(1, 3.0, 2.0)])
+        assert sorted(flows) == [1, 2]
+        assert [d["sim_ns"] for d in flows[1]] == [3.0, 9.0]
+
+    def test_rate_trajectory_skips_unusable_rates(self):
+        stream = [dec(1, 0.0, 2.0), dec(1, 5.0, None), dec(1, 9.0, "nan"),
+                  dec(1, 12.0, 3.0)]
+        assert rate_trajectory(stream) == ([0.0, 12.0], [2.0, 3.0])
+
+    def test_step_value_holds_last_breakpoint(self):
+        times, values = [10.0, 20.0, 30.0], [1.0, 2.0, 3.0]
+        assert _step_value(times, values, 5.0) == 1.0    # before first
+        assert _step_value(times, values, 10.0) == 1.0   # at breakpoint
+        assert _step_value(times, values, 25.0) == 2.0   # between
+        assert _step_value(times, values, 99.0) == 3.0   # past last
+
+
+class TestCompareDecisions:
+    def test_identical_streams_never_diverge(self):
+        stream = [dec(1, 0.0, 10.0, hop=1), dec(1, 100.0, 8.0, hop=1)]
+        div = compare_decisions(list(stream), list(stream))
+        entry = div["flows"]["1"]
+        assert entry["time_weighted_rate_error"] == 0.0
+        assert entry["first_divergence_ns"] is None
+        assert entry["attribution"] == {"compared": 2, "agree": 2,
+                                        "mismatch": 0}
+        s = div["summary"]
+        assert s["flows_compared"] == 1 and s["flows_diverged"] == 0
+        assert s["first_divergence_ns"] is None
+        assert s["attribution_agreement"] == 1.0
+        assert div["scheme"] == "hpcc"
+
+    def test_constant_gap_diverges_at_overlap_start(self):
+        packet = [dec(1, 0.0, 10.0), dec(1, 100.0, 10.0)]
+        fluid = [dec(1, 0.0, 5.0), dec(1, 100.0, 5.0)]
+        div = compare_decisions(packet, fluid, threshold=0.25)
+        entry = div["flows"]["1"]
+        # |10-5| / max(10,5) = 0.5 everywhere.
+        assert math.isclose(entry["time_weighted_rate_error"], 0.5)
+        assert entry["first_divergence_ns"] == 0.0
+        assert div["summary"]["flows_diverged"] == 1
+
+    def test_threshold_gates_first_divergence(self):
+        packet = [dec(1, 0.0, 10.0), dec(1, 100.0, 10.0)]
+        fluid = [dec(1, 0.0, 9.0), dec(1, 100.0, 9.0)]   # 10% gap
+        div = compare_decisions(packet, fluid, threshold=0.25)
+        entry = div["flows"]["1"]
+        assert entry["first_divergence_ns"] is None      # below threshold
+        assert math.isclose(entry["time_weighted_rate_error"], 0.1)
+
+    def test_late_divergence_timed_to_the_causing_decision(self):
+        packet = [dec(1, 0.0, 10.0), dec(1, 50.0, 10.0),
+                  dec(1, 100.0, 10.0)]
+        fluid = [dec(1, 0.0, 10.0), dec(1, 60.0, 4.0),
+                 dec(1, 100.0, 4.0)]
+        div = compare_decisions(packet, fluid, threshold=0.25)
+        assert div["flows"]["1"]["first_divergence_ns"] == 60.0
+
+    def test_flow_missing_on_one_backend_reported_not_fatal(self):
+        div = compare_decisions([dec(1, 0.0, 10.0)], [])
+        entry = div["flows"]["1"]
+        assert entry["packet_decisions"] == 1
+        assert entry["fluid_decisions"] == 0
+        assert entry["time_weighted_rate_error"] is None
+        assert entry["first_divergence_ns"] is None
+        assert div["summary"]["mean_rate_error"] is None
+
+    def test_attribution_mismatch_counted(self):
+        packet = [dec(1, 0.0, 10.0, hop=1), dec(1, 50.0, 10.0, hop=2)]
+        fluid = [dec(1, 0.0, 10.0, hop=1), dec(1, 40.0, 10.0, hop=3)]
+        div = compare_decisions(packet, fluid)
+        assert div["flows"]["1"]["attribution"] == {
+            "compared": 2, "agree": 1, "mismatch": 1}
+        assert div["summary"]["attribution_agreement"] == 0.5
+
+    def test_no_attribution_inputs_yields_none(self):
+        div = compare_decisions([dec(1, 0.0, 10.0)], [dec(1, 0.0, 10.0)])
+        assert div["flows"]["1"]["attribution"] is None
+        assert div["summary"]["attribution_agreement"] is None
+
+    def test_mixed_schemes_joined_in_header(self):
+        div = compare_decisions([dec(1, 0.0, 1.0, scheme="hpcc")],
+                                [dec(1, 0.0, 1.0, scheme="dcqcn")])
+        assert div["scheme"] == "dcqcn,hpcc"
+
+
+class TestFormatDivergence:
+    def test_renders_summary_and_per_flow_rows(self):
+        packet = [dec(1, 0.0, 10.0, hop=1), dec(2, 0.0, 10.0)]
+        fluid = [dec(1, 0.0, 5.0, hop=1), dec(2, 0.0, 10.0)]
+        text = format_divergence(compare_decisions(packet, fluid))
+        assert "decision-trace diff (hpcc" in text
+        assert "flows compared: 2, diverged: 1" in text
+        assert "time-weighted rate error" in text
+        assert "first divergence: 0.00us" in text
+        assert "bottleneck attribution: 100.0%" in text
+
+    def test_renders_gracefully_with_no_overlap(self):
+        text = format_divergence(compare_decisions([dec(1, 0.0, 1.0)], []))
+        assert "diverged: 0" in text
+        assert "never" in text and "n/a" in text
+
+
+class TestEndToEnd:
+    def test_real_backend_streams_compare(self):
+        from repro.runner import ScenarioSpec
+        from repro.runner.execute import execute_spec
+        from repro.sim.units import US
+
+        spec = ScenarioSpec(
+            program="flows",
+            topology="star",
+            topology_params={"n_hosts": 3, "host_rate": "10Gbps"},
+            workload={"flows": [[0, 2, 40_000], [1, 2, 40_000]],
+                      "deadline": 5e6},
+            config={"base_rtt": 9 * US},
+            seed=1,
+            label="div-e2e",
+        )
+        streams = {
+            backend: execute_spec(spec.replaced(backend=backend),
+                                  decisions=True).telemetry
+            for backend in ("packet", "fluid")
+        }
+        div = compare_decisions(streams["packet"], streams["fluid"])
+        s = div["summary"]
+        assert s["flows_compared"] == 2
+        assert s["mean_rate_error"] is not None
+        assert s["attribution_compared"] > 0
+        for entry in div["flows"].values():
+            assert entry["packet_decisions"] > 0
+            assert entry["fluid_decisions"] > 0
+        assert "decision-trace diff" in format_divergence(div)

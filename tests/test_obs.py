@@ -23,6 +23,7 @@ from test_determinism_golden import GOLDEN, fct_digest
 
 from repro.network import Network, NetworkConfig
 from repro.obs import (
+    DecisionTap,
     FlightRecorder,
     JsonlSink,
     MemorySink,
@@ -258,6 +259,152 @@ class TestGoldenDeterminismWithTelemetry:
         assert counters["sim.run_calls"] == probe.run_calls
 
 
+#: Decision-record vocabulary per scheme (see docs/observability.md).
+DECISION_BRANCHES = {
+    "hpcc": {"MI", "AI"},
+    "hpcc-perack": {"MI", "AI"},
+    "hpcc-perrtt": {"MI", "AI"},
+    "dcqcn": {"md", "fast_recovery", "additive", "hyper"},
+    "timely": {"ai_low", "md_high", "ai_gradient", "hai", "md_gradient"},
+    "dctcp": {"ai", "md"},
+}
+
+
+#: Scheme knobs that make the tiny incast actually exercise the control
+#: law (DCQCN's stock Kmin, port-scaled to 100G, sits above the queue
+#: this short run builds, so CNPs would never fire).
+DECISION_CC_PARAMS = {
+    "dcqcn": {"kmin": 40_000, "kmax": 160_000},
+}
+
+
+def incast_tap(scheme: str) -> DecisionTap:
+    """Run a 2-to-1 packet incast under ``scheme`` with a tap attached."""
+    net = Network(
+        star(4, host_rate="100Gbps"),
+        NetworkConfig(cc_name=scheme, base_rtt=9 * US, seed=3,
+                      cc_params=DECISION_CC_PARAMS.get(scheme, {})),
+    )
+    tap = DecisionTap()
+    net.decision_tap = tap
+    net.add_flow(net.make_flow(0, 3, 500_000, start_time=1_000.0))
+    net.add_flow(net.make_flow(1, 3, 400_000, start_time=1_003.0))
+    assert net.run_until_done(deadline=5 * MS)
+    return tap
+
+
+class TestDecisionTap:
+    def test_flow_trace_ring_evicts_and_counts(self):
+        tap = DecisionTap(maxlen=3)
+        trace = tap.trace(1, "hpcc")
+        for i in range(5):
+            trace.record(float(i), "ack", "AI", 1.0, None, 2.0, None, {})
+        assert len(trace.ring) == 3
+        assert trace.dropped == 2
+        assert tap.total_recorded == 3
+        assert tap.total_dropped == 2
+        # Oldest evicted: the ring holds the latest window of activity.
+        assert [d["sim_ns"] for d in trace.decisions()] == [2.0, 3.0, 4.0]
+
+    def test_trace_is_per_flow_and_cached(self):
+        tap = DecisionTap()
+        assert tap.trace(1, "hpcc") is tap.trace(1, "hpcc")
+        assert tap.trace(1, "hpcc") is not tap.trace(2, "hpcc")
+
+    @pytest.mark.parametrize("scheme", sorted(DECISION_BRANCHES))
+    def test_packet_capture_per_scheme(self, scheme):
+        tap = incast_tap(scheme)
+        assert tap.total_recorded > 0
+        decisions = tap.decisions()
+        assert len({d["flow"] for d in decisions}) == 2
+        for dec in decisions:
+            assert dec["scheme"] == scheme
+            if dec["event"] == "install":       # line-rate start anchor
+                assert dec["branch"] is None
+            else:
+                assert dec["branch"] in DECISION_BRANCHES[scheme]
+            assert dec["rate_after"] > 0
+            assert isinstance(dec["inputs"], dict)
+        assert any(d["event"] != "install" for d in decisions)
+
+    def test_hpcc_decisions_carry_bottleneck_attribution(self):
+        tap = incast_tap("hpcc")
+        hops = [d["inputs"]["bottleneck_hop"] for d in tap.decisions()
+                if "bottleneck_hop" in d["inputs"]]
+        assert hops and all(hop >= 0 for hop in hops)
+
+    def test_export_decisions_validates_and_orders(self):
+        tap = incast_tap("hpcc")
+        tel = Telemetry(run_id="r1")
+        n = tel.export_decisions(tap)
+        records = tel.drain()
+        decisions = [r for r in records if r["kind"] == "decision"]
+        assert len(decisions) == n == tap.total_recorded
+        assert_all_valid(records)
+        keys = [(d["sim_ns"], d["flow"]) for d in decisions]
+        assert keys == sorted(keys)
+        assert not any(r["name"] == "decisions_dropped" for r in records
+                       if r["kind"] == "event")
+
+    def test_export_surfaces_ring_evictions(self):
+        tap = DecisionTap(maxlen=2)
+        trace = tap.trace(1, "hpcc")
+        for i in range(5):
+            trace.record(float(i), "ack", "AI", 1.0, None,
+                         2.0, None, {"u": 0.5})
+        tel = Telemetry(run_id="r1")
+        assert tel.export_decisions(tap) == 2
+        events = [r for r in tel.drain() if r["kind"] == "event"]
+        assert any(r["name"] == "decisions_dropped"
+                   and r["labels"]["dropped"] == 3 for r in events)
+
+    def test_export_encodes_nonfinite_inputs(self):
+        tap = DecisionTap()
+        tap.trace(1, "hpcc").record(
+            0.0, "ack", "AI", float("inf"), None, 1.0, None,
+            {"u": float("nan"), "wc": 2.0})
+        tel = Telemetry(run_id="r1")
+        tel.export_decisions(tap)
+        [dec] = [r for r in tel.drain() if r["kind"] == "decision"]
+        assert dec["rate_before"] == "inf"
+        assert dec["inputs"] == {"u": "nan", "wc": 2.0}
+        assert_all_valid([dec])
+
+    def test_execute_spec_decisions_both_backends(self):
+        for backend in ("packet", "fluid"):
+            spec = tiny_spec(backend=backend)
+            record = execute_spec(spec, decisions=True)
+            assert record.completed
+            assert_all_valid(record.telemetry)
+            decisions = [r for r in record.telemetry
+                         if r["kind"] == "decision"]
+            assert decisions, backend
+            assert {d["scheme"] for d in decisions} == {"hpcc"}
+
+    def test_decisions_do_not_perturb_results(self):
+        for backend in ("packet", "fluid"):
+            spec = tiny_spec(backend=backend)
+            off = execute_spec(spec)
+            on = execute_spec(spec, decisions=True)
+            assert off.fct == on.fct, backend
+            assert off.duration_ns == on.duration_ns, backend
+
+    def test_golden_bit_identical_with_tap(self):
+        expected_events, expected_digest = GOLDEN["hpcc"]
+        net = Network(
+            star(4, host_rate="100Gbps"),
+            NetworkConfig(cc_name="hpcc", base_rtt=9 * US, seed=3),
+        )
+        net.decision_tap = DecisionTap()
+        net.add_flow(net.make_flow(0, 3, 1_000_000, start_time=1_000.0))
+        net.add_flow(net.make_flow(1, 3, 700_000, start_time=1_003.0))
+        net.add_flow(net.make_flow(2, 3, 500_000, start_time=1_007.0))
+        assert net.run_until_done(deadline=5 * MS)
+        assert net.sim.events_processed == expected_events
+        assert fct_digest(net.metrics.fct_records) == expected_digest
+        assert net.decision_tap.total_recorded > 0
+
+
 class TestExecuteSpecTelemetry:
     def test_off_path_leaves_no_records(self):
         record = execute_spec(tiny_spec())
@@ -380,3 +527,81 @@ class TestSummarize:
         assert status == 1
         _, status = summarize_file(tmp_path / "absent.jsonl")
         assert status == 1
+
+    def test_torn_tail_from_killed_run_tolerated(self, tmp_path):
+        """A run killed mid-write leaves half a line; readers keep going."""
+        path = tmp_path / "t.jsonl"
+        tel = Telemetry(run_id="r1", sink=JsonlSink(path))
+        tel.event("before_the_crash")
+        tel.close()
+        whole = path.read_text()
+        path.write_text(whole + whole[: len(whole) // 3].rstrip("\n"))
+        records, errors = read_jsonl(path)
+        assert [r["kind"] for r in records] == ["meta", "event"]
+        assert len(errors) == 1
+        text, status = summarize_file(path)
+        assert status == 0 and "before_the_crash" in text
+
+    def test_unknown_future_kind_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [
+            json.dumps(meta_record("r1")),
+            json.dumps({"kind": "holo_trace", "name": "x",
+                        "run_id": "r1", "t": 0.0}),
+            json.dumps({"kind": "event", "name": "e",
+                        "run_id": "r1", "t": 0.0}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        records, errors = read_jsonl(path)
+        assert len(records) == 2 and len(errors) == 1
+        assert "kind" in errors[0][1]
+
+    def test_decisions_section_in_text_and_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tel = Telemetry(run_id="r1", sink=JsonlSink(path))
+        tap = DecisionTap()
+        trace = tap.trace(1, "hpcc")
+        trace.record(5.0, "ack", "AI", 1.0, None, 2.0, None, {"u": 0.5})
+        trace.record(9.0, "ack", "MI", 2.0, None, 3.0, None, {"u": 1.5})
+        tap.trace(2, "hpcc").record(7.0, "ack", "AI", 1.0, None,
+                                    1.5, None, {"u": 0.2})
+        tel.export_decisions(tap)
+        tel.close()
+        text, status = summarize_file(path)
+        assert status == 0
+        assert "decisions (scheme" in text
+        assert "AI=2" in text and "MI=1" in text
+
+        out, status = summarize_file(path, as_json=True)
+        assert status == 0
+        doc = json.loads(out)
+        assert doc["decisions"]["hpcc"] == {
+            "count": 3, "flows": 2, "branches": {"AI": 2, "MI": 1}}
+
+    def test_summarize_json_aggregates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tel = Telemetry(run_id="r1", sink=JsonlSink(path),
+                        labels={"backend": "packet"})
+        with tel.span("total"):
+            tel.gauge("g", 2.0)
+            tel.gauge("g", 4.0)
+            tel.event("e")
+            tel.hist("h", {"a": 1})
+        tel.count("n", 5)
+        tel.close()
+        out, status = summarize_file(path, as_json=True)
+        assert status == 0
+        doc = json.loads(out)
+        assert doc["runs"] == {"r1": {"backend": "packet"}}
+        assert doc["counters"]["n"] == 5
+        assert doc["gauges"]["g"] == {
+            "samples": 2, "min": 2.0, "mean": 3.0, "max": 4.0}
+        assert doc["spans"]["total"]["count"] == 1
+        assert doc["events"] == {"e": 1}
+        assert doc["invalid_lines"] == []
+
+    def test_summarize_json_error_paths(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        out, status = summarize_file(path, as_json=True)
+        assert status == 1 and "error" in json.loads(out)

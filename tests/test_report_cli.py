@@ -72,6 +72,46 @@ class TestBenchTrajectory:
         (tmp_path / "BENCH_pr3.json").write_text("{not json")
         assert load_bench_trajectory(tmp_path) is None
 
+    def test_missing_prs_render_as_nan_gaps(self, tmp_path):
+        """pr5/pr7-style snapshot gaps become NaN points, not bridges."""
+        import math
+
+        (tmp_path / "BENCH_pr3.json").write_text(json.dumps({
+            "results": [{"name": "engine_events", "wall_time_s": 1.5}],
+        }))                                      # unstamped v1 snapshot
+        (tmp_path / "BENCH_pr6.json").write_text(json.dumps({
+            "schema": 2,
+            "results": [{"name": "engine_events", "wall_time_s": 1.1}],
+        }))
+        panel = load_bench_trajectory(tmp_path)
+        [series] = panel.series
+        assert series.x == [3.0, 4.0, 5.0, 6.0]  # full PR axis
+        assert series.y[0] == 1.5 and series.y[3] == 1.1
+        assert math.isnan(series.y[1]) and math.isnan(series.y[2])
+
+    def test_unknown_schema_stamp_skipped(self, tmp_path):
+        (tmp_path / "BENCH_pr3.json").write_text(json.dumps({
+            "schema": 99,
+            "results": [{"name": "engine_events", "wall_time_s": 1.5}],
+        }))
+        assert load_bench_trajectory(tmp_path) is None
+
+    def test_engine_rate_trajectory_gap_axis(self, tmp_path):
+        import math
+
+        from repro.report.build import load_engine_rate_trajectory
+
+        for pr, wall in ((3, 2.0), (5, 1.0)):
+            (tmp_path / f"BENCH_pr{pr}.json").write_text(json.dumps({
+                "results": [{"name": "engine_events", "wall_time_s": wall,
+                             "params": {"events": 200_000}}],
+            }))
+        panel = load_engine_rate_trajectory(tmp_path)
+        [series] = panel.series
+        assert series.x == [3.0, 4.0, 5.0]
+        assert series.y[0] == 100_000.0 and series.y[2] == 200_000.0
+        assert math.isnan(series.y[1])
+
 
 class TestFailedCells:
     """Quarantined sweep cells must badge the figure, not kill the build."""
