@@ -201,12 +201,33 @@ def _make_telemetry(args, default_path: Path, run_id: str):
 
 def _require_fluid_for_large(scale: str, backend: str) -> None:
     """The ``large`` tier (figure 11's k=16, 1024-host fabric) is only
-    tractable on the fluid engine; refuse to launch it on packet."""
-    if scale == "large" and backend != "fluid":
+    tractable on the fluid engine (or hybrid, whose packet half is a
+    thin foreground); refuse to launch it on pure packet."""
+    if scale == "large" and backend not in ("fluid", "hybrid"):
         raise SystemExit(
             "error: --scale large is only tractable on the fluid engine; "
-            "add --backend fluid"
+            "add --backend fluid (or --backend hybrid)"
         )
+
+
+def _apply_foreground(args, specs):
+    """Apply ``--foreground`` to every spec (hybrid backend only)."""
+    foreground = getattr(args, "foreground", None)
+    if foreground is None:
+        return specs
+    if args.backend != "hybrid":
+        raise SystemExit(
+            "error: --foreground only applies to --backend hybrid"
+        )
+    from .hybrid.select import parse_foreground
+
+    try:
+        selector = parse_foreground(foreground)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    return [
+        spec.replaced(**{"workload.foreground": selector}) for spec in specs
+    ]
 
 
 def _cmd_sweep(args) -> int:
@@ -232,6 +253,7 @@ def _cmd_sweep(args) -> int:
         return 1
     if args.backend != "packet":
         specs = [spec.replaced(backend=args.backend) for spec in specs]
+    specs = _apply_foreground(args, specs)
 
     out = Path(args.out)
     try:
@@ -333,6 +355,7 @@ def _run_experiment(args) -> int:
     key = _resolve(args.experiment)
     module = EXPERIMENTS[key][1]
     if args.backend == "packet" and args.telemetry is None:
+        _apply_foreground(args, [])   # --foreground must still be rejected
         module.main(scale=args.scale)
         return 0
     # Fluid backend (or a telemetry-instrumented run on either engine):
@@ -350,6 +373,7 @@ def _run_experiment(args) -> int:
         ]
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
+    specs = _apply_foreground(args, specs)
     tel, tel_path = _make_telemetry(
         args, Path("telemetry.jsonl"), run_id=f"run:{key}"
     )
@@ -438,6 +462,7 @@ def _cmd_report(args) -> int:
             jobs=args.jobs,
             progress=_progress_ticker(args),
             telemetry=tel,
+            hybrid_cell=args.fastest,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
@@ -584,9 +609,15 @@ def main(argv: list[str] | None = None) -> int:
         help="bench = shrunk for Python speed (default); full = paper sizes",
     )
     run.add_argument(
-        "--backend", choices=("packet", "fluid"), default="packet",
-        help="execution engine: packet-level simulation (default) or the "
-             "flow-level fluid fast path",
+        "--backend", choices=("packet", "fluid", "hybrid"), default="packet",
+        help="execution engine: packet-level simulation (default), the "
+             "flow-level fluid fast path, or hybrid packet-in-fluid "
+             "co-simulation",
+    )
+    run.add_argument(
+        "--foreground", default=None, metavar="SEL",
+        help="hybrid backend: which flows run packet-level — all, none, "
+             "count:N, frac:X or tag:a,b (default frac:0.1)",
     )
     run.add_argument(
         "--quiet", action="store_true",
@@ -622,8 +653,13 @@ def main(argv: list[str] | None = None) -> int:
         help="scenario scale (default bench)",
     )
     sweep.add_argument(
-        "--backend", choices=("packet", "fluid"), default="packet",
+        "--backend", choices=("packet", "fluid", "hybrid"), default="packet",
         help="execution engine for every scenario in the sweep",
+    )
+    sweep.add_argument(
+        "--foreground", default=None, metavar="SEL",
+        help="hybrid backend: which flows run packet-level — all, none, "
+             "count:N, frac:X or tag:a,b (default frac:0.1)",
     )
     sweep.add_argument(
         "--jobs", type=_positive_int, default=1, metavar="N",
@@ -687,7 +723,7 @@ def main(argv: list[str] | None = None) -> int:
              "implies --backend fluid unless overridden",
     )
     report.add_argument(
-        "--backend", choices=("packet", "fluid"), default=None,
+        "--backend", choices=("packet", "fluid", "hybrid"), default=None,
         help="execution engine (default: packet, or fluid with --fastest); "
              "packet-only figures always stay on the packet engine",
     )

@@ -186,6 +186,19 @@ class FluidEngine:
         #: :class:`~repro.core.base.DecisionTap`), mirroring
         #: ``Network.decision_tap``; attach before ``add_flows``.
         self.decision_tap = None
+        #: Optional per-link external (foreground) rates in bytes/ns,
+        #: length ``arrays.n``.  When set (only by the hybrid engine's
+        #: epoch coupling), every capacity term in ``_advance`` uses the
+        #: residual ``capacity - ext_rates``, and the cumulative
+        #: external bytes are folded into the INT registers the CC
+        #: adapters read, so background flows see the foreground as
+        #: cross-traffic.  ``None`` (the default) leaves the pure-fluid
+        #: step loop bit-identical.
+        self.ext_rates = None
+        #: Optional per-link external (foreground) queue depths in
+        #: bytes, folded into ECN marking and queueing-delay estimates.
+        self.ext_qlen = None
+        self._ext_bytes = None          # cumulative ext_rates integral
 
         self._starts: list[FluidFlow] = []      # sorted by start_time
         self._next_idx = 0
@@ -645,12 +658,26 @@ class FluidEngine:
         # 2. per-link offered arrivals -> proportional throttle factors.
         #    Row-major ravel order means per-link accumulation order is
         #    flow-major — the same order as the scalar engine's loops.
+        # Effective capacity: pure-fluid runs keep ``A.capacity`` itself
+        # (``ext_rates is None`` — same array object, bit-identical);
+        # under hybrid coupling the background half sees only the
+        # residual left over by measured foreground rates, floored at 1%
+        # of line rate so a saturated link throttles instead of dividing
+        # by zero.
+        ext = self.ext_rates
+        if ext is None:
+            cap = A.capacity
+        else:
+            cap = np.maximum(A.capacity - ext[:L], 0.01 * A.capacity)
+            if self._ext_bytes is None:
+                self._ext_bytes = np.zeros(L)
+            self._ext_bytes += ext[:L] * dt
         flat = hopm.ravel()
         req_h = np.broadcast_to(req[:, None], hopm.shape)
         arrival = np.bincount(flat, weights=req_h.ravel(), minlength=L + 1)
         scale = np.ones(L + 1)
-        over = arrival[:L] > A.capacity
-        np.divide(A.capacity, arrival[:L], out=scale[:L], where=over)
+        over = arrival[:L] > cap
+        np.divide(cap, arrival[:L], out=scale[:L], where=over)
         # 3. cascade the throttle along each path (upstream bottlenecks
         #    shield downstream links): exclusive prefix-min per row.
         sc = scale[hopm]
@@ -671,7 +698,7 @@ class FluidEngine:
         inflow = throttled[ti] * dt
         qt = A.queue[ti]
         tx = qt + inflow
-        np.minimum(tx, A.capacity[ti] * dt, out=tx)
+        np.minimum(tx, cap[ti] * dt, out=tx)
         A.tx[ti] += tx
         A.rx[ti] += inflow
         q = qt[em] + inflow[em] - tx[em]
@@ -691,8 +718,10 @@ class FluidEngine:
         delivered = achieved * dt
         done = delivered >= (remaining - 1e-6)
         done &= alive
+        extq = self.ext_qlen
+        qc = A.queue if extq is None else A.queue + extq[:L]
         qdiv = np.zeros(L + 1)
-        np.divide(A.queue, A.capacity, out=qdiv[:L], where=A.capacity > 0.0)
+        np.divide(qc, cap, out=qdiv[:L], where=cap > 0.0)
         qdelay = qdiv[hopm].sum(axis=1)
         goodput = self._goodput
         flows = self._flows
@@ -748,11 +777,11 @@ class FluidEngine:
                 self._refresh_ecn()
             one_minus = np.ones(L + 1)
             p = np.divide(
-                self._ecn_pmax * (A.queue - self._ecn_kmin), self._ecn_span,
+                self._ecn_pmax * (qc - self._ecn_kmin), self._ecn_span,
                 out=np.zeros(L), where=self._ecn_span > 0.0,
             )
-            p[A.queue <= self._ecn_kmin] = 0.0
-            p[A.queue >= self._ecn_kmax] = 1.0
+            p[qc <= self._ecn_kmin] = 0.0
+            p[qc >= self._ecn_kmax] = 1.0
             np.subtract(1.0, p, out=one_minus[:L])
             # Host links and dead links carry p == 0, so the product
             # over *all* path hops equals the scalar engine's product
@@ -829,9 +858,22 @@ class FluidEngine:
             )
             ilv = self._il[pos]
             cap_l = A.capacity[ilv].tolist()
-            tx_l = A.tx[ilv].tolist()
-            q_l = A.queue[ilv].tolist()
-            rx_l = A.rx[ilv].tolist()
+            txv = A.tx[ilv]
+            rxv = A.rx[ilv]
+            qv = A.queue[ilv]
+            # Hybrid coupling: the adapters' INT view folds the
+            # foreground share in, exactly as packet switches fold the
+            # background into their stamps — both CC populations then
+            # react to the *combined* utilization.
+            if self._ext_bytes is not None:
+                extb = self._ext_bytes[ilv]
+                txv = txv + extb
+                rxv = rxv + extb
+            if self.ext_qlen is not None:
+                qv = qv + self.ext_qlen[ilv]
+            tx_l = txv.tolist()
+            q_l = qv.tolist()
+            rx_l = rxv.tolist()
             bases_l = bases.tolist()
         sig = self._sig
         sig.now = now

@@ -259,7 +259,16 @@ def build_figure(
     effective_backend = backend if entry.fluid_ok else "packet"
     specs = entry.module.scenarios(scale=scale)
     if effective_backend != "packet":
-        specs = [s.replaced(backend=effective_backend) for s in specs]
+        # Cells that already carry a non-packet backend (a grid mixing
+        # fluid and hybrid cells) keep it; only default-packet cells are
+        # moved to the requested engine.  The figure's backend badge
+        # then reflects what actually ran, e.g. ``fluid+hybrid``.
+        specs = [
+            s if s.backend != "packet"
+            else s.replaced(backend=effective_backend)
+            for s in specs
+        ]
+    badge = "+".join(sorted({s.backend for s in specs}))
     started = time.perf_counter()
     with telemetry.span("figure", figure=key) if telemetry is not None \
             else nullcontext():
@@ -308,7 +317,7 @@ def build_figure(
     return FigureReport(
         key=key,
         title=render.title,
-        backend=effective_backend,
+        backend=badge,
         scale=scale,
         render=render,
         score=score,
@@ -398,6 +407,58 @@ def build_divergence_drilldown(
     div["spec"] = {"label": spec.label, "spec_hash": spec.spec_hash,
                    "program": spec.program, "cc": spec.cc.name}
     return div, _divergence_panel(streams)
+
+
+# -- the hybrid co-simulation cell ------------------------------------------------
+
+def _build_hybrid_cell(out: Path, scale: str = "bench") -> str:
+    """Run one hybrid fig11 cell and write ``hybrid_fig11.json``.
+
+    The ``--fastest`` artifact carries a single HPCC 50%-load FatTree
+    cell on the hybrid backend (10% packet foreground, fluid
+    background) so every CI build exercises the co-simulation path end
+    to end on a real figure workload.  Returns the metadata summary
+    line.
+    """
+    from ..experiments import figure11
+    from ..runner import CcChoice
+    from ..runner.execute import execute_spec
+
+    spec = figure11.scenarios(
+        scale=scale, cases=("50%",),
+        schemes=(CcChoice("hpcc", label="HPCC"),),
+    )[0].replaced(
+        backend="hybrid",
+        **{"workload.foreground": {"kind": "frac", "x": 0.1}},
+    )
+    started = time.perf_counter()
+    record = execute_spec(spec)
+    wall = time.perf_counter() - started
+    extras = record.extras or {}
+    payload = {
+        "spec_hash": spec.spec_hash,
+        "label": spec.label,
+        "backend": spec.backend,
+        "scale": scale,
+        "hybrid_mode": extras.get("hybrid_mode"),
+        "foreground_flows": extras.get("foreground_flows"),
+        "background_flows": extras.get("background_flows"),
+        "hybrid_epochs": extras.get("hybrid_epochs"),
+        "events_processed": record.events_processed,
+        "duration_ns": _json_number(record.duration_ns),
+        "n_fct": len(record.fct or []),
+        "wall_time_s": round(wall, 3),
+    }
+    (out / "hybrid_fig11.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
+    return (
+        f"fig11 {spec.label} on hybrid "
+        f"({payload['foreground_flows']} fg / "
+        f"{payload['background_flows']} bg flows, "
+        f"{payload['hybrid_epochs']} epochs, {wall:.1f}s) "
+        f"-> hybrid_fig11.json"
+    )
 
 
 # -- benchmark trajectory ---------------------------------------------------------
@@ -566,6 +627,7 @@ def build_report(
     progress=None,
     bench_root: str | Path | None = None,
     telemetry=None,
+    hybrid_cell: bool = False,
 ) -> Report:
     """Build the reproduction report; returns the in-memory summary.
 
@@ -576,6 +638,9 @@ def build_report(
     ``hpcc-repro sweep --out`` directory to reuse those records.
     ``telemetry`` (a :class:`repro.obs.Telemetry`, owned and closed by
     the caller) records the build's spans and every run's probe data.
+    ``hybrid_cell`` additionally runs one fig11 cell on the hybrid
+    backend and writes ``hybrid_fig11.json`` (rides in the
+    ``--fastest`` CI artifact).
     """
     out = Path(out)
     out.mkdir(parents=True, exist_ok=True)
@@ -596,6 +661,16 @@ def build_report(
     # failed report build.
     for fig_report in built:
         if fig_report.key != "fig13":
+            continue
+        if "hybrid" in fig_report.backend.split("+"):
+            # The decision-trace diff is defined for the pure
+            # packet-vs-fluid pair; a hybrid cell runs both engines at
+            # once, so there is no second backend to diff against.
+            fig_report.render.notes.append(
+                "divergence drilldown skipped: not defined for hybrid "
+                "cells (the diff compares the pure packet and fluid "
+                "engines)"
+            )
             continue
         try:
             div, div_panel = build_divergence_drilldown(scale=scale)
@@ -645,6 +720,15 @@ def build_report(
         metadata["telemetry"] = (
             str(sink_path) if sink_path is not None else "recorded (no file)"
         )
+    if hybrid_cell:
+        # Best-effort like the drilldown: a broken hybrid cell becomes
+        # a metadata note, never a failed report build.
+        try:
+            metadata["hybrid cell"] = _build_hybrid_cell(out, scale=scale)
+        except Exception as exc:
+            metadata["hybrid cell"] = (
+                f"skipped: {type(exc).__name__}: {exc}"
+            )
     report = Report(figures=built, metadata=metadata)
 
     for fig_report in built:

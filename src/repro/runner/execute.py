@@ -374,25 +374,70 @@ PROGRAMS: dict[str, Callable[[ScenarioSpec], RunRecord]] = {
 }
 
 
+def _packet_overrides() -> dict[str, Callable[[ScenarioSpec], RunRecord]]:
+    """The packet backend runs the base table as-is (no overrides)."""
+    return {}
+
+
+def _fluid_overrides() -> dict[str, Callable[[ScenarioSpec], RunRecord]]:
+    """Fluid twins of the network programs (lazy: keeps ``repro.runner``
+    importable without ``repro.fluid``)."""
+    from ..fluid.programs import FLUID_PROGRAMS
+
+    return FLUID_PROGRAMS
+
+
+def _hybrid_overrides() -> dict[str, Callable[[ScenarioSpec], RunRecord]]:
+    """Hybrid (packet-in-fluid) twins of the network programs."""
+    from ..hybrid.programs import HYBRID_PROGRAMS
+
+    return HYBRID_PROGRAMS
+
+
+#: Backend name -> loader returning that backend's program *overrides*
+#: (programs absent from the override table — the analytic appendix
+#: programs — fall back to the shared packet implementations).  Dispatch
+#: is table-driven on purpose: a backend name missing from this table
+#: raises instead of silently falling through to the packet engine, so
+#: adding a backend to ``BACKENDS`` without wiring its programs is loud.
+BACKEND_PROGRAMS: dict[
+    str, Callable[[], dict[str, Callable[[ScenarioSpec], RunRecord]]]
+] = {
+    "packet": _packet_overrides,
+    "fluid": _fluid_overrides,
+    "hybrid": _hybrid_overrides,
+}
+
+
+def backend_programs(
+    backend: str,
+) -> dict[str, Callable[[ScenarioSpec], RunRecord]]:
+    """The full program table for ``backend``; raises on unknown names."""
+    if backend not in BACKEND_PROGRAMS:
+        known = ", ".join(sorted(BACKEND_PROGRAMS))
+        raise ValueError(
+            f"unknown backend {backend!r}; known: {known}"
+        )
+    table = dict(PROGRAMS)
+    table.update(BACKEND_PROGRAMS[backend]())
+    return table
+
+
 def _resolve_program(spec: ScenarioSpec) -> Callable[[ScenarioSpec], RunRecord]:
     """The implementation of ``spec.program`` on ``spec.backend``.
 
-    The fluid backend overrides the network programs (``load``/``flows``)
-    with ``repro.fluid`` twins; the analytic appendix programs never
-    touch the packet engine, so both backends share them.  Imported
-    lazily to keep ``repro.runner`` importable without ``repro.fluid``
-    (and vice versa).
+    The fluid and hybrid backends override the network programs
+    (``load``/``flows``) with their own twins; the analytic appendix
+    programs never touch the packet engine, so all backends share them.
+    Imported lazily to keep ``repro.runner`` importable without
+    ``repro.fluid``/``repro.hybrid`` (and vice versa).
     """
     if spec.program not in PROGRAMS:
         known = ", ".join(sorted(PROGRAMS))
         raise ValueError(
             f"unknown program {spec.program!r}; known: {known}"
         )
-    if spec.backend == "fluid":
-        from ..fluid.programs import FLUID_PROGRAMS
-
-        return FLUID_PROGRAMS.get(spec.program, PROGRAMS[spec.program])
-    return PROGRAMS[spec.program]
+    return backend_programs(spec.backend)[spec.program]
 
 
 def execute_spec(spec: ScenarioSpec, telemetry: bool = False,
@@ -475,6 +520,11 @@ def validate_specs(specs: list[ScenarioSpec]) -> None:
             known = ", ".join(sorted(PROGRAMS))
             raise ValueError(
                 f"unknown program {spec.program!r}; known: {known}"
+            )
+        if spec.backend not in BACKEND_PROGRAMS:
+            known = ", ".join(sorted(BACKEND_PROGRAMS))
+            raise ValueError(
+                f"unknown backend {spec.backend!r}; known: {known}"
             )
         if spec.program in ("load", "flows") \
                 and spec.topology not in TOPOLOGIES:

@@ -65,7 +65,7 @@ _IDENTITY_FIELDS = (
     "dynamics",
 )
 
-BACKENDS = ("packet", "fluid")
+BACKENDS = ("packet", "fluid", "hybrid")
 
 
 @dataclass(frozen=True, eq=False)
@@ -87,8 +87,14 @@ class ScenarioSpec:
     final windows); ``meta`` carries consumer-side grouping keys.
 
     ``backend`` selects the execution engine: ``"packet"`` (the
-    discrete-event simulator) or ``"fluid"`` (the flow-level fast path in
-    ``repro.fluid``).  It is part of the spec's identity hash.
+    discrete-event simulator), ``"fluid"`` (the flow-level fast path in
+    ``repro.fluid``) or ``"hybrid"`` (packet foreground flows inside a
+    fluid background matrix, ``repro.hybrid``).  It is part of the
+    spec's identity hash.  The hybrid backend reads the
+    ``workload["foreground"]`` selector (see
+    :func:`repro.hybrid.select.parse_foreground`) to split the flow
+    population; the selector lives in ``workload`` so it is
+    hash-distinct automatically.
 
     ``dynamics`` declares mid-run network events as a
     :class:`~repro.dynamics.events.Timeline` (accepted directly, stored

@@ -77,6 +77,11 @@ class EgressPort:
         self.packets_emitted = 0
         self.on_emit = on_emit                # hook: INT stamping, buffer release
         self.on_idle = on_idle                # hook: NIC pump
+        # Hybrid coupling: a BgLinkView whose ``residual`` fraction of
+        # the line rate is left over by fluid background traffic; when
+        # set, serialization slows down to model sharing the wire.
+        # ``None`` (the default) keeps the pure-packet path untouched.
+        self.bg_view = None
         self._pause_started: float | None = None
         self.total_paused = 0.0
 
@@ -179,6 +184,8 @@ class EgressPort:
         self.tx_bytes += size
         self.packets_emitted += 1
         ser = size / self.rate
+        if (view := self.bg_view) is not None:
+            ser /= view.residual
         # Mark busy and credit the logical serialize-done *before* the
         # on_emit hook: the hook can re-enter the enqueue paths (a switch
         # releasing buffer may emit a PFC frame, in the hairpin case out

@@ -58,6 +58,12 @@ class Switch:
         self._seed = seed
         self.drops = 0
         self.no_route_drops = 0
+        # Hybrid coupling: port_id -> BgLinkView (repro.hybrid.coupling)
+        # exposing the fluid background share of this port's link.  When
+        # set, ECN marks on combined fg+bg queue depth and INT stamps
+        # fold the background registers in; ``None`` (the default)
+        # leaves the pure-packet data path untouched.
+        self.bg_views = None
 
     # -- wiring (called by Network) -------------------------------------------
 
@@ -112,9 +118,13 @@ class Switch:
             ptype is PacketType.DATA
             and not pkt.ecn
             and (marker := self._markers.get(out_id)) is not None
-            and marker.should_mark(out.qlen_bytes)
         ):
-            pkt.ecn = True
+            qlen = out.qlen_bytes
+            if (views := self.bg_views) is not None \
+                    and (view := views.get(out_id)) is not None:
+                qlen += view.qlen
+            if marker.should_mark(qlen):
+                pkt.ecn = True
         out.enqueue(pkt)
         self.pfc.on_ingress_change(in_port, prio)
 
@@ -122,15 +132,21 @@ class Switch:
         """Emission hook: stamp INT, release buffer, re-check PFC."""
         hops = pkt.int_hops
         if hops is not None and self.int_enabled and pkt.ptype is PacketType.DATA:
-            hops.append(
-                new_hop(
-                    port.rate,
-                    self.sim.now,
-                    port.tx_bytes,
-                    port.qlen_bytes,
-                    port.rx_bytes,
-                )
-            )
+            now = self.sim.now
+            tx = port.tx_bytes
+            qlen = port.qlen_bytes
+            rx = port.rx_bytes
+            if (views := self.bg_views) is not None \
+                    and (view := views.get(port.port_id)) is not None:
+                # Fold the fluid background share into the register
+                # snapshot: cumulative bytes extrapolate linearly at the
+                # background rate inside the epoch so inter-ACK txRate
+                # estimates see the background as smooth cross-traffic.
+                bg_bytes = view.tx0 + view.rate * (now - view.t0)
+                tx += bg_bytes
+                rx += bg_bytes
+                qlen += view.qlen
+            hops.append(new_hop(port.rate, now, tx, qlen, rx))
             pkt.hop_count += 1
         ref = pkt._ingress_ref
         if ref is not None:

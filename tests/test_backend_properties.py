@@ -1,0 +1,144 @@
+"""Conservation properties every backend must honour, packet to hybrid.
+
+Hypothesis throws random small star scenarios at all three backends and
+checks the physics no model is allowed to break, whatever its
+approximation level:
+
+* nothing beats the wire — aggregate goodput through the receiver's
+  downlink, and each sender's uplink, never exceeds link capacity;
+* admitted flows complete (or park under an unmet deadline) — they
+  never vanish, duplicate, or finish before they start;
+* sampled queues are nonnegative and the completion flag is truthful.
+
+The hybrid backend additionally draws a random foreground count, so the
+degenerate partitions (0 and n) and the mixed path are all exercised by
+the same invariants.  One previously-interesting draw is pinned via
+``@example`` so it runs on every invocation, shrunk or not.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, example, given, settings, strategies as st
+
+from repro.runner import CcChoice, ScenarioSpec, execute_spec
+from repro.sim.units import US
+
+BACKENDS = ("packet", "fluid", "hybrid")
+
+#: 10Gbps in bytes/ns — every generated star runs at this host rate.
+HOST_RATE_BPNS = 1.25
+#: Serialization slack: goodput is payload-only but sits inside wired
+#: frames (headers, INT), and FCT windows include the first-byte RTT.
+UTIL_SLACK = 1.02
+
+
+@st.composite
+def star_scenarios(draw):
+    """A handful of flows into one star receiver, any sizes/offsets."""
+    n_hosts = draw(st.integers(3, 5))
+    dst = n_hosts - 1
+    n_flows = draw(st.integers(1, 5))
+    flows = []
+    for i in range(n_flows):
+        src = draw(st.integers(0, n_hosts - 2))
+        # >=10KB: sub-RTT flows legitimately undercut the ideal-FCT
+        # model's fixed RTT term, which would fail the slowdown floor.
+        size = draw(st.integers(10_000, 100_000))
+        start = float(draw(st.integers(0, 100))) * US
+        flows.append((src, dst, size, start, f"f{i}"))
+    fg_count = draw(st.integers(0, n_flows))
+    return n_hosts, tuple(flows), fg_count
+
+
+#: The pinned draw: staggered starts, a shared source, and a 1-flow
+#: foreground — the shape that once exposed the coupler's first-epoch
+#: staleness most clearly.
+PINNED = (
+    4,
+    ((0, 3, 60_000, 0.0, "f0"),
+     (1, 3, 60_000, 100_000.0, "f1"),
+     (0, 3, 30_000, 0.0, "f2")),
+    1,
+)
+
+
+def build_spec(backend: str, scenario, cc: str) -> ScenarioSpec:
+    n_hosts, flows, fg_count = scenario
+    workload = {"flows": [list(f) for f in flows], "deadline": 50e6}
+    if backend == "hybrid":
+        workload["foreground"] = {"kind": "count", "n": fg_count}
+    return ScenarioSpec(
+        program="flows",
+        topology="star",
+        topology_params={"n_hosts": n_hosts, "host_rate": "10Gbps"},
+        cc=CcChoice(cc),
+        workload=workload,
+        config={"base_rtt": 9 * US},
+        measure={"sample_interval": 20_000.0},
+        backend=backend,
+        label=f"prop-{backend}",
+    )
+
+
+class TestConservationInvariants:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(deadline=None, max_examples=6,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(star_scenarios(), st.sampled_from(["hpcc", "dctcp"]))
+    @example(PINNED, "hpcc")
+    def test_conservation(self, backend, scenario, cc):
+        n_hosts, flows, _ = scenario
+        record = execute_spec(build_spec(backend, scenario, cc))
+
+        # Admitted flows complete — the deadline is far beyond any fair
+        # completion, so nothing may park, vanish or double-finish.
+        assert record.completed
+        assert sorted(r["flow_id"] for r in record.fct) == \
+            list(range(1, len(flows) + 1))
+        for r in record.fct:
+            assert r["finish"] > r["start"] >= r["start_time"]
+        for fct in record.fct_records():
+            assert fct.fct > 0
+            assert fct.slowdown >= 0.9      # can't beat the ideal by much
+
+        # Nothing beats the wire: the receiver's downlink over the busy
+        # window, and each sender's uplink over its own window.
+        def window_util(entries):
+            total = sum(e["size"] for e in entries)
+            window = max(e["finish"] for e in entries) - \
+                min(e["start"] for e in entries)
+            return total / window if window > 0 else 0.0
+
+        assert window_util(record.fct) <= UTIL_SLACK * HOST_RATE_BPNS
+        by_src: dict[int, list] = {}
+        for entry in record.fct:
+            by_src.setdefault(entry["src"], []).append(entry)
+        for entries in by_src.values():
+            assert window_util(entries) <= UTIL_SLACK * HOST_RATE_BPNS
+
+        # Sampled queues never go negative.
+        for series in record.queues.values():
+            assert all(q >= 0 for q in series["qlens"])
+
+    @settings(deadline=None, max_examples=6,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(star_scenarios(), st.sampled_from(["hpcc", "dctcp"]))
+    @example(PINNED, "hpcc")
+    def test_hybrid_partition_is_exhaustive(self, scenario, cc):
+        """Every generated flow lands in exactly one half."""
+        n_hosts, flows, fg_count = scenario
+        record = execute_spec(build_spec("hybrid", scenario, cc))
+        assert record.extras["foreground_flows"] + \
+            record.extras["background_flows"] == len(flows)
+        assert record.extras["foreground_flows"] == min(fg_count, len(flows))
+        mode = record.extras["hybrid_mode"]
+        if fg_count == 0:
+            assert mode == "all_background"
+        elif fg_count == len(flows):
+            assert mode == "all_foreground"
+        else:
+            assert mode == "mixed"
+            fg_ids = set(record.extras["foreground_flow_ids"])
+            assert len(fg_ids) == fg_count
+            assert fg_ids <= {r["flow_id"] for r in record.fct}

@@ -226,6 +226,16 @@ class TestRunBackend:
         assert main(["run", "fig13", "--backend", "packet"]) == 0
         assert called == ["bench"]
 
+    def test_run_rejects_foreground_on_packet_fast_path(self, monkeypatch):
+        # The packet backend short-circuits to module.main(); --foreground
+        # must still be rejected there, not silently ignored.
+        called = []
+        stub = SimpleNamespace(main=lambda scale: called.append(scale))
+        monkeypatch.setitem(EXPERIMENTS, "fig13", ("stub", stub))
+        with pytest.raises(SystemExit, match="--backend hybrid"):
+            main(["run", "fig13", "--foreground", "frac:0.5"])
+        assert called == []
+
 
 class TestTelemetryFlag:
     def test_sweep_telemetry_default_path(self, tmp_path, capsys,

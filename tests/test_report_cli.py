@@ -189,6 +189,18 @@ class TestReportCliSmoke:
         assert "Infinity" not in text and "NaN" not in text
         json.loads(text)
 
+    def test_fastest_carries_hybrid_fig11_cell(self, report_dir):
+        # --fastest additionally runs one fig11 cell on the hybrid
+        # backend (10% foreground) and ships it as hybrid_fig11.json.
+        cell = json.loads((report_dir / "hybrid_fig11.json").read_text())
+        assert cell["backend"] == "hybrid"
+        assert cell["hybrid_mode"] == "mixed"
+        assert cell["foreground_flows"] > 0
+        assert cell["background_flows"] > cell["foreground_flows"]
+        assert cell["hybrid_epochs"] > 0 and cell["n_fct"] > 0
+        summary = json.loads((report_dir / "report.json").read_text())
+        assert "hybrid_fig11.json" in summary["metadata"]["hybrid cell"]
+
     def test_rerun_hits_cache(self, report_dir, capsys):
         assert main([
             "report", "--fastest", "--out", str(report_dir), "--quiet",
@@ -227,3 +239,73 @@ class TestReportCliSmoke:
             assert main(["report", "--fastest", "--out", str(report_dir),
                          "--quiet", "--png"]) == 0
             assert list(report_dir.glob("*.png"))
+
+
+class TestHybridReportCells:
+    """Mixed fluid+hybrid grids: coherent panels, honest badges, and a
+    skipped (never crashing) divergence drilldown."""
+
+    @staticmethod
+    def _mixed_specs():
+        from repro.runner import ScenarioSpec
+        from repro.sim.units import US
+
+        base = ScenarioSpec(
+            program="flows",
+            topology="star",
+            topology_params={"n_hosts": 3, "host_rate": "10Gbps"},
+            workload={"flows": [[0, 2, 60_000, 0.0, "a"],
+                                [1, 2, 60_000, 0.0, "b"]],
+                      "deadline": 5e6},
+            config={"base_rtt": 9 * US},
+            label="cell",
+        )
+        return [
+            base.replaced(backend="fluid", label="fluid-cell"),
+            base.replaced(backend="hybrid", label="hybrid-cell",
+                          **{"workload.foreground": {"kind": "count",
+                                                     "n": 1}}),
+        ]
+
+    def test_mixed_grid_badge_and_drilldown_skip(self, tmp_path, monkeypatch):
+        from repro.experiments import figure13
+        from repro.report.build import build_report
+        from repro.report.figures import FigureRender, Panel, Series
+
+        specs = self._mixed_specs()
+        monkeypatch.setattr(figure13, "scenarios",
+                            lambda scale: list(specs))
+
+        def render(ok_specs, ok_records):
+            # One panel per grid: a series per cell, whatever its
+            # backend — the render sees one coherent (spec, record) set.
+            assert [s.label for s in ok_specs] == ["fluid-cell",
+                                                   "hybrid-cell"]
+            assert all(r.ok for r in ok_records)
+            return FigureRender(figure="fig13", title="Fig 13 (mixed)",
+                                panels=[Panel(
+                                    key="fct", title="fct",
+                                    series=[Series(name=s.backend,
+                                                   x=[0.0, 1.0],
+                                                   y=[1.0, 2.0])
+                                            for s in ok_specs],
+                                )])
+
+        monkeypatch.setattr(figure13, "render", render)
+        report = build_report(["fig13"], backend="fluid",
+                              out=tmp_path / "out",
+                              cache_dir=tmp_path / "cache",
+                              bench_root=tmp_path)
+        [fig] = report.figures
+        # The badge reflects what actually ran, not what was requested.
+        assert fig.backend == "fluid+hybrid"
+        assert fig.n_failed == 0
+        # The drilldown skipped with a note instead of crashing on the
+        # hybrid cell (there is no second pure backend to diff).
+        assert fig.divergence is None
+        assert any("drilldown skipped" in note for note in fig.notes)
+        assert not (tmp_path / "out" / "divergence.json").exists()
+        # One coherent panel set rendered and landed on disk.
+        assert (tmp_path / "out" / "fig13_fct.svg").exists()
+        html = (tmp_path / "out" / "index.html").read_text()
+        assert "fluid+hybrid" in html
